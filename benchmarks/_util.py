@@ -1,0 +1,22 @@
+"""Shared helper for the experiment benchmarks.
+
+Each benchmark regenerates one paper artifact (figure or claim table)
+through the experiment harness in quick mode and asserts every
+reproduction check passed, so `pytest benchmarks/ --benchmark-only`
+both times and re-validates the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get_experiment
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str, rounds: int = 1):
+    """Benchmark one experiment (quick mode) and assert it passes."""
+    experiment = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(quick=True), rounds=rounds, iterations=1
+    )
+    failed = result.failed_checks()
+    assert not failed, "\n".join(check.render() for check in failed)
+    return result

@@ -1,0 +1,7 @@
+"""Benchmark: the design-choice ablations of DESIGN.md."""
+
+from _util import run_experiment_benchmark
+
+
+def test_ablations(benchmark):
+    run_experiment_benchmark(benchmark, "t-ablations")

@@ -1,0 +1,7 @@
+"""Benchmark: exact transient adaptation profiles."""
+
+from _util import run_experiment_benchmark
+
+
+def test_adaptation_profiles(benchmark):
+    run_experiment_benchmark(benchmark, "t-adaptation")

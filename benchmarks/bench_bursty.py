@@ -1,0 +1,7 @@
+"""Benchmark: the burstiness sweep (adaptivity vs phase length)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_bursty_sweep(benchmark):
+    run_experiment_benchmark(benchmark, "t-bursty")

@@ -1,0 +1,7 @@
+"""Benchmark: the conclusion-section numbers (section 9)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_conclusion_claims(benchmark):
+    run_experiment_benchmark(benchmark, "t-conclusion")

@@ -1,0 +1,8 @@
+"""Benchmark: average-cost table, connection model (eqs. 3 and 6)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_connection_average(benchmark):
+    result = run_experiment_benchmark(benchmark, "t-conn-avg")
+    assert result.rows

@@ -1,0 +1,7 @@
+"""Benchmark: competitiveness, connection model (Theorem 4)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_connection_competitive(benchmark):
+    run_experiment_benchmark(benchmark, "t-conn-comp")

@@ -1,0 +1,8 @@
+"""Benchmark: expected-cost table, connection model (eqs. 2 and 5)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_connection_expected(benchmark):
+    result = run_experiment_benchmark(benchmark, "t-conn-exp")
+    assert result.rows

@@ -1,0 +1,79 @@
+"""Micro-benchmarks: request-processing throughput of the machinery.
+
+Not a paper artifact — these quantify the library's own costs so a
+downstream user knows what replaying millions of requests costs:
+abstract replay per algorithm, the offline DP, the protocol simulator,
+and the two window-bookkeeping variants (the DESIGN.md ablation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OfflineOptimal, make_algorithm, replay
+from repro.core.sliding_window import RequestWindow
+from repro.costmodels import ConnectionCostModel
+from repro.sim import simulate_protocol
+from repro.types import Operation
+from repro.workload import bernoulli_schedule
+
+MODEL = ConnectionCostModel()
+SCHEDULE = bernoulli_schedule(0.45, 20_000, rng=np.random.default_rng(1))
+
+
+@pytest.mark.parametrize("name", ["st1", "st2", "sw1", "sw9", "sw99", "t1_15"])
+def test_replay_throughput(benchmark, name):
+    algorithm = make_algorithm(name)
+    result = benchmark(lambda: replay(algorithm, SCHEDULE, MODEL))
+    assert len(result.events) == len(SCHEDULE)
+
+
+def test_offline_dp_throughput(benchmark):
+    offline = OfflineOptimal(MODEL)
+    cost = benchmark(lambda: offline.optimal_cost(SCHEDULE))
+    assert cost > 0
+
+
+def test_protocol_simulation_throughput(benchmark):
+    schedule = SCHEDULE[:2_000]
+    result = benchmark.pedantic(
+        lambda: simulate_protocol("sw9", schedule), rounds=3, iterations=1
+    )
+    assert len(result.event_kinds) == len(schedule)
+
+
+def _slide_incremental(window, operations):
+    for operation in operations:
+        window.slide(operation)
+        _ = window.write_count
+
+
+def _slide_with_recount(window, operations):
+    for operation in operations:
+        window.slide(operation)
+        _ = window.recount()
+
+
+_OPS = [
+    Operation.WRITE if bit else Operation.READ
+    for bit in np.random.default_rng(2).integers(0, 2, 5_000)
+]
+
+
+def test_window_incremental_count(benchmark):
+    window = RequestWindow.all_writes(99)
+    benchmark(lambda: _slide_incremental(window, _OPS))
+
+
+def test_window_recount_ablation(benchmark):
+    window = RequestWindow.all_writes(99)
+    benchmark(lambda: _slide_with_recount(window, _OPS))
+
+
+def test_vectorized_replay_throughput(benchmark):
+    """The numpy fast path vs the reference loop (same schedule)."""
+    from repro.core.vectorized import fast_total_cost
+
+    cost = benchmark(lambda: fast_total_cost("sw9", SCHEDULE, MODEL))
+    assert cost > 0

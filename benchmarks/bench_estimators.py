@@ -1,0 +1,7 @@
+"""Benchmark: estimator-based allocators vs the sliding window."""
+
+from _util import run_experiment_benchmark
+
+
+def test_estimators(benchmark):
+    run_experiment_benchmark(benchmark, "t-estimators")

@@ -1,0 +1,48 @@
+"""Micro-benchmarks: the exact-analysis machinery.
+
+Times the chain enumeration, the per-theta stationary solve, the
+Simpson AVG sweep (with the shared-structure optimization) and the
+modulated product-chain solve — so a user planning a large parameter
+sweep knows the cost of exactness.
+"""
+
+from repro.analysis.markov import analyze, enumerate_chain, exact_average_cost
+from repro.analysis.modulated import analyze_modulated
+from repro.core import make_algorithm
+from repro.costmodels import ConnectionCostModel
+
+MODEL = ConnectionCostModel()
+
+
+def test_enumerate_chain_sw9(benchmark):
+    algorithm = make_algorithm("sw9")
+    structure = benchmark(lambda: enumerate_chain(algorithm))
+    assert structure.num_states == 512
+
+
+def test_stationary_solve_sw9(benchmark):
+    algorithm = make_algorithm("sw9")
+    structure = enumerate_chain(algorithm)
+    result = benchmark(lambda: analyze(algorithm, 0.35, structure))
+    assert result.num_states == 512
+
+
+def test_exact_average_sweep_sw5(benchmark):
+    algorithm = make_algorithm("sw5")
+    value = benchmark.pedantic(
+        lambda: exact_average_cost(algorithm, MODEL, num_thetas=101),
+        rounds=3,
+        iterations=1,
+    )
+    assert abs(value - (0.25 + 1 / 28)) < 1e-6
+
+
+def test_modulated_solve_sw9(benchmark):
+    algorithm = make_algorithm("sw9")
+    structure = enumerate_chain(algorithm)
+    result = benchmark.pedantic(
+        lambda: analyze_modulated(algorithm, 0.1, 0.9, 500, structure),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_states == 1024

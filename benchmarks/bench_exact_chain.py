@@ -1,0 +1,7 @@
+"""Benchmark: exact Markov-chain re-derivation of the formulas."""
+
+from _util import run_experiment_benchmark
+
+
+def test_exact_chain(benchmark):
+    run_experiment_benchmark(benchmark, "t-exact")

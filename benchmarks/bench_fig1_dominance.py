@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 1 (message-model dominance regions)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_fig1_dominance(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig1")
+    # The ASCII region map is the figure artifact.
+    assert result.figures

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 2 (k0(omega) staircase)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_fig2_window_threshold(benchmark):
+    result = run_experiment_benchmark(benchmark, "fig2")
+    assert result.figures

@@ -1,0 +1,8 @@
+"""Benchmark: average-cost table, message model (eqs. 8, 10, 12)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_message_average(benchmark):
+    result = run_experiment_benchmark(benchmark, "t-msg-avg")
+    assert result.rows

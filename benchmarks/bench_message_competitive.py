@@ -1,0 +1,7 @@
+"""Benchmark: competitiveness, message model (Theorems 11-12)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_message_competitive(benchmark):
+    run_experiment_benchmark(benchmark, "t-msg-comp")

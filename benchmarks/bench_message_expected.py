@@ -1,0 +1,8 @@
+"""Benchmark: expected-cost table, message model (eqs. 7, 9, 11)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_message_expected(benchmark):
+    result = run_experiment_benchmark(benchmark, "t-msg-exp")
+    assert result.rows

@@ -1,0 +1,7 @@
+"""Benchmark: multi-object allocation (section 7.2)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_multi_object(benchmark):
+    run_experiment_benchmark(benchmark, "t-multi")

@@ -1,0 +1,7 @@
+"""Benchmark: the modified static methods T1m/T2m (section 7.1)."""
+
+from _util import run_experiment_benchmark
+
+
+def test_threshold_methods(benchmark):
+    run_experiment_benchmark(benchmark, "t-threshold")

@@ -1,0 +1,88 @@
+"""Worst-case audit: measure every competitiveness claim of the paper.
+
+For each algorithm we run the adversarial family that the paper's
+tightness argument implies and report the measured cost ratio against
+the offline optimal algorithm M (a dynamic program with full knowledge
+of the schedule).  The measured ratios should land exactly on the
+claimed factors — and the statics should diverge.
+
+Run:  python examples/adversarial_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import ConnectionCostModel, MessageCostModel, make_algorithm
+from repro.analysis import message as msg_analysis
+from repro.analysis.competitive import measure_competitive_ratio
+from repro.workload import (
+    all_reads,
+    all_writes,
+    sw1_tight_schedule,
+    swk_tight_schedule,
+    threshold_tight_schedule,
+)
+
+CYCLES = 300
+
+
+def audit(label: str, algorithm_name: str, schedule, model, claimed) -> None:
+    measurement = measure_competitive_ratio(
+        make_algorithm(algorithm_name), schedule, model
+    )
+    claim_text = "not competitive" if claimed is None else f"{claimed:.3f}"
+    ratio = measurement.ratio
+    ratio_text = "inf" if ratio == float("inf") else f"{ratio:.3f}"
+    print(f"  {label:34} measured {ratio_text:>8}   claimed {claim_text}")
+
+
+def main() -> None:
+    connection = ConnectionCostModel()
+    print("connection model (section 5.3):")
+    audit("ST1 on all-reads", "st1", all_reads(3_000), connection, None)
+    audit("ST2 on all-writes", "st2", all_writes(3_000), connection, None)
+    for k in (3, 9, 15):
+        audit(
+            f"SW{k} on its tight family",
+            f"sw{k}",
+            swk_tight_schedule(k, CYCLES),
+            connection,
+            float(k + 1),
+        )
+    for m in (3, 9, 15):
+        audit(
+            f"T1_{m} on m-reads-then-write",
+            f"t1_{m}",
+            threshold_tight_schedule(m, CYCLES),
+            connection,
+            float(m + 1),
+        )
+
+    for omega in (0.2, 0.8):
+        model = MessageCostModel(omega)
+        print(f"\nmessage model, omega = {omega} (section 6.4):")
+        audit(
+            "SW1 on alternating r,w",
+            "sw1",
+            sw1_tight_schedule(CYCLES),
+            model,
+            msg_analysis.competitive_factor_sw1(omega),
+        )
+        for k in (3, 9):
+            audit(
+                f"SW{k} on its tight family",
+                f"sw{k}",
+                swk_tight_schedule(k, CYCLES),
+                model,
+                msg_analysis.competitive_factor_swk(k, omega),
+            )
+
+    print(
+        "\nReading: the sliding-window ratios sit exactly on the paper's"
+        "\nfactors (the families realize the lower bounds), while the"
+        "\nstatic methods' ratios grow without bound — the reason the"
+        "\npaper adds T1m/T2m and the SWk family in the first place."
+    )
+
+
+if __name__ == "__main__":
+    main()

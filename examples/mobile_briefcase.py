@@ -1,0 +1,81 @@
+"""Scenario: a whole briefcase of data items on one palmtop.
+
+The paper's introduction lists what one mobile user actually touches:
+airline schedules, weather, quotes, inventory, traffic.  Each item has
+its own read/write mix, so each deserves its own allocation decision —
+the catalog layer (`repro.db`) runs one allocator per item and accounts
+for everything in one place.
+
+We compare three deployment policies over the same request stream:
+
+* subscribe to everything (ST2 everywhere — the "performance first"
+  strawman of section 8.2);
+* on-demand everything (ST1 everywhere);
+* the section-9 advisor: the smallest window within a 10% average-cost
+  budget (k = 9), uniformly.
+
+Run:  python examples/mobile_briefcase.py
+"""
+
+from __future__ import annotations
+
+from repro.costmodels import MessageCostModel
+from repro.db import AdvisorPolicy, MobileDatabase, UniformPolicy
+from repro.workload import CatalogWorkload, ItemRates
+
+DATA_MESSAGE_DOLLARS = 0.08  # the paper's RAM Mobile Data figure
+OMEGA = 0.4
+
+#: The briefcase: (read rate, write rate) per item, requests/hour.
+CATALOG = {
+    "airline_schedule": ItemRates(read_rate=6.0, write_rate=0.5),
+    "weather":          ItemRates(read_rate=4.0, write_rate=2.0),
+    "stock_quotes":     ItemRates(read_rate=3.0, write_rate=25.0),
+    "inventory":        ItemRates(read_rate=10.0, write_rate=8.0),
+    "traffic":          ItemRates(read_rate=12.0, write_rate=30.0),
+}
+
+
+def run_policy(label, policy, schedule) -> float:
+    model = MessageCostModel(OMEGA)
+    database = MobileDatabase(CATALOG.keys(), policy, model)
+    database.run(schedule)
+    dollars = database.total_cost() * DATA_MESSAGE_DOLLARS
+    print(f"\n{label} [{database.policy.describe()}] — "
+          f"${dollars:.2f} total ({database.mean_cost():.4f}/request)")
+    print(f"  {'item':18}{'theta':>7}{'requests':>10}{'$':>9}"
+          f"{'replica?':>10}")
+    for report in database.reports():
+        print(
+            f"  {report.item:18}"
+            f"{report.observed_theta:>7.2f}"
+            f"{report.requests:>10}"
+            f"{report.total_cost * DATA_MESSAGE_DOLLARS:>9.2f}"
+            f"{'yes' if report.current_scheme.mobile_has_copy else 'no':>10}"
+        )
+    return dollars
+
+
+def main() -> None:
+    model = MessageCostModel(OMEGA)
+    workload = CatalogWorkload(CATALOG, seed=2024)
+    schedule = workload.generate(30_000)
+    print(f"briefcase stream: {len(schedule)} requests over "
+          f"{schedule[-1].timestamp:.0f} hours, omega={OMEGA}, "
+          f"${DATA_MESSAGE_DOLLARS}/data message")
+
+    subscribe = run_policy("subscribe-everything", UniformPolicy("st2"), schedule)
+    on_demand = run_policy("on-demand-everything", UniformPolicy("st1"), schedule)
+    advisor = run_policy(
+        "advisor windows", AdvisorPolicy(0.10, model), schedule
+    )
+
+    best_static = min(subscribe, on_demand)
+    print(f"\nthe advisor policy saves ${best_static - advisor:.2f} over the "
+          "better blanket policy — and it never needed the per-item rates.")
+    print("note how it settled per item: read-heavy items end up "
+          "replicated, write-heavy ones on demand.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Scenario: a salesperson's device replicating parts of a catalogue.
+
+Section 7.2's multi-object extension, on the introduction's sales
+workload ("salespeople will access inventory data"): the device touches
+several objects per operation — price lists are read together, stock
+counters are written together by the warehouse, and one popular bundle
+is read jointly with its stock level.
+
+We compute the optimal static allocation two ways (exhaustive argmin,
+as the paper describes for two objects, and our exact min-cut
+generalization), then let the windowed dynamic allocator discover it
+online from the request stream — and re-discover it after the workload
+shifts.
+
+Run:  python examples/multi_object_portfolio.py
+"""
+
+from __future__ import annotations
+
+from repro.core.multi_object import (
+    ExhaustiveStaticOptimizer,
+    MinCutStaticOptimizer,
+    MultiObjectWorkloadSpec,
+    OperationClass,
+    WindowedMultiObjectAllocator,
+    expected_cost,
+)
+from repro.costmodels import ConnectionCostModel
+from repro.workload import MultiObjectWorkload
+
+#: Morning: the salesperson browses prices constantly; the warehouse
+#: writes stock counts; the "bundle" joins a price and a stock object.
+MORNING = MultiObjectWorkloadSpec(
+    {
+        OperationClass.read("price_a", "price_b"): 40.0,   # catalogue page
+        OperationClass.read("price_a"): 10.0,
+        OperationClass.read("stock_a"): 6.0,
+        OperationClass.write("stock_a", "stock_b"): 30.0,  # warehouse feed
+        OperationClass.write("price_a"): 2.0,
+        OperationClass.read("price_b", "stock_b"): 8.0,    # popular bundle
+    }
+)
+
+#: Evening: a price-update batch runs; the salesperson is done browsing.
+EVENING = MultiObjectWorkloadSpec(
+    {
+        OperationClass.write("price_a", "price_b"): 45.0,
+        OperationClass.read("price_a"): 3.0,
+        OperationClass.read("stock_a"): 20.0,              # stock checks
+        OperationClass.write("stock_a", "stock_b"): 4.0,
+        OperationClass.read("price_b", "stock_b"): 2.0,
+    }
+)
+
+
+def describe(allocation) -> str:
+    replicated = sorted(name for name, scheme in allocation.items()
+                        if scheme.mobile_has_copy)
+    return "{" + ", ".join(replicated) + "} replicated" if replicated else "nothing replicated"
+
+
+def main() -> None:
+    model = ConnectionCostModel()
+    objects = sorted(MORNING.objects)
+    print(f"objects: {objects}\n")
+
+    print("static optimization of the MORNING workload:")
+    exhaustive_allocation, exhaustive_cost = ExhaustiveStaticOptimizer(
+        model
+    ).optimize(MORNING)
+    mincut_allocation, mincut_cost = MinCutStaticOptimizer(model).optimize(MORNING)
+    print(f"  exhaustive (2^{len(objects)} candidates): "
+          f"{describe(exhaustive_allocation)}, EXP={exhaustive_cost:.4f}")
+    print(f"  min-cut (polynomial):          "
+          f"{describe(mincut_allocation)}, EXP={mincut_cost:.4f}")
+    assert abs(exhaustive_cost - mincut_cost) < 1e-9
+
+    # What would naive all-or-nothing allocations cost?
+    one = {name: list(exhaustive_allocation.values())[0].__class__.ONE_COPY
+           for name in objects}
+    two = {name: list(exhaustive_allocation.values())[0].__class__.TWO_COPIES
+           for name in objects}
+    print(f"  ST1 (replicate nothing):       EXP={expected_cost(MORNING, one, model):.4f}")
+    print(f"  ST2 (replicate everything):    EXP={expected_cost(MORNING, two, model):.4f}")
+
+    print("\nwindowed dynamic allocator (section 7.2) across a shift:")
+    allocator = WindowedMultiObjectAllocator(
+        objects, window_size=300, reallocation_period=50, cost_model=model
+    )
+    morning_cost = allocator.run(MultiObjectWorkload(MORNING, seed=1).generate(5_000))
+    print(f"  after morning : {describe(allocator.allocation)} "
+          f"(cost rate {morning_cost / 5_000:.4f}, "
+          f"static optimum {exhaustive_cost:.4f})")
+
+    _, evening_optimum = MinCutStaticOptimizer(model).optimize(EVENING)
+    evening_cost = allocator.run(MultiObjectWorkload(EVENING, seed=2).generate(5_000))
+    print(f"  after evening : {describe(allocator.allocation)} "
+          f"(cost rate {evening_cost / 5_000:.4f}, "
+          f"static optimum {evening_optimum:.4f})")
+    print("\nthe allocator re-optimized itself when the mix shifted — no "
+          "frequencies were given in advance (the paper's closing point).")
+
+
+if __name__ == "__main__":
+    main()

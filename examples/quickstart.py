@@ -1,0 +1,74 @@
+"""Quickstart: the public API in five minutes.
+
+A mobile computer reads a data item; the stationary database computer
+writes it.  We compare the paper's allocation methods under both cost
+models, check the measurements against the closed-form analysis, and
+ask the window-size advisor what the conclusion section would pick.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ConnectionCostModel,
+    MessageCostModel,
+    OfflineOptimal,
+    make_algorithm,
+    replay,
+)
+from repro.analysis import connection as conn_analysis
+from repro.analysis.window_choice import recommend_window
+from repro.workload import bernoulli_schedule
+
+
+def main() -> None:
+    # --- 1. Build a workload: 30% writes (theta), 20k requests. ------
+    theta = 0.3
+    schedule = bernoulli_schedule(theta, 20_000, rng=np.random.default_rng(42))
+    print(f"workload: {len(schedule)} requests, "
+          f"{schedule.write_fraction:.1%} writes\n")
+
+    # --- 2. Replay the allocation methods in the connection model. ---
+    model = ConnectionCostModel()
+    print("connection model (cost = number of cellular connections):")
+    print(f"{'algorithm':12} {'mean cost/request':>18} {'analytic EXP':>14}")
+    for name in ("st1", "st2", "sw1", "sw9", "t1_9"):
+        result = replay(make_algorithm(name), schedule, model)
+        if name == "st1":
+            exact = conn_analysis.expected_cost_st1(theta)
+        elif name == "st2":
+            exact = conn_analysis.expected_cost_st2(theta)
+        elif name == "t1_9":
+            exact = conn_analysis.expected_cost_t1m(theta, 9)
+        else:
+            exact = conn_analysis.expected_cost_swk(theta, int(name[2:]))
+        print(f"{name:12} {result.mean_cost:>18.4f} {exact:>14.4f}")
+
+    # --- 3. The same workload in the message model. -------------------
+    omega = 0.4  # a control message costs 40% of a data message
+    message_model = MessageCostModel(omega)
+    print(f"\nmessage model (omega = {omega}):")
+    for name in ("st1", "st2", "sw1", "sw9"):
+        result = replay(make_algorithm(name), schedule, message_model)
+        print(f"{name:12} {result.mean_cost:>18.4f}")
+
+    # --- 4. How far from optimal?  Ask the offline algorithm. ---------
+    offline = OfflineOptimal(model)
+    optimal = offline.optimal_cost(schedule)
+    online = replay(make_algorithm("sw9"), schedule, model).total_cost
+    print(f"\nSW9 paid {online:.0f} connections; an omniscient allocator "
+          f"would pay {optimal:.0f} (ratio {online / optimal:.2f}, "
+          f"guaranteed <= {conn_analysis.competitive_factor_swk(9):.0f})")
+
+    # --- 5. The conclusion-section advisor. ---------------------------
+    pick = recommend_window(max_average_excess=0.10, model="connection")
+    print(f"\nadvisor: for a 10% average-cost budget pick k = {pick.k} "
+          f"(AVG {pick.average_cost:.4f}, "
+          f"{pick.competitive_factor:.0f}-competitive)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scenario: a route-planning car computer and the traffic database.
+
+The paper's introduction: "route-planning computers in cars will access
+traffic information".  Here the *distributed protocol* itself runs: a
+mobile computer and a stationary computer exchange real messages over a
+simulated wireless link with latency, using the SW9 sliding-window
+protocol of section 4 — ownership of the request window migrates
+between the nodes, piggybacked on data messages.
+
+The run is charged per connection (the cellular model: the paper quotes
+$0.35/minute).  We verify the protocol kept the car's replica coherent
+and show the message/connection ledger.
+
+Run:  python examples/road_traffic.py
+"""
+
+from __future__ import annotations
+
+from repro import ConnectionCostModel
+from repro.analysis import connection as conn_analysis
+from repro.sim import simulate_protocol
+from repro.workload import PoissonWorkload
+
+CONNECTION_DOLLARS = 0.35  # one minimum-length cellular connection
+
+#: Rush hour: the car checks congestion constantly while the traffic
+#: service posts occasional incident updates.
+RUSH_HOUR = PoissonWorkload(read_rate=20.0, write_rate=4.0, seed=11)
+#: Overnight: sensors keep writing, nobody is driving.
+OVERNIGHT = PoissonWorkload(read_rate=0.5, write_rate=6.0, seed=12)
+
+
+def run_period(label: str, workload: PoissonWorkload, hours: float) -> None:
+    schedule = workload.generate_until(hours * 60.0)  # minutes of traffic
+    result = simulate_protocol("sw9", schedule, latency=0.005)
+    result.verify_consistency(schedule)  # every read saw the latest update
+
+    model = ConnectionCostModel()
+    cost = result.total_cost(model)
+    traffic = result.ledger.total_breakdown()
+    exact = conn_analysis.expected_cost_swk(workload.theta, 9)
+    print(f"{label} ({hours:.0f}h, theta={workload.theta:.2f}):")
+    print(f"  relevant requests : {len(schedule)} "
+          f"({sum(1 for r in schedule if r.is_read)} reads)")
+    print(f"  connections       : {traffic.connections} "
+          f"(${cost * CONNECTION_DOLLARS:.2f} at "
+          f"${CONNECTION_DOLLARS}/connection)")
+    print(f"  data messages     : {traffic.data_messages}, "
+          f"control messages: {traffic.control_messages}")
+    print(f"  cost per request  : {cost / len(schedule):.4f} "
+          f"(analysis predicts {exact:.4f})")
+    print(f"  replica consistent: yes (all reads saw the latest write)\n")
+
+
+def main() -> None:
+    print("SW9 protocol simulation — car navigation vs traffic service\n")
+    run_period("rush hour", RUSH_HOUR, hours=2)
+    run_period("overnight", OVERNIGHT, hours=6)
+
+    # What would the statics have paid?  theta tells us directly.
+    for label, workload in (("rush hour", RUSH_HOUR), ("overnight", OVERNIGHT)):
+        theta = workload.theta
+        st1 = conn_analysis.expected_cost_st1(theta)
+        st2 = conn_analysis.expected_cost_st2(theta)
+        sw9 = conn_analysis.expected_cost_swk(theta, 9)
+        best = min(("ST1", st1), ("ST2", st2), key=lambda pair: pair[1])
+        print(f"{label}: EXP ST1={st1:.3f}, ST2={st2:.3f}, SW9={sw9:.3f} "
+              f"-> best static is {best[0]}; SW9 tracks it without "
+              "knowing theta in advance")
+
+
+if __name__ == "__main__":
+    main()

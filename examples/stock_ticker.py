@@ -1,0 +1,97 @@
+"""Scenario: an investor's palmtop tracking a financial instrument.
+
+The paper's introduction motivates exactly this workload: "Investors
+will access prices of financial instruments" over expensive wireless
+links ("RAM Mobile Data Corp. charges on average $0.08 per data
+message").  The instrument's price is written at the exchange (the
+stationary computer); the investor reads it from a palmtop (the mobile
+computer).  The read/write mix swings across the day:
+
+* pre-market:   the price barely moves, the investor checks often;
+* market hours: quotes update constantly, the investor checks rarely;
+* after-hours:  occasional checks, occasional updates.
+
+A static allocation is wrong for part of every day; the sliding-window
+method adapts.  We price everything in dollars with the paper's $0.08
+data-message figure and a $0.03 control message (omega ~ 0.4).
+
+Run:  python examples/stock_ticker.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MessageCostModel, make_algorithm, replay
+from repro.analysis import message as msg_analysis
+from repro.workload import RegimePeriod, RegimeWorkload
+
+DATA_MESSAGE_DOLLARS = 0.08
+OMEGA = 0.4  # control message ~ $0.03
+
+#: (name, theta = write fraction, relevant requests in the period)
+TRADING_DAY = [
+    ("pre-market ", 0.10, 2_000),   # reads dominate: hold a replica
+    ("market hours", 0.85, 6_000),  # writes dominate: drop the replica
+    ("after hours", 0.45, 2_000),   # mixed
+]
+
+
+def main() -> None:
+    workload = RegimeWorkload(
+        [RegimePeriod(theta, length) for _name, theta, length in TRADING_DAY],
+        seed=7,
+    )
+    segments = workload.generate_segments()
+    model = MessageCostModel(OMEGA)
+    algorithms = {name: make_algorithm(name) for name in
+                  ("st1", "st2", "sw1", "sw9")}
+    for algorithm in algorithms.values():
+        algorithm.reset()
+
+    print("per-period cost in dollars "
+          f"(data message ${DATA_MESSAGE_DOLLARS:.2f}, omega {OMEGA}):\n")
+    header = f"{'period':14}{'theta':>7}" + "".join(
+        f"{name:>10}" for name in algorithms
+    )
+    print(header)
+    totals = dict.fromkeys(algorithms, 0.0)
+    for (name, theta, _length), segment in zip(TRADING_DAY, segments):
+        row = f"{name:14}{theta:>7.2f}"
+        for algorithm_name, algorithm in algorithms.items():
+            # fresh=False: the algorithm lives across periods, exactly
+            # like the software on a real palmtop would.
+            result = replay(algorithm, segment, model, fresh=False)
+            dollars = result.total_cost * DATA_MESSAGE_DOLLARS
+            totals[algorithm_name] += dollars
+            row += f"{dollars:>10.2f}"
+        print(row)
+    print("-" * len(header))
+    print(f"{'whole day':21}" + "".join(
+        f"{totals[name]:>10.2f}" for name in algorithms
+    ))
+
+    best = min(totals, key=totals.get)
+    static_best = min(totals["st1"], totals["st2"])
+    savings = static_best - totals[best]
+    print(f"\ncheapest method: {best} "
+          f"(${savings:.2f}/day cheaper than the best static choice)")
+
+    # Where does each period's theta fall in Figure 1?
+    print("\nTheorem 6 regions for each period (Figure 1):")
+    upper = msg_analysis.st1_dominance_threshold(OMEGA)
+    lower = msg_analysis.st2_dominance_threshold(OMEGA)
+    for name, theta, _length in TRADING_DAY:
+        if theta > upper:
+            region = "ST1 (on-demand)"
+        elif theta < lower:
+            region = "ST2 (subscribe)"
+        else:
+            region = "SW1 (adaptive)"
+        print(f"  {name:14} theta={theta:.2f} -> {region}")
+    print(f"  (boundaries at theta={lower:.3f} and theta={upper:.3f}; no "
+          "single static choice covers the whole day)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP 660 editable installs (which build a wheel)
+fail.  ``pip install -e .`` falls back to ``setup.py develop`` when
+this file exists, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""Reproduction of Huang, Sistla & Wolfson,
+"Data Replication for Mobile Computers" (ACM SIGMOD 1994).
+
+The library implements the paper's data-allocation algorithms for a
+mobile computer (MC) accessing an online database at a stationary
+computer (SC), the two wireless cost models the paper analyzes, the
+full closed-form analysis (expected cost, average expected cost,
+competitiveness), a discrete-event protocol simulator, and an
+experiment harness that regenerates every figure and quantitative
+claim of the paper.
+
+Quickstart::
+
+    from repro import make_algorithm, ConnectionCostModel, replay
+    from repro.workload import bernoulli_schedule
+
+    algorithm = make_algorithm("sw9")
+    schedule = bernoulli_schedule(theta=0.3, length=10_000)
+    result = replay(algorithm, schedule, ConnectionCostModel())
+    print(result.mean_cost)   # ~ EXP_SW9(0.3)
+
+See ``examples/`` for realistic scenarios and ``DESIGN.md`` /
+``EXPERIMENTS.md`` for the reproduction inventory.
+"""
+
+from ._version import __version__
+from .core import (
+    AllocationAlgorithm,
+    OfflineOptimal,
+    ReplayResult,
+    SlidingWindow,
+    SlidingWindowOne,
+    StaticOneCopy,
+    StaticTwoCopies,
+    ThresholdOneCopy,
+    ThresholdTwoCopies,
+    make_algorithm,
+    replay,
+    replay_many,
+)
+from .costmodels import ConnectionCostModel, MessageCostModel
+from .types import (
+    READ,
+    WRITE,
+    AllocationScheme,
+    Operation,
+    Request,
+    Schedule,
+)
+
+__all__ = [
+    "__version__",
+    # algorithms
+    "AllocationAlgorithm",
+    "StaticOneCopy",
+    "StaticTwoCopies",
+    "SlidingWindow",
+    "SlidingWindowOne",
+    "ThresholdOneCopy",
+    "ThresholdTwoCopies",
+    "OfflineOptimal",
+    "make_algorithm",
+    # execution
+    "replay",
+    "replay_many",
+    "ReplayResult",
+    # cost models
+    "ConnectionCostModel",
+    "MessageCostModel",
+    # domain types
+    "Operation",
+    "Request",
+    "Schedule",
+    "AllocationScheme",
+    "READ",
+    "WRITE",
+]

@@ -1,0 +1,53 @@
+"""Closed-form analysis layer: every equation of the paper.
+
+Submodules:
+
+* :mod:`~repro.analysis.majority` — the window-majority probability
+  :math:`\\pi_k(\\theta)` (equation 4) and the deallocation-event
+  probability behind equation 11.
+* :mod:`~repro.analysis.connection` — expected and average expected
+  costs plus competitiveness factors in the connection model
+  (section 5, equations 2–6).
+* :mod:`~repro.analysis.message` — the same in the message model
+  (section 6, equations 7–12).
+* :mod:`~repro.analysis.dominance` — the Figure-1 superiority regions.
+* :mod:`~repro.analysis.window_choice` — Corollaries 3–4 and the
+  Figure-2 threshold curve ``k₀(ω)``; window-size advisors.
+* :mod:`~repro.analysis.competitive` — empirical competitive-ratio
+  measurement against the offline optimum.
+* :mod:`~repro.analysis.numerics` — quadrature cross-checks of every
+  AVG formula.
+"""
+
+from . import connection, message
+from .competitive import CompetitiveMeasurement, measure_competitive_ratio
+from .dominance import (
+    DominanceRegion,
+    best_expected_algorithm,
+    dominance_grid,
+    st1_sw1_boundary,
+    st2_sw1_boundary,
+)
+from .majority import deallocation_probability, pi_k
+from .window_choice import (
+    first_odd_k_beating_sw1,
+    k0_threshold,
+    recommend_window,
+)
+
+__all__ = [
+    "connection",
+    "message",
+    "pi_k",
+    "deallocation_probability",
+    "DominanceRegion",
+    "best_expected_algorithm",
+    "dominance_grid",
+    "st1_sw1_boundary",
+    "st2_sw1_boundary",
+    "k0_threshold",
+    "first_odd_k_beating_sw1",
+    "recommend_window",
+    "CompetitiveMeasurement",
+    "measure_competitive_ratio",
+]

@@ -1,0 +1,134 @@
+"""Closed forms for the connection cost model (section 5).
+
+Expected cost per relevant request, as a function of the write
+fraction θ (equations 2 and 5):
+
+* ``EXP_ST1(θ) = 1 - θ``            — every read is remote.
+* ``EXP_ST2(θ) = θ``                — every write is propagated.
+* ``EXP_SWk(θ) = θ·π_k + (1-θ)(1-π_k)``  (Theorem 1).
+* ``EXP_T1m(θ) = (1-θ) + (1-θ)^m (2θ-1)`` (section 7.1).
+* ``EXP_T2m(θ) = θ + θ^m (1-2θ)``   — the symmetric dual.
+
+Average expected cost, ``AVG = ∫₀¹ EXP(θ) dθ`` (equations 3 and 6):
+
+* ``AVG_ST1 = AVG_ST2 = 1/2``.
+* ``AVG_SWk = 1/4 + 1/(4(k+2))`` (Theorem 3).
+
+Competitiveness (section 5.3): ST1/ST2 are not competitive; SWk is
+tightly (k+1)-competitive (Theorem 4); T1m/T2m are (m+1)-competitive
+(section 7.1).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidParameterError
+from ..types import ensure_odd_window, ensure_probability
+from .majority import pi_k
+
+__all__ = [
+    "expected_cost_st1",
+    "expected_cost_st2",
+    "expected_cost_swk",
+    "expected_cost_t1m",
+    "expected_cost_t2m",
+    "average_cost_st1",
+    "average_cost_st2",
+    "average_cost_swk",
+    "competitive_factor_swk",
+    "competitive_factor_threshold",
+    "best_static_expected",
+    "optimum_average_cost",
+]
+
+#: The k→∞ limit of AVG_SWk; the "optimum" the paper's 6%/10% claims
+#: are measured against (equation 6).
+OPTIMUM_AVERAGE = 0.25
+
+
+def expected_cost_st1(theta: float) -> float:
+    """EXP_ST1(θ) = 1 - θ (equation 2)."""
+    return 1.0 - ensure_probability(theta)
+
+
+def expected_cost_st2(theta: float) -> float:
+    """EXP_ST2(θ) = θ (equation 2)."""
+    return ensure_probability(theta)
+
+
+def expected_cost_swk(theta: float, k: int) -> float:
+    """EXP_SWk(θ) = θ·π_k(θ) + (1-θ)(1-π_k(θ)) (Theorem 1, eq. 5).
+
+    A request costs one connection exactly when it is a write hitting a
+    replica (probability θ·π_k) or a read finding none ((1-θ)(1-π_k)).
+    """
+    theta = ensure_probability(theta)
+    majority_reads = pi_k(theta, k)
+    return theta * majority_reads + (1.0 - theta) * (1.0 - majority_reads)
+
+
+def expected_cost_t1m(theta: float, m: int) -> float:
+    """EXP_T1m(θ) = (1-θ) + (1-θ)^m (2θ-1) (section 7.1).
+
+    The second term is the "price of competitiveness" over ST1: the MC
+    holds a replica exactly when the last m requests were all reads
+    (probability (1-θ)^m), turning those reads free but writes costly.
+    """
+    theta = ensure_probability(theta)
+    if m < 1:
+        raise InvalidParameterError(f"m must be >= 1, got {m}")
+    return (1.0 - theta) + (1.0 - theta) ** m * (2.0 * theta - 1.0)
+
+
+def expected_cost_t2m(theta: float, m: int) -> float:
+    """EXP_T2m(θ) = θ + θ^m (1-2θ): the mirror image of T1m."""
+    theta = ensure_probability(theta)
+    if m < 1:
+        raise InvalidParameterError(f"m must be >= 1, got {m}")
+    return theta + theta**m * (1.0 - 2.0 * theta)
+
+
+def average_cost_st1() -> float:
+    """AVG_ST1 = 1/2 (equation 3)."""
+    return 0.5
+
+
+def average_cost_st2() -> float:
+    """AVG_ST2 = 1/2 (equation 3)."""
+    return 0.5
+
+
+def average_cost_swk(k: int) -> float:
+    """AVG_SWk = 1/4 + 1/(4(k+2)) (Theorem 3, equation 6).
+
+    Strictly decreasing in k; within 6% of the 1/4 optimum at k = 15.
+    """
+    ensure_odd_window(k)
+    return 0.25 + 1.0 / (4.0 * (k + 2))
+
+
+def competitive_factor_swk(k: int) -> float:
+    """SWk is tightly (k+1)-competitive (Theorem 4)."""
+    ensure_odd_window(k)
+    return float(k + 1)
+
+
+def competitive_factor_threshold(m: int) -> float:
+    """T1m and T2m are (m+1)-competitive (section 7.1)."""
+    if m < 1:
+        raise InvalidParameterError(f"m must be >= 1, got {m}")
+    return float(m + 1)
+
+
+def best_static_expected(theta: float) -> float:
+    """min(EXP_ST1, EXP_ST2) = min(θ, 1-θ).
+
+    Theorem 2 states EXP_SWk never beats this when θ is known: the
+    right static method is optimal for a fixed request mix.
+    """
+    theta = ensure_probability(theta)
+    return min(theta, 1.0 - theta)
+
+
+def optimum_average_cost() -> float:
+    """The k→∞ limit of AVG_SWk: 1/4."""
+    return OPTIMUM_AVERAGE

@@ -1,0 +1,118 @@
+"""Figure 1: superiority coverage in the message model (Theorem 6).
+
+For a known, fixed θ the best expected cost among ST1, ST2 and SW1
+depends on where (θ, ω) falls:
+
+* ``θ > (1+ω)/(1+2ω)``            → ST1 wins (writes dominate; keep no
+  replica, pay only the rare remote reads);
+* ``θ < 2ω/(1+2ω)``               → ST2 wins (reads dominate; keep the
+  replica, pay only the rare propagated writes);
+* ``2ω/(1+2ω) < θ < (1+ω)/(1+2ω)`` → SW1 wins (mixed traffic; follow
+  the last request).
+
+At ω = 0 control messages are free and SW1 covers the whole open
+interval; at ω = 1 the two boundary curves meet at θ = 2/3 and the SW1
+region vanishes — exactly the wedge shape of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..types import ensure_probability
+from . import message
+
+__all__ = [
+    "DominanceRegion",
+    "best_expected_algorithm",
+    "st1_sw1_boundary",
+    "st2_sw1_boundary",
+    "dominance_grid",
+]
+
+
+class DominanceRegion(enum.Enum):
+    """Which algorithm has the lowest expected cost at a (θ, ω) point."""
+
+    ST1 = "st1"
+    ST2 = "st2"
+    SW1 = "sw1"
+    BOUNDARY = "boundary"
+
+
+def st1_sw1_boundary(omega: float) -> float:
+    """The upper boundary curve θ = (1+ω)/(1+2ω) of Figure 1."""
+    return message.st1_dominance_threshold(omega)
+
+
+def st2_sw1_boundary(omega: float) -> float:
+    """The lower boundary curve θ = 2ω/(1+2ω) of Figure 1."""
+    return message.st2_dominance_threshold(omega)
+
+
+def best_expected_algorithm(
+    theta: float,
+    omega: float,
+    tolerance: float = 1e-12,
+) -> DominanceRegion:
+    """Classify a (θ, ω) point per Theorem 6.
+
+    Points within ``tolerance`` of a boundary (where two algorithms tie)
+    are reported as :attr:`DominanceRegion.BOUNDARY`.
+    """
+    theta = ensure_probability(theta)
+    upper = st1_sw1_boundary(omega)
+    lower = st2_sw1_boundary(omega)
+    if theta > upper + tolerance:
+        return DominanceRegion.ST1
+    if theta < lower - tolerance:
+        return DominanceRegion.ST2
+    if lower + tolerance < theta < upper - tolerance:
+        return DominanceRegion.SW1
+    return DominanceRegion.BOUNDARY
+
+
+@dataclass(frozen=True)
+class DominanceCell:
+    """One grid cell of the Figure-1 reproduction."""
+
+    theta: float
+    omega: float
+    analytic_winner: DominanceRegion
+    expected_costs: Tuple[Tuple[str, float], ...]
+
+    @property
+    def numeric_winner(self) -> str:
+        """Name of the argmin of the evaluated expected costs."""
+        return min(self.expected_costs, key=lambda pair: pair[1])[0]
+
+
+def dominance_grid(
+    thetas: Sequence[float],
+    omegas: Sequence[float],
+) -> List[DominanceCell]:
+    """Evaluate the three expected costs over a (θ, ω) grid.
+
+    Each cell carries both the analytic classification (the threshold
+    formulas) and the raw expected costs, so the Figure-1 experiment
+    can verify that the two agree everywhere off the boundaries.
+    """
+    cells: List[DominanceCell] = []
+    for omega in omegas:
+        for theta in thetas:
+            costs = (
+                ("st1", message.expected_cost_st1(theta, omega)),
+                ("st2", message.expected_cost_st2(theta, omega)),
+                ("sw1", message.expected_cost_sw1(theta, omega)),
+            )
+            cells.append(
+                DominanceCell(
+                    theta=float(theta),
+                    omega=float(omega),
+                    analytic_winner=best_expected_algorithm(theta, omega),
+                    expected_costs=costs,
+                )
+            )
+    return cells

@@ -1,0 +1,89 @@
+"""Window-majority probabilities (equation 4 and the eq. 11 ω-term).
+
+With requests i.i.d. Bernoulli(θ) (the merged Poisson stream), the
+probability that the mobile computer holds a copy under SWk is the
+probability that at most ``n`` of the last ``k = 2n+1`` requests were
+writes:
+
+.. math::
+
+   \\pi_k(\\theta) \\;=\\; \\sum_{j=0}^{n} \\binom{k}{j}
+       \\theta^j (1-\\theta)^{k-j}
+
+The message-model expected cost of SWk (equation 11) additionally
+charges ω for each *deallocation event*: a write arriving while the
+window holds exactly ``n`` writes whose expiring (oldest) slot is a
+read.  By independence of the window slots that event has probability
+
+.. math::
+
+   \\theta \\cdot (1-\\theta) \\cdot \\binom{2n}{n}
+       \\theta^{n} (1-\\theta)^{n}
+   \\;=\\; \\binom{2n}{n} \\theta^{n+1} (1-\\theta)^{n+1}.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from ..exceptions import InvalidParameterError
+from ..types import ensure_odd_window, ensure_probability
+
+__all__ = ["pi_k", "deallocation_probability", "half_window"]
+
+
+def half_window(k: int) -> int:
+    """``n`` such that ``k = 2n + 1``."""
+    ensure_odd_window(k)
+    return (k - 1) // 2
+
+
+def pi_k(theta: float, k: int) -> float:
+    """π_k(θ): probability the MC holds a copy under SWk (equation 4).
+
+    Equals the probability that a Binomial(k, θ) draw — the number of
+    writes among the last k requests — is at most ``n = (k-1)/2``.
+    """
+    theta = ensure_probability(theta)
+    n = half_window(k)
+    if theta == 0.0:
+        return 1.0
+    if theta == 1.0:
+        return 0.0
+    # Evaluate the binomial CDF directly; k is small in practice
+    # (the paper considers k up to ~100) so exact summation is both
+    # faster and more precise than a regularized-beta call.
+    one_minus = 1.0 - theta
+    total = 0.0
+    for j in range(n + 1):
+        total += comb(k, j) * theta**j * one_minus ** (k - j)
+    return min(1.0, total)
+
+
+def deallocation_probability(theta: float, k: int) -> float:
+    """Per-request probability of an SWk deallocation event (k > 1).
+
+    This is the coefficient of ω in equation 11: the arriving request
+    is a write (θ), the expiring window slot is a read (1-θ), and the
+    2n slots in between hold exactly n writes.
+    """
+    theta = ensure_probability(theta)
+    n = half_window(k)
+    if k == 1:
+        raise InvalidParameterError(
+            "the deallocation-event probability of equation 11 is defined "
+            "for k > 1; SW1 uses delete-requests instead (Theorem 5)"
+        )
+    return comb(2 * n, n) * theta ** (n + 1) * (1.0 - theta) ** (n + 1)
+
+
+def allocation_probability(theta: float, k: int) -> float:
+    """Per-request probability of an SWk allocation event (k > 1).
+
+    Symmetric to :func:`deallocation_probability`: the arriving request
+    is a read, the expiring slot is a write, and the 2n slots in
+    between hold exactly n writes.  Equal to the deallocation
+    probability — in steady state allocations and deallocations happen
+    at the same rate, which is a property-based test target.
+    """
+    return deallocation_probability(theta, k)

@@ -1,0 +1,150 @@
+"""Closed forms for the message cost model (section 6).
+
+Expected cost per relevant request (equations 7, 9, 11):
+
+* ``EXP_ST1(θ) = (1+ω)(1-θ)``  — remote read = control + data.
+* ``EXP_ST2(θ) = θ``            — every write propagates one data msg.
+* ``EXP_SW1(θ) = θ(1-θ)(1+2ω)`` (Theorem 5) — SW1 pays (1+ω) on a
+  read following a write (probability θ(1-θ), remote read) and ω on a
+  write following a read (same probability, delete-request).
+* ``EXP_SWk(θ) = θ·π_k + (1+ω)(1-θ)(1-π_k) + ω·C(2n,n)θ^{n+1}(1-θ)^{n+1}``
+  for k>1 (Theorem 8, equation 11) — the last term charges the
+  deallocation notice.
+
+Average expected cost (equations 8, 10, 12):
+
+* ``AVG_ST1 = (1+ω)/2``, ``AVG_ST2 = 1/2``.
+* ``AVG_SW1 = (1+2ω)/6`` (Theorem 7).
+* ``AVG_SWk = 1/4 + 1/(4(k+2)) + ω·[1/8 + 3/(8(k+2)) + 1/(4k(k+2))]``
+  (Theorem 10, equation 12), with infimum ``1/4 + ω/8`` (Corollary 2).
+
+Competitiveness (section 6.4): statics not competitive; SW1 tightly
+(1+2ω)-competitive (Theorem 11); SWk (k>1) tightly
+((1+ω/2)(k+1)+ω)-competitive (Theorem 12).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidParameterError
+from ..types import ensure_odd_window, ensure_probability
+from .majority import deallocation_probability, pi_k
+
+__all__ = [
+    "ensure_omega",
+    "expected_cost_st1",
+    "expected_cost_st2",
+    "expected_cost_sw1",
+    "expected_cost_swk",
+    "average_cost_st1",
+    "average_cost_st2",
+    "average_cost_sw1",
+    "average_cost_swk",
+    "average_cost_swk_lower_bound",
+    "competitive_factor_sw1",
+    "competitive_factor_swk",
+    "st1_dominance_threshold",
+    "st2_dominance_threshold",
+]
+
+
+def ensure_omega(omega: float) -> float:
+    """Validate the control/data cost ratio ω ∈ [0, 1]."""
+    omega = float(omega)
+    if not 0.0 <= omega <= 1.0:
+        raise InvalidParameterError(f"omega must be in [0, 1], got {omega!r}")
+    return omega
+
+
+def expected_cost_st1(theta: float, omega: float) -> float:
+    """EXP_ST1(θ) = (1+ω)(1-θ) (equation 7)."""
+    return (1.0 + ensure_omega(omega)) * (1.0 - ensure_probability(theta))
+
+
+def expected_cost_st2(theta: float, omega: float = 0.0) -> float:
+    """EXP_ST2(θ) = θ (equation 7); ω accepted for signature symmetry."""
+    ensure_omega(omega)
+    return ensure_probability(theta)
+
+
+def expected_cost_sw1(theta: float, omega: float) -> float:
+    """EXP_SW1(θ) = θ(1-θ)(1+2ω) (Theorem 5, equation 9)."""
+    theta = ensure_probability(theta)
+    return theta * (1.0 - theta) * (1.0 + 2.0 * ensure_omega(omega))
+
+
+def expected_cost_swk(theta: float, k: int, omega: float) -> float:
+    """EXP_SWk(θ) for k > 1 (Theorem 8, equation 11)."""
+    theta = ensure_probability(theta)
+    omega = ensure_omega(omega)
+    ensure_odd_window(k)
+    if k == 1:
+        raise InvalidParameterError(
+            "equation 11 applies to k > 1; use expected_cost_sw1 for SW1"
+        )
+    majority_reads = pi_k(theta, k)
+    propagated_writes = theta * majority_reads
+    remote_reads = (1.0 + omega) * (1.0 - theta) * (1.0 - majority_reads)
+    deallocations = omega * deallocation_probability(theta, k)
+    return propagated_writes + remote_reads + deallocations
+
+
+def average_cost_st1(omega: float) -> float:
+    """AVG_ST1 = (1+ω)/2 (equation 8)."""
+    return (1.0 + ensure_omega(omega)) / 2.0
+
+
+def average_cost_st2(omega: float = 0.0) -> float:
+    """AVG_ST2 = 1/2 (equation 8)."""
+    ensure_omega(omega)
+    return 0.5
+
+
+def average_cost_sw1(omega: float) -> float:
+    """AVG_SW1 = (1+2ω)/6 (Theorem 7, equation 10)."""
+    return (1.0 + 2.0 * ensure_omega(omega)) / 6.0
+
+
+def average_cost_swk(k: int, omega: float) -> float:
+    """AVG_SWk for k > 1 (Theorem 10, equation 12)."""
+    ensure_odd_window(k)
+    omega = ensure_omega(omega)
+    if k == 1:
+        raise InvalidParameterError(
+            "equation 12 applies to k > 1; use average_cost_sw1 for SW1"
+        )
+    base = 0.25 + 1.0 / (4.0 * (k + 2))
+    overhead = 0.125 + 3.0 / (8.0 * (k + 2)) + 1.0 / (4.0 * k * (k + 2))
+    return base + omega * overhead
+
+
+def average_cost_swk_lower_bound(omega: float) -> float:
+    """Corollary 2: AVG_SWk > 1/4 + ω/8 for every k > 1."""
+    return 0.25 + ensure_omega(omega) / 8.0
+
+
+def competitive_factor_sw1(omega: float) -> float:
+    """SW1 is tightly (1+2ω)-competitive (Theorem 11)."""
+    return 1.0 + 2.0 * ensure_omega(omega)
+
+
+def competitive_factor_swk(k: int, omega: float) -> float:
+    """SWk (k > 1) is tightly ((1+ω/2)(k+1)+ω)-competitive (Theorem 12)."""
+    ensure_odd_window(k)
+    omega = ensure_omega(omega)
+    if k == 1:
+        raise InvalidParameterError(
+            "Theorem 12 applies to k > 1; use competitive_factor_sw1 for SW1"
+        )
+    return (1.0 + omega / 2.0) * (k + 1) + omega
+
+
+def st1_dominance_threshold(omega: float) -> float:
+    """Theorem 6: ST1 has the best expected cost iff θ > (1+ω)/(1+2ω)."""
+    omega = ensure_omega(omega)
+    return (1.0 + omega) / (1.0 + 2.0 * omega)
+
+
+def st2_dominance_threshold(omega: float) -> float:
+    """Theorem 6: ST2 has the best expected cost iff θ < 2ω/(1+2ω)."""
+    omega = ensure_omega(omega)
+    return 2.0 * omega / (1.0 + 2.0 * omega)

@@ -1,0 +1,332 @@
+"""The section-9 decision procedure: which method should a user run?
+
+The paper's conclusion lays out the choice:
+
+* θ known and fixed → the best *expected cost* method: the right
+  static (connection: ST1 iff θ > 1/2; message: Theorem 6's regions),
+  upgraded to T1m/T2m when a worst-case bound is also required
+  ("we think that an allocation method should be chosen to minimize
+  the expected cost, provided that it has some bound on the worst
+  case");
+* θ unknown or drifting → a sliding window sized by the
+  average-cost/competitiveness trade-off (connection), or by
+  Corollaries 3–4 (message: SW1 for ω ≤ 0.4, larger windows above).
+
+:func:`recommend_method` encodes that procedure and returns the chosen
+algorithm name plus the quantitative rationale;
+:func:`recommend_for_trace` first profiles a recorded trace
+(:mod:`repro.workload.trace`) to decide which branch applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..costmodels.base import CostModel
+from ..costmodels.connection import ConnectionCostModel
+from ..costmodels.message import MessageCostModel
+from ..exceptions import InvalidParameterError
+from ..types import Schedule, ensure_probability
+from . import connection as ca
+from . import message as ma
+from .dominance import DominanceRegion, best_expected_algorithm
+from .window_choice import first_odd_k_beating_sw1, recommend_window
+
+__all__ = ["MethodRecommendation", "recommend_method", "recommend_for_trace"]
+
+
+@dataclass(frozen=True)
+class MethodRecommendation:
+    """A chosen algorithm plus the numbers that justify it."""
+
+    algorithm: str
+    expected_cost: Optional[float]
+    average_cost: Optional[float]
+    competitive_factor: Optional[float]
+    rationale: str
+
+    def __str__(self) -> str:
+        parts = [f"use {self.algorithm}"]
+        if self.expected_cost is not None:
+            parts.append(f"EXP={self.expected_cost:.4f}")
+        if self.average_cost is not None:
+            parts.append(f"AVG={self.average_cost:.4f}")
+        if self.competitive_factor is not None:
+            parts.append(f"{self.competitive_factor:.2f}-competitive")
+        return f"{'; '.join(parts)} — {self.rationale}"
+
+
+def _static_threshold_m(average_budget: float) -> int:
+    """Threshold m for T1m/T2m from the worst-case budget convention.
+
+    The m parameter only controls the worst case ((m+1)-competitive);
+    its expected-cost premium vanishes geometrically, so we simply
+    reuse the window the average budget would pick — giving T1m the
+    same worst-case bound as the SWk alternative.
+    """
+    return recommend_window(average_budget, model="connection").k
+
+
+def recommend_method(
+    cost_model: CostModel,
+    *,
+    theta: Optional[float] = None,
+    needs_worst_case_bound: bool = True,
+    average_budget: float = 0.10,
+) -> MethodRecommendation:
+    """Apply the paper's conclusion-section decision procedure.
+
+    Parameters
+    ----------
+    cost_model:
+        Connection or message model (the latter carries ω).
+    theta:
+        The known, fixed write fraction — or ``None`` when unknown or
+        drifting, which selects the dynamic branch.
+    needs_worst_case_bound:
+        When θ is known, plain statics minimize expected cost but are
+        not competitive; with this flag (the paper's recommendation)
+        the statics are upgraded to T1m/T2m.
+    average_budget:
+        For the dynamic branch: allowed relative excess of AVG over the
+        optimum (0.10 reproduces the paper's k = 9 example).
+    """
+    is_message = isinstance(cost_model, MessageCostModel)
+    if not is_message and cost_model.name != "connection":
+        raise InvalidParameterError(f"unsupported cost model {cost_model!r}")
+
+    if theta is None:
+        return _dynamic_branch(cost_model, is_message, average_budget)
+    theta = ensure_probability(theta)
+    return _known_theta_branch(
+        cost_model, is_message, theta, needs_worst_case_bound, average_budget
+    )
+
+
+def _known_theta_branch(
+    cost_model,
+    is_message: bool,
+    theta: float,
+    needs_worst_case_bound: bool,
+    average_budget: float,
+) -> MethodRecommendation:
+    if is_message:
+        omega = cost_model.omega
+        region = best_expected_algorithm(theta, omega)
+        if region is DominanceRegion.SW1 or region is DominanceRegion.BOUNDARY:
+            return MethodRecommendation(
+                algorithm="sw1",
+                expected_cost=ma.expected_cost_sw1(theta, omega),
+                average_cost=ma.average_cost_sw1(omega),
+                competitive_factor=ma.competitive_factor_sw1(omega),
+                rationale=(
+                    f"theta={theta:g} lies in SW1's Theorem-6 region at "
+                    f"omega={omega:g} (and SW1 is already competitive)"
+                ),
+            )
+        static = region.value  # "st1" or "st2"
+        expected = (
+            ma.expected_cost_st1(theta, omega)
+            if static == "st1"
+            else ma.expected_cost_st2(theta)
+        )
+        if not needs_worst_case_bound:
+            return MethodRecommendation(
+                algorithm=static,
+                expected_cost=expected,
+                average_cost=None,
+                competitive_factor=None,
+                rationale=(
+                    f"{static.upper()} wins Theorem 6's region at "
+                    f"theta={theta:g}, omega={omega:g}; caller waived the "
+                    "worst-case bound"
+                ),
+            )
+        m = _static_threshold_m(average_budget)
+        upgraded = f"t1_{m}" if static == "st1" else f"t2_{m}"
+        return MethodRecommendation(
+            algorithm=upgraded,
+            expected_cost=None,
+            average_cost=None,
+            competitive_factor=float(m + 1),
+            rationale=(
+                f"{static.upper()} has the best expected cost at "
+                f"theta={theta:g} but is not competitive; section 7.1's "
+                "modification restores a worst-case bound at a "
+                "geometrically small premium"
+            ),
+        )
+
+    # Connection model.
+    static = "st1" if theta > 0.5 else "st2"
+    expected = ca.expected_cost_st1(theta) if static == "st1" else (
+        ca.expected_cost_st2(theta)
+    )
+    if not needs_worst_case_bound:
+        return MethodRecommendation(
+            algorithm=static,
+            expected_cost=expected,
+            average_cost=None,
+            competitive_factor=None,
+            rationale=(
+                f"theta={theta:g} fixed: {static.upper()} minimizes the "
+                "expected cost (section 9); caller waived the worst-case "
+                "bound"
+            ),
+        )
+    m = _static_threshold_m(average_budget)
+    upgraded = f"t1_{m}" if static == "st1" else f"t2_{m}"
+    premium_base = theta if static == "st1" else 1.0 - theta
+    expected_upgraded = (
+        ca.expected_cost_t1m(theta, m)
+        if static == "st1"
+        else ca.expected_cost_t2m(theta, m)
+    )
+    return MethodRecommendation(
+        algorithm=upgraded,
+        expected_cost=expected_upgraded,
+        average_cost=None,
+        competitive_factor=float(m + 1),
+        rationale=(
+            f"theta={theta:g} fixed: {static.upper()} is optimal but not "
+            f"competitive; T-modification costs only "
+            f"{expected_upgraded - expected:.2e} extra per request"
+        ),
+    )
+
+
+def _dynamic_branch(
+    cost_model,
+    is_message: bool,
+    average_budget: float,
+) -> MethodRecommendation:
+    if is_message:
+        omega = cost_model.omega
+        if omega <= 0.4:
+            return MethodRecommendation(
+                algorithm="sw1",
+                expected_cost=None,
+                average_cost=ma.average_cost_sw1(omega),
+                competitive_factor=ma.competitive_factor_sw1(omega),
+                rationale=(
+                    f"theta varies and omega={omega:g} <= 0.4: Corollary 3 "
+                    "says SW1 has the best average expected cost of the "
+                    "whole family"
+                ),
+            )
+        k = first_odd_k_beating_sw1(omega)
+        assert k is not None  # omega > 0.4
+        return MethodRecommendation(
+            algorithm=f"sw{k}",
+            expected_cost=None,
+            average_cost=ma.average_cost_swk(k, omega),
+            competitive_factor=ma.competitive_factor_swk(k, omega),
+            rationale=(
+                f"theta varies and omega={omega:g} > 0.4: the smallest "
+                f"window beating SW1 on average is k={k} (Corollary 4); "
+                "larger k lowers AVG further at a worse competitive factor"
+            ),
+        )
+    pick = recommend_window(average_budget, model="connection")
+    return MethodRecommendation(
+        algorithm=f"sw{pick.k}" if pick.k > 1 else "sw1",
+        expected_cost=None,
+        average_cost=pick.average_cost,
+        competitive_factor=pick.competitive_factor,
+        rationale=(
+            f"theta varies: smallest window within "
+            f"{100 * average_budget:.0f}% of the optimal average "
+            f"(section 9's k={pick.k} example)"
+        ),
+    )
+
+
+def recommend_for_trace(
+    schedule: Schedule,
+    cost_model: CostModel,
+    *,
+    window: int = 100,
+    average_budget: float = 0.10,
+    needs_worst_case_bound: bool = True,
+    burstiness_aware: bool = True,
+) -> MethodRecommendation:
+    """Profile a recorded trace, then apply the decision procedure.
+
+    A trace whose rolling write fraction barely moves is treated as
+    fixed-θ (static branch).  A drifting trace takes the dynamic
+    branch; with ``burstiness_aware`` (the default) the drift is
+    modelled as a two-phase alternation estimated from the rolling θ,
+    and the window is chosen by the *exact* product-chain cost
+    (:func:`repro.analysis.modulated.best_window_for_burstiness`)
+    instead of the uniform-θ advisor.
+    """
+    from ..workload.trace import profile_trace
+
+    profile = profile_trace(schedule, window=window)
+    if profile.looks_stationary:
+        return recommend_method(
+            cost_model,
+            theta=profile.write_fraction,
+            needs_worst_case_bound=needs_worst_case_bound,
+            average_budget=average_budget,
+        )
+
+    if burstiness_aware:
+        phases = _estimate_phases(profile)
+        if phases is not None:
+            theta_low, theta_high, sojourn = phases
+            from .modulated import best_window_for_burstiness
+
+            k, exact_cost = best_window_for_burstiness(
+                theta_low, theta_high, sojourn, cost_model
+            )
+            algorithm = "sw1" if k == 1 else f"sw{k}"
+            if isinstance(cost_model, MessageCostModel):
+                factor = (
+                    ma.competitive_factor_sw1(cost_model.omega)
+                    if k == 1
+                    else ma.competitive_factor_swk(k, cost_model.omega)
+                )
+            else:
+                factor = float(k + 1)
+            return MethodRecommendation(
+                algorithm=algorithm,
+                expected_cost=exact_cost,
+                average_cost=None,
+                competitive_factor=factor,
+                rationale=(
+                    "trace drifts between phases (~theta "
+                    f"{theta_low:.2f}/{theta_high:.2f}, sojourn "
+                    f"~{sojourn:.0f} requests); k={k} minimizes the "
+                    "exact product-chain cost for that burstiness"
+                ),
+            )
+    return recommend_method(
+        cost_model,
+        theta=None,
+        average_budget=average_budget,
+    )
+
+
+def _estimate_phases(profile) -> Optional[tuple]:
+    """(theta_low, theta_high, mean_sojourn) from a trace profile.
+
+    Splits the rolling write fraction at its mean and averages each
+    side.  Returns ``None`` when the trace does not actually alternate
+    (a single phase, or phases too short to matter).
+    """
+    rolling = profile.rolling_theta
+    if len(rolling) < 4:
+        return None
+    center = sum(rolling) / len(rolling)
+    low = [value for value in rolling if value < center]
+    high = [value for value in rolling if value >= center]
+    if not low or not high:
+        return None
+    theta_low = max(0.0, min(1.0, sum(low) / len(low)))
+    theta_high = max(0.0, min(1.0, sum(high) / len(high)))
+    if theta_high - theta_low < 0.1:
+        return None
+    sojourn = max(2.0, profile.mean_phase_length)
+    return theta_low, theta_high, sojourn

@@ -1,0 +1,115 @@
+"""Statistical helpers for Monte-Carlo measurements.
+
+The experiment harness reports point estimates; these helpers attach
+uncertainty so that tolerance choices in EXPERIMENTS.md are principled
+rather than folklore: a normal-approximation confidence interval for a
+mean, a batch-means interval for correlated per-request costs (the cost
+sequence of a windowed algorithm is autocorrelated over ~k requests),
+and a sample-size planner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "batch_means_interval",
+    "required_sample_size",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval for a mean."""
+
+    mean: float
+    half_width: float
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.6g} ± {self.half_width:.3g} "
+            f"({100 * self.confidence:.0f}%)"
+        )
+
+
+def mean_confidence_interval(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Student-t interval for the mean of i.i.d. samples."""
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(f"confidence must be in (0,1), got {confidence!r}")
+    values = np.asarray(samples, dtype=float)
+    if values.size < 2:
+        raise InvalidParameterError("need at least two samples for an interval")
+    mean = float(values.mean())
+    stderr = float(values.std(ddof=1)) / math.sqrt(values.size)
+    quantile = float(stats.t.ppf(0.5 + confidence / 2.0, values.size - 1))
+    return ConfidenceInterval(mean, quantile * stderr, confidence)
+
+
+def batch_means_interval(
+    per_request_costs: Sequence[float],
+    batch_size: int,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Batch-means interval for an autocorrelated cost sequence.
+
+    The per-request costs of a windowed algorithm are correlated over a
+    horizon of about the window size; averaging disjoint batches much
+    longer than that horizon yields approximately i.i.d. batch means.
+    Pick ``batch_size`` at least ~10× the window size.
+    """
+    if batch_size < 1:
+        raise InvalidParameterError(f"batch_size must be >= 1, got {batch_size}")
+    values = np.asarray(per_request_costs, dtype=float)
+    num_batches = values.size // batch_size
+    if num_batches < 2:
+        raise InvalidParameterError(
+            f"need at least 2 full batches; got {values.size} samples "
+            f"for batch_size={batch_size}"
+        )
+    trimmed = values[: num_batches * batch_size]
+    batch_means = trimmed.reshape(num_batches, batch_size).mean(axis=1)
+    return mean_confidence_interval(batch_means, confidence)
+
+
+def required_sample_size(
+    variance_upper_bound: float,
+    half_width: float,
+    confidence: float = 0.95,
+) -> int:
+    """Samples needed so a mean's CI half-width is below ``half_width``.
+
+    Normal approximation: n >= (z * sigma / h)^2.  Per-request costs in
+    this library are bounded by 2 (a remote read in the message model),
+    so ``variance_upper_bound = 1.0`` is always safe.
+    """
+    if variance_upper_bound <= 0 or half_width <= 0:
+        raise InvalidParameterError("variance bound and half width must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(f"confidence must be in (0,1), got {confidence!r}")
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    return int(math.ceil((z * math.sqrt(variance_upper_bound) / half_width) ** 2))

@@ -1,0 +1,142 @@
+"""Transient (finite-horizon) analysis: how fast do methods adapt?
+
+The paper's expected-cost results are steady-state.  The burstiness
+experiment shows the *transient* matters too: after the workload's
+write fraction jumps, a window algorithm keeps paying near its old rate
+until the window refills.  This module computes exact transient
+quantities by forward-iterating the algorithm's Markov chain (same
+state enumeration as :mod:`repro.analysis.markov`):
+
+* :func:`expected_cost_profile` — exact expected cost of the 1st, 2nd,
+  ..., n-th request after a θ switch;
+* :func:`adaptation_time` — requests needed until the per-request
+  expected cost is within ε of the new steady state.
+
+For SWk the adaptation time scales with k (the window must flush),
+which is precisely why small windows win at short phase lengths in
+``t-bursty`` while large windows win at long ones.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import AllocationAlgorithm
+from ..costmodels.base import CostModel
+from ..exceptions import InvalidParameterError
+from ..types import Operation, ensure_probability
+from .markov import analyze, enumerate_chain
+
+__all__ = ["TransientProfile", "expected_cost_profile", "adaptation_time"]
+
+
+@dataclass(frozen=True)
+class TransientProfile:
+    """Per-request expected costs after a workload switch."""
+
+    theta: float
+    costs: Tuple[float, ...]
+    steady_state_cost: float
+
+    def excess(self, step: int) -> float:
+        """Transient excess over steady state at the given step."""
+        return self.costs[step] - self.steady_state_cost
+
+
+def expected_cost_profile(
+    algorithm: AllocationAlgorithm,
+    cost_model: CostModel,
+    theta: float,
+    horizon: int,
+    *,
+    warm_theta: Optional[float] = None,
+) -> TransientProfile:
+    """Exact expected cost of each of the next ``horizon`` requests.
+
+    The chain starts either from the algorithm's initial state
+    (``warm_theta=None``) or from the steady state it reaches under an
+    earlier write fraction ``warm_theta`` — i.e. the "θ just switched"
+    scenario of the burstiness experiment.
+    """
+    theta = ensure_probability(theta)
+    if horizon < 1:
+        raise InvalidParameterError(f"horizon must be >= 1, got {horizon}")
+    structure = enumerate_chain(algorithm)
+    transitions = structure.transitions
+    n = structure.num_states
+
+    distribution = np.zeros(n)
+    if warm_theta is None:
+        distribution[0] = 1.0
+    else:
+        warm = analyze(algorithm, warm_theta, structure)
+        distribution[:] = warm.stationary
+
+    read_probability = 1.0 - theta
+    price_read = np.array(
+        [cost_model.price(transitions[i][0][1]) for i in range(n)]
+    )
+    price_write = np.array(
+        [cost_model.price(transitions[i][1][1]) for i in range(n)]
+    )
+    successor_read = np.array([transitions[i][0][0] for i in range(n)])
+    successor_write = np.array([transitions[i][1][0] for i in range(n)])
+
+    costs = []
+    for _step in range(horizon):
+        step_cost = float(
+            np.dot(distribution, read_probability * price_read + theta * price_write)
+        )
+        costs.append(step_cost)
+        fresh = np.zeros(n)
+        np.add.at(fresh, successor_read, distribution * read_probability)
+        np.add.at(fresh, successor_write, distribution * theta)
+        distribution = fresh
+
+    steady = analyze(algorithm, theta, structure).expected_cost(cost_model)
+    return TransientProfile(
+        theta=theta, costs=tuple(costs), steady_state_cost=steady
+    )
+
+
+def adaptation_time(
+    algorithm: AllocationAlgorithm,
+    cost_model: CostModel,
+    theta_from: float,
+    theta_to: float,
+    *,
+    epsilon: float = 0.01,
+    max_horizon: int = 5_000,
+) -> int:
+    """Requests until the expected cost settles after a θ switch.
+
+    Returns the smallest step at which the per-request expected cost is
+    — and stays, for the remaining computed horizon — within ``epsilon``
+    of the new steady state.  Raises when ``max_horizon`` is too short.
+    """
+    if epsilon <= 0:
+        raise InvalidParameterError(f"epsilon must be positive, got {epsilon!r}")
+    profile = expected_cost_profile(
+        algorithm,
+        cost_model,
+        theta_to,
+        max_horizon,
+        warm_theta=theta_from,
+    )
+    settled_from: Optional[int] = None
+    for step, cost in enumerate(profile.costs):
+        if abs(cost - profile.steady_state_cost) <= epsilon:
+            if settled_from is None:
+                settled_from = step
+        else:
+            settled_from = None
+    if settled_from is None:
+        raise InvalidParameterError(
+            f"{algorithm.name} did not settle within {max_horizon} requests "
+            f"(epsilon={epsilon})"
+        )
+    return settled_from

@@ -1,0 +1,160 @@
+"""Window-size selection: Corollaries 3–4 and the Figure-2 curve.
+
+In the message model the average expected cost of SWk (k>1) beats
+SW1's only when ω > 0.4 and k is large enough.  Setting
+``AVG_SWk ≤ AVG_SW1`` (equations 12 and 10) and clearing denominators
+gives the quadratic condition
+
+.. math:: (5ω-2)k^2 + (ω-10)k - 6ω \\;\\ge\\; 0,
+
+whose positive root is the paper's Corollary 4 threshold
+
+.. math:: k_0(ω) = \\frac{(10-ω) + \\sqrt{100 - 68ω + 121ω^2}}{2(5ω-2)}.
+
+Sanity anchors from the paper's Figure 2: ω = 0.45 → first odd k is
+39; ω = 0.8 → first odd k is 7.
+
+This module also implements the conclusion's engineering guidance: the
+window size trades the average expected cost (decreasing in k) against
+the competitiveness factor (increasing in k);
+:func:`recommend_window` picks the smallest k meeting an average-cost
+target, reporting the competitiveness price.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import InvalidParameterError
+from . import connection, message
+
+__all__ = [
+    "k0_threshold",
+    "first_odd_k_beating_sw1",
+    "recommend_window",
+    "WindowRecommendation",
+]
+
+#: Below this ω, SW1 has the best average expected cost for every k
+#: (Corollary 3): the k→∞ limit of AVG_SWk equals AVG_SW1 at ω = 0.4.
+SW1_OMEGA_THRESHOLD = 0.4
+
+
+def k0_threshold(omega: float) -> float:
+    """The real threshold k₀(ω) of Corollary 4 (ω > 0.4 required)."""
+    omega = message.ensure_omega(omega)
+    if omega <= SW1_OMEGA_THRESHOLD:
+        raise InvalidParameterError(
+            f"k0 is defined for omega > 0.4 (Corollary 3 covers "
+            f"omega <= 0.4), got {omega!r}"
+        )
+    discriminant = 100.0 - 68.0 * omega + 121.0 * omega**2
+    return ((10.0 - omega) + math.sqrt(discriminant)) / (2.0 * (5.0 * omega - 2.0))
+
+
+def first_odd_k_beating_sw1(omega: float) -> Optional[int]:
+    """Smallest odd k > 1 with AVG_SWk ≤ AVG_SW1, or None (Cor. 3–4).
+
+    This is the staircase the paper plots as Figure 2.
+    """
+    omega = message.ensure_omega(omega)
+    if omega <= SW1_OMEGA_THRESHOLD:
+        return None
+    threshold = k0_threshold(omega)
+    k = int(math.ceil(threshold))
+    if k % 2 == 0:
+        k += 1
+    k = max(k, 3)
+    # Guard against floating-point edge cases right at the boundary:
+    # step to the neighbouring odd k if the direct evaluation disagrees.
+    while message.average_cost_swk(k, omega) > message.average_cost_sw1(omega):
+        k += 2
+    while k > 3 and message.average_cost_swk(k - 2, omega) <= message.average_cost_sw1(
+        omega
+    ):
+        k -= 2
+    return k
+
+
+@dataclass(frozen=True)
+class WindowRecommendation:
+    """Outcome of the conclusion-section window-size trade-off."""
+
+    k: int
+    average_cost: float
+    competitive_factor: float
+    #: Relative excess of AVG_SWk over the 1/4 optimum (connection model).
+    average_excess: float
+
+
+def recommend_window(
+    max_average_excess: float,
+    *,
+    model: str = "connection",
+    omega: float = 0.0,
+) -> WindowRecommendation:
+    """Smallest odd k whose AVG is within ``max_average_excess`` of optimal.
+
+    Reproduces the conclusion's examples: a 10% excess target in the
+    connection model yields k = 9 (AVG within 10% of 1/4, competitive
+    factor 10); a 6% target yields k = 15.
+
+    Parameters
+    ----------
+    max_average_excess:
+        Allowed relative excess over the k→∞ optimum, e.g. ``0.10``.
+    model:
+        ``"connection"`` or ``"message"``.
+    omega:
+        Control/data cost ratio; only used by the message model.
+    """
+    if max_average_excess <= 0:
+        raise InvalidParameterError(
+            f"max_average_excess must be positive, got {max_average_excess!r}"
+        )
+    if model == "connection":
+        optimum = connection.optimum_average_cost()
+
+        def avg(k: int) -> float:
+            return connection.average_cost_swk(k)
+
+        def factor(k: int) -> float:
+            return connection.competitive_factor_swk(k)
+
+    elif model == "message":
+        optimum = message.average_cost_swk_lower_bound(omega)
+
+        def avg(k: int) -> float:
+            if k == 1:
+                return message.average_cost_sw1(omega)
+            return message.average_cost_swk(k, omega)
+
+        def factor(k: int) -> float:
+            if k == 1:
+                return message.competitive_factor_sw1(omega)
+            return message.competitive_factor_swk(k, omega)
+
+    else:
+        raise InvalidParameterError(
+            f"model must be 'connection' or 'message', got {model!r}"
+        )
+
+    k = 1
+    while True:
+        average = avg(k)
+        excess = (average - optimum) / optimum
+        if excess <= max_average_excess:
+            return WindowRecommendation(
+                k=k,
+                average_cost=average,
+                competitive_factor=factor(k),
+                average_excess=excess,
+            )
+        k += 2
+        if k > 100_001:
+            raise InvalidParameterError(
+                f"no window size up to 100001 meets an average-cost excess "
+                f"of {max_average_excess!r}; the infimum may be unreachable"
+            )

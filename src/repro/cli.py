@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+::
+
+    repro-mobile list                 # experiment index
+    repro-mobile run fig1             # one experiment, full fidelity
+    repro-mobile run fig1 --quick     # fast mode (benchmark sizes)
+    repro-mobile run-all [--quick]    # the whole reproduction
+    repro-mobile simulate sw9 --theta 0.3 --length 10000
+    repro-mobile advise --target 0.10 # window-size advisor (section 9)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ._version import __version__
+from .analysis.window_choice import recommend_window
+from .core.registry import make_algorithm
+from .core.replay import replay
+from .costmodels.connection import ConnectionCostModel
+from .costmodels.message import MessageCostModel
+from .experiments import all_experiment_ids, get_experiment, run_all
+from .workload.poisson import bernoulli_schedule
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mobile",
+        description=(
+            "Reproduction of Huang/Sistla/Wolfson, 'Data Replication for "
+            "Mobile Computers' (SIGMOD 1994)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the experiment ids")
+
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", choices=all_experiment_ids())
+    run.add_argument("--quick", action="store_true", help="small sample sizes")
+    run.add_argument("--json", dest="json_path", metavar="FILE",
+                     help="also write the result as JSON to FILE")
+
+    run_all_cmd = commands.add_parser("run-all", help="run every experiment")
+    run_all_cmd.add_argument("--quick", action="store_true")
+    run_all_cmd.add_argument("--json", dest="json_path", metavar="FILE",
+                             help="also write all results as a JSON array")
+
+    simulate = commands.add_parser(
+        "simulate", help="replay one algorithm on a Poisson workload"
+    )
+    simulate.add_argument("algorithm", help="e.g. st1, st2, sw9, sw1, t1_15")
+    simulate.add_argument("--theta", type=float, default=0.3,
+                          help="write fraction (default 0.3)")
+    simulate.add_argument("--length", type=int, default=10_000)
+    simulate.add_argument("--model", choices=("connection", "message"),
+                          default="connection")
+    simulate.add_argument("--omega", type=float, default=0.5,
+                          help="control/data ratio for the message model")
+    simulate.add_argument("--seed", type=int, default=None)
+
+    advise = commands.add_parser(
+        "advise", help="window-size advisor (conclusion section)"
+    )
+    advise.add_argument("--target", type=float, required=True,
+                        help="allowed relative excess over the optimal AVG, e.g. 0.10")
+    advise.add_argument("--model", choices=("connection", "message"),
+                        default="connection")
+    advise.add_argument("--omega", type=float, default=0.5)
+
+    choose = commands.add_parser(
+        "choose", help="the full section-9 method-selection procedure"
+    )
+    choose.add_argument("--theta", type=float, default=None,
+                        help="known fixed write fraction; omit if unknown/varying")
+    choose.add_argument("--model", choices=("connection", "message"),
+                        default="connection")
+    choose.add_argument("--omega", type=float, default=0.5)
+    choose.add_argument("--no-worst-case", action="store_true",
+                        help="waive the competitiveness requirement")
+    choose.add_argument("--budget", type=float, default=0.10,
+                        help="average-cost excess budget for the dynamic branch")
+
+    report = commands.add_parser(
+        "report", help="run everything and write a Markdown report"
+    )
+    report.add_argument("--out", required=True, metavar="FILE",
+                        help="destination .md file")
+    report.add_argument("--quick", action="store_true")
+
+    trace = commands.add_parser(
+        "trace", help="profile a recorded trace and recommend a method"
+    )
+    trace.add_argument("path", help="trace file (see repro.workload.trace)")
+    trace.add_argument("--model", choices=("connection", "message"),
+                       default="connection")
+    trace.add_argument("--omega", type=float, default=0.5)
+    trace.add_argument("--window", type=int, default=100,
+                       help="rolling-theta profiling window")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment_id in all_experiment_ids():
+        experiment = get_experiment(experiment_id)
+        print(f"{experiment_id:16} {experiment.title}")
+    return 0
+
+
+def _cmd_run(experiment_id: str, quick: bool, json_path: Optional[str]) -> int:
+    result = get_experiment(experiment_id).run(quick=quick)
+    print(result.render())
+    if json_path:
+        with open(json_path, "w") as handle:
+            handle.write(result.to_json())
+        print(f"wrote {json_path}")
+    return 0 if result.passed else 1
+
+
+def _cmd_run_all(quick: bool, json_path: Optional[str]) -> int:
+    results = run_all(quick=quick)
+    for result in results:
+        print(result.render())
+        print()
+    if json_path:
+        import json as json_module
+
+        with open(json_path, "w") as handle:
+            json_module.dump([r.to_dict() for r in results], handle, indent=2)
+        print(f"wrote {json_path}")
+    failed = [r.experiment_id for r in results if not r.passed]
+    total_checks = sum(len(r.checks) for r in results)
+    passed_checks = sum(sum(c.passed for c in r.checks) for r in results)
+    print(f"=== {passed_checks}/{total_checks} checks passed across "
+          f"{len(results)} experiments ===")
+    if failed:
+        print(f"failed experiments: {failed}")
+        return 1
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.model == "connection":
+        model = ConnectionCostModel()
+    else:
+        model = MessageCostModel(args.omega)
+    import numpy as np
+
+    rng = np.random.default_rng(args.seed)
+    schedule = bernoulli_schedule(args.theta, args.length, rng=rng)
+    result = replay(make_algorithm(args.algorithm), schedule, model)
+    print(f"algorithm      : {result.algorithm_name}")
+    print(f"cost model     : {model.name}")
+    print(f"requests       : {len(schedule)} "
+          f"({schedule.read_count} reads / {schedule.write_count} writes)")
+    print(f"total cost     : {result.total_cost:.2f}")
+    print(f"mean cost/req  : {result.mean_cost:.4f}")
+    print(f"scheme changes : {result.allocation_changes()}")
+    for kind, count in sorted(result.event_counts().items(), key=lambda kv: kv[0].value):
+        print(f"  {kind.value:28} x{count}")
+    return 0
+
+
+def _make_model(args: argparse.Namespace):
+    if args.model == "connection":
+        return ConnectionCostModel()
+    return MessageCostModel(args.omega)
+
+
+def _cmd_choose(args: argparse.Namespace) -> int:
+    from .analysis.selection import recommend_method
+
+    recommendation = recommend_method(
+        _make_model(args),
+        theta=args.theta,
+        needs_worst_case_bound=not args.no_worst_case,
+        average_budget=args.budget,
+    )
+    print(recommendation)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import render_markdown
+
+    results = run_all(quick=args.quick)
+    with open(args.out, "w") as handle:
+        handle.write(render_markdown(results))
+    passed = sum(result.passed for result in results)
+    print(f"wrote {args.out} ({passed}/{len(results)} experiments passed)")
+    return 0 if passed == len(results) else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis.selection import recommend_for_trace
+    from .workload.trace import load_trace, profile_trace
+
+    schedule = load_trace(args.path)
+    profile = profile_trace(schedule, window=args.window)
+    print(f"trace           : {args.path}")
+    print(f"requests        : {profile.length} "
+          f"(write fraction {profile.write_fraction:.3f})")
+    print(f"theta drift     : {profile.theta_drift:.3f} "
+          f"({'stationary' if profile.looks_stationary else 'drifting'})")
+    print(f"mean phase len  : {profile.mean_phase_length:.0f} requests")
+    recommendation = recommend_for_trace(
+        schedule, _make_model(args), window=args.window
+    )
+    print(f"recommendation  : {recommendation}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    pick = recommend_window(args.target, model=args.model, omega=args.omega)
+    print(f"recommended window size : k = {pick.k}")
+    print(f"average expected cost   : {pick.average_cost:.4f} "
+          f"({100 * pick.average_excess:.2f}% over the optimum)")
+    print(f"competitiveness factor  : {pick.competitive_factor:.2f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment_id, args.quick, args.json_path)
+    if args.command == "run-all":
+        return _cmd_run_all(args.quick, args.json_path)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "advise":
+        return _cmd_advise(args)
+    if args.command == "choose":
+        return _cmd_choose(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

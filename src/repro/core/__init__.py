@@ -1,0 +1,48 @@
+"""Allocation algorithms: the paper's primary contribution.
+
+This package implements every allocation method the paper analyzes:
+
+* :class:`~repro.core.static.StaticOneCopy` (ST1) and
+  :class:`~repro.core.static.StaticTwoCopies` (ST2) — section 5.1/6.1.
+* :class:`~repro.core.sliding_window.SlidingWindow` (SWk) and
+  :class:`~repro.core.sliding_window.SlidingWindowOne` (SW1, the
+  delete-request-optimized k=1 variant) — section 4.
+* :class:`~repro.core.threshold.ThresholdOneCopy` (T1m) and
+  :class:`~repro.core.threshold.ThresholdTwoCopies` (T2m) — section 7.1.
+* :class:`~repro.core.offline.OfflineOptimal` — the omniscient
+  algorithm ``M`` from the competitiveness definition (section 3).
+* :mod:`~repro.core.multi_object` — the multi-object extension of
+  section 7.2.
+
+All online algorithms share the :class:`~repro.core.base.AllocationAlgorithm`
+interface and are replayed against a cost model by
+:func:`~repro.core.replay.replay`.
+"""
+
+from .base import AllocationAlgorithm
+from .estimators import EwmaAllocator, HysteresisSlidingWindow
+from .offline import OfflineOptimal, OptimalRun
+from .registry import available_algorithms, make_algorithm
+from .replay import ReplayResult, replay, replay_many
+from .sliding_window import SlidingWindow, SlidingWindowOne
+from .static import StaticOneCopy, StaticTwoCopies
+from .threshold import ThresholdOneCopy, ThresholdTwoCopies
+
+__all__ = [
+    "AllocationAlgorithm",
+    "StaticOneCopy",
+    "StaticTwoCopies",
+    "SlidingWindow",
+    "SlidingWindowOne",
+    "ThresholdOneCopy",
+    "ThresholdTwoCopies",
+    "EwmaAllocator",
+    "HysteresisSlidingWindow",
+    "OfflineOptimal",
+    "OptimalRun",
+    "ReplayResult",
+    "replay",
+    "replay_many",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,125 @@
+"""Common interface for online allocation algorithms.
+
+An allocation algorithm is an online state machine: it sees relevant
+requests one at a time, decides whether the mobile computer should hold
+a replica, and reports — as a :class:`~repro.costmodels.base.CostEventKind`
+— how the request interacted with the network.  Pricing the event is
+the cost model's job, which is what lets a single implementation be
+analyzed under both of the paper's cost models.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..costmodels.base import CostEventKind
+from ..exceptions import InvalidParameterError
+from ..types import AllocationScheme, Operation
+
+__all__ = ["AllocationAlgorithm"]
+
+
+class AllocationAlgorithm(abc.ABC):
+    """Base class for the online allocation methods of the paper.
+
+    Subclasses implement :meth:`_serve_read` and :meth:`_serve_write`,
+    mutating their internal state and returning the cost event kind for
+    the request.  The base class tracks the current allocation scheme
+    via the :attr:`mobile_has_copy` flag.
+    """
+
+    #: Short identifier used in registries and experiment tables.
+    name: str = "abstract"
+
+    def __init__(self, initial_scheme: AllocationScheme = AllocationScheme.ONE_COPY):
+        if not isinstance(initial_scheme, AllocationScheme):
+            raise InvalidParameterError(
+                f"initial_scheme must be an AllocationScheme, got {initial_scheme!r}"
+            )
+        self._initial_scheme = initial_scheme
+        self._mobile_has_copy = initial_scheme.mobile_has_copy
+
+    # -- public surface -------------------------------------------------
+
+    @property
+    def mobile_has_copy(self) -> bool:
+        """Whether the MC currently holds a replica of the data item."""
+        return self._mobile_has_copy
+
+    @property
+    def scheme(self) -> AllocationScheme:
+        """Current allocation scheme (one-copy or two-copies)."""
+        if self._mobile_has_copy:
+            return AllocationScheme.TWO_COPIES
+        return AllocationScheme.ONE_COPY
+
+    @property
+    def initial_scheme(self) -> AllocationScheme:
+        return self._initial_scheme
+
+    def process(self, operation: Operation) -> CostEventKind:
+        """Serve one relevant request and return its cost event kind."""
+        if operation is Operation.READ:
+            return self._serve_read()
+        if operation is Operation.WRITE:
+            return self._serve_write()
+        raise InvalidParameterError(f"unknown operation: {operation!r}")
+
+    def reset(self) -> None:
+        """Restore the freshly-constructed state."""
+        self._mobile_has_copy = self._initial_scheme.mobile_has_copy
+        self._reset_extra_state()
+
+    def clone(self) -> "AllocationAlgorithm":
+        """A fresh instance with identical configuration (reset state)."""
+        fresh = self._configured_copy()
+        fresh.reset()
+        return fresh
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the full decision-relevant state.
+
+        Two instances with equal signatures must behave identically on
+        all future inputs.  The exact Markov-chain analyzer
+        (:mod:`repro.analysis.markov`) enumerates the reachable state
+        space through this hook; the base implementation covers
+        stateless algorithms and subclasses extend it.
+        """
+        return (self._mobile_has_copy,) + self._extra_state_signature()
+
+    def _extra_state_signature(self) -> tuple:
+        """Algorithm-specific part of :meth:`state_signature`."""
+        return ()
+
+    # -- subclass hooks ---------------------------------------------------
+
+    @abc.abstractmethod
+    def _serve_read(self) -> CostEventKind:
+        """Serve a read issued at the mobile computer."""
+
+    @abc.abstractmethod
+    def _serve_write(self) -> CostEventKind:
+        """Serve a write issued at the stationary computer."""
+
+    def _reset_extra_state(self) -> None:
+        """Reset algorithm-specific state; default is stateless."""
+
+    @abc.abstractmethod
+    def _configured_copy(self) -> "AllocationAlgorithm":
+        """A new instance with the same constructor parameters."""
+
+    # -- helpers ---------------------------------------------------------
+
+    def _allocate(self) -> None:
+        self._mobile_has_copy = True
+
+    def _deallocate(self) -> None:
+        self._mobile_has_copy = False
+
+    def describe(self) -> str:
+        """Human-readable one-line description for reports."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} scheme={self.scheme.name}>"

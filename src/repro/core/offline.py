@@ -1,0 +1,161 @@
+"""The offline optimal allocation algorithm ``M`` (section 3).
+
+Competitiveness compares an online algorithm against "the perfect data
+allocation algorithm that has complete knowledge of all the past and
+future requests".  We realize ``M`` as a dynamic program over the two
+allocation schemes:
+
+* Serving costs come straight from the cost model — a read served
+  under one-copy pays the remote-read price, a write served under
+  two-copies pays the propagation price; the other two combinations
+  are free.
+* Between requests ``M`` may switch schemes.  Installing a replica
+  costs one data transfer (``acquire_cost``) *unless* it piggybacks on
+  a remote read that was just served — the response already carries
+  the item, exactly the mechanism SWk uses.  Dropping a replica is
+  free by default: both endpoints know the schedule, so no
+  delete-request is needed (``release_cost`` is a cost-model property,
+  overridable for the ablation study).
+
+The DP is O(len(schedule)) with two states, and also reconstructs one
+optimal scheme trajectory for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..costmodels.base import CostModel
+from ..exceptions import InvalidParameterError
+from ..types import AllocationScheme, Operation, Schedule
+
+__all__ = ["OfflineOptimal", "OptimalRun"]
+
+_ONE = AllocationScheme.ONE_COPY
+_TWO = AllocationScheme.TWO_COPIES
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class OptimalRun:
+    """The offline optimum for one schedule: cost plus a witness."""
+
+    total_cost: float
+    #: Scheme in effect while serving each request (a witness trajectory;
+    #: optima are generally not unique).
+    schemes: Tuple[AllocationScheme, ...]
+
+    @property
+    def mean_cost(self) -> float:
+        if not self.schemes:
+            return 0.0
+        return self.total_cost / len(self.schemes)
+
+
+class OfflineOptimal:
+    """Computes COST_M(σ): the minimum cost of serving a schedule.
+
+    Parameters
+    ----------
+    cost_model:
+        The model under which costs are measured.
+    initial_scheme:
+        Scheme in effect before the first request.  ``None`` lets the
+        optimum choose its starting scheme for free (the classical
+        "up to an additive constant" convention); the default matches
+        the online algorithms' one-copy start so measured ratios are
+        conservative.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        initial_scheme: Optional[AllocationScheme] = _ONE,
+    ):
+        self._cost_model = cost_model
+        self._initial_scheme = initial_scheme
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    def optimal_cost(self, schedule: Schedule) -> float:
+        """COST_M(σ) without trajectory reconstruction."""
+        return self._solve(schedule, want_witness=False)[0]
+
+    def solve(self, schedule: Schedule) -> OptimalRun:
+        """COST_M(σ) together with one optimal scheme trajectory."""
+        cost, witness = self._solve(schedule, want_witness=True)
+        return OptimalRun(total_cost=cost, schemes=tuple(witness))
+
+    # -- internals -----------------------------------------------------
+
+    def _service_cost(self, operation: Operation, scheme: AllocationScheme) -> float:
+        model = self._cost_model
+        if operation is Operation.READ:
+            return 0.0 if scheme is _TWO else model.remote_read_cost
+        if operation is Operation.WRITE:
+            return model.write_propagate_cost if scheme is _TWO else 0.0
+        raise InvalidParameterError(f"unknown operation: {operation!r}")
+
+    def _switch_cost(
+        self,
+        before: AllocationScheme,
+        after: AllocationScheme,
+        operation: Operation,
+    ) -> float:
+        """Cost of moving from ``before`` to ``after`` right after a
+        request with the given operation was served under ``before``."""
+        if before is after:
+            return 0.0
+        model = self._cost_model
+        if after is _TWO:
+            # Installing a replica piggybacks for free on a remote read
+            # (the request was just served under one-copy, so the data
+            # message it triggered already travelled to the MC).
+            if operation is Operation.READ:
+                return 0.0
+            return model.acquire_cost
+        return model.release_cost
+
+    def _initial_costs(self) -> dict:
+        if self._initial_scheme is None:
+            return {_ONE: 0.0, _TWO: 0.0}
+        if self._initial_scheme is _ONE:
+            # Starting in TWO would require an un-piggybacked transfer.
+            return {_ONE: 0.0, _TWO: self._cost_model.acquire_cost}
+        return {_ONE: self._cost_model.release_cost, _TWO: 0.0}
+
+    def _solve(self, schedule: Schedule, want_witness: bool):
+        best = self._initial_costs()
+        parents: List[dict] = []
+        for request in schedule:
+            operation = request.operation
+            nxt = {_ONE: _INFINITY, _TWO: _INFINITY}
+            parent = {}
+            for before in (_ONE, _TWO):
+                base = best[before] + self._service_cost(operation, before)
+                for after in (_ONE, _TWO):
+                    candidate = base + self._switch_cost(before, after, operation)
+                    if candidate < nxt[after]:
+                        nxt[after] = candidate
+                        parent[after] = before
+            best = nxt
+            if want_witness:
+                parents.append(parent)
+
+        total = min(best.values())
+        if not want_witness:
+            return total, []
+
+        # Walk the parent pointers backwards.  The witness records the
+        # scheme *while serving* each request, i.e. the "before" state
+        # of each step.
+        witness: List[AllocationScheme] = []
+        state = _ONE if best[_ONE] <= best[_TWO] else _TWO
+        for parent in reversed(parents):
+            state = parent[state]
+            witness.append(state)
+        witness.reverse()
+        return total, witness

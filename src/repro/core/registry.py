@@ -1,0 +1,89 @@
+"""Name-based construction of allocation algorithms.
+
+The CLI, the experiment harness and the examples all refer to
+algorithms by short names such as ``"st1"``, ``"sw9"`` or ``"t1_15"``.
+This module parses those names into configured instances.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..exceptions import UnknownAlgorithmError
+from .base import AllocationAlgorithm
+from .estimators import EwmaAllocator, HysteresisSlidingWindow
+from .sliding_window import SlidingWindow, SlidingWindowOne
+from .static import StaticOneCopy, StaticTwoCopies
+from .threshold import ThresholdOneCopy, ThresholdTwoCopies
+
+__all__ = ["make_algorithm", "available_algorithms"]
+
+_SW_PATTERN = re.compile(r"^sw(\d+)$")
+_T1_PATTERN = re.compile(r"^t1_(\d+)$")
+_T2_PATTERN = re.compile(r"^t2_(\d+)$")
+_EWMA_PATTERN = re.compile(r"^ewma_(\d+)$")
+_HSW_PATTERN = re.compile(r"^hsw(\d+)_(\d+)$")
+
+
+def make_algorithm(name: str) -> AllocationAlgorithm:
+    """Build an algorithm from its short name.
+
+    Recognized forms (case-insensitive):
+
+    * ``st1``, ``st2`` — the static methods.
+    * ``sw1`` — the optimized one-request window.
+    * ``swK`` for odd ``K > 1`` — the sliding-window family, e.g. ``sw9``.
+    * ``sw1-unoptimized`` — SWk with k=1 *without* the delete-request
+      optimization (ablation target).
+    * ``t1_M`` / ``t2_M`` — the modified static methods, e.g. ``t1_15``.
+    * ``ewma_P`` — EWMA estimator allocator with alpha = P percent.
+    * ``hswK_H`` — hysteresis sliding window, size K, deadband H.
+    """
+    lowered = name.strip().lower()
+    if lowered == "st1":
+        return StaticOneCopy()
+    if lowered == "st2":
+        return StaticTwoCopies()
+    if lowered == "sw1":
+        return SlidingWindowOne()
+    if lowered == "sw1-unoptimized":
+        return SlidingWindow(1)
+    match = _SW_PATTERN.match(lowered)
+    if match:
+        return SlidingWindow(int(match.group(1)))
+    match = _T1_PATTERN.match(lowered)
+    if match:
+        return ThresholdOneCopy(int(match.group(1)))
+    match = _T2_PATTERN.match(lowered)
+    if match:
+        return ThresholdTwoCopies(int(match.group(1)))
+    match = _EWMA_PATTERN.match(lowered)
+    if match:
+        percent = int(match.group(1))
+        if not 1 <= percent <= 100:
+            raise UnknownAlgorithmError(
+                f"ewma smoothing must be 1..100 percent, got {percent}"
+            )
+        return EwmaAllocator(percent / 100.0)
+    match = _HSW_PATTERN.match(lowered)
+    if match:
+        return HysteresisSlidingWindow(int(match.group(1)), int(match.group(2)))
+    raise UnknownAlgorithmError(
+        f"unknown algorithm {name!r}; try one of {available_algorithms()}"
+    )
+
+
+def available_algorithms() -> List[str]:
+    """Representative list of recognized algorithm names."""
+    return [
+        "st1",
+        "st2",
+        "sw1",
+        "sw1-unoptimized",
+        "sw<k> (odd k, e.g. sw3, sw9, sw15)",
+        "t1_<m> (e.g. t1_15)",
+        "t2_<m> (e.g. t2_15)",
+        "ewma_<percent> (e.g. ewma_20 for alpha=0.2)",
+        "hsw<k>_<margin> (hysteresis window, e.g. hsw9_2)",
+    ]

@@ -1,0 +1,59 @@
+"""The static allocation methods ST1 and ST2 (sections 5.1 and 6.1).
+
+Static methods never change the allocation scheme:
+
+* **ST1** — only the stationary computer holds the item.  Every read
+  issued at the mobile computer goes remote; writes are free.
+* **ST2** — the mobile computer always holds a replica.  Reads are
+  local and free; every write is propagated to the replica.
+"""
+
+from __future__ import annotations
+
+from ..costmodels.base import CostEventKind
+from ..types import AllocationScheme
+from .base import AllocationAlgorithm
+
+__all__ = ["StaticOneCopy", "StaticTwoCopies"]
+
+
+class StaticOneCopy(AllocationAlgorithm):
+    """ST1: the mobile computer never holds a copy (on-demand reads)."""
+
+    name = "st1"
+
+    def __init__(self):
+        super().__init__(initial_scheme=AllocationScheme.ONE_COPY)
+
+    def _serve_read(self) -> CostEventKind:
+        return CostEventKind.REMOTE_READ
+
+    def _serve_write(self) -> CostEventKind:
+        return CostEventKind.WRITE_NO_COPY
+
+    def _configured_copy(self) -> "StaticOneCopy":
+        return StaticOneCopy()
+
+    def describe(self) -> str:
+        return "ST1 (static one-copy: no replica at the mobile computer)"
+
+
+class StaticTwoCopies(AllocationAlgorithm):
+    """ST2: the mobile computer always holds a copy (subscription)."""
+
+    name = "st2"
+
+    def __init__(self):
+        super().__init__(initial_scheme=AllocationScheme.TWO_COPIES)
+
+    def _serve_read(self) -> CostEventKind:
+        return CostEventKind.LOCAL_READ
+
+    def _serve_write(self) -> CostEventKind:
+        return CostEventKind.WRITE_PROPAGATED
+
+    def _configured_copy(self) -> "StaticTwoCopies":
+        return StaticTwoCopies()
+
+    def describe(self) -> str:
+        return "ST2 (static two-copies: replica always at the mobile computer)"

@@ -1,0 +1,155 @@
+"""Vectorized replay for bulk parameter sweeps.
+
+The object-per-request replay of :mod:`repro.core.replay` is the
+reference implementation; Monte-Carlo sweeps over millions of requests
+want something faster.  Because SWk's scheme is a pure function of the
+last k requests (see docs/derivations.md §1), its whole cost sequence
+falls out of a rolling write-count — pure numpy, no Python-level loop.
+
+Supported algorithms: ``st1``, ``st2``, ``sw1`` and ``swK``.  The
+threshold and estimator methods carry genuinely sequential state and
+stay on the reference path.
+
+The contract — verified by tests and by the throughput benchmark —
+is exact equality with :func:`repro.core.replay.replay`, event kind by
+event kind.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+import numpy as np
+
+from ..costmodels.base import CostEventKind, CostModel
+from ..exceptions import InvalidParameterError, UnknownAlgorithmError
+from ..types import Schedule, ensure_odd_window
+
+__all__ = ["fast_event_kinds", "fast_total_cost", "supports"]
+
+_SW_PATTERN = re.compile(r"^sw(\d+)$")
+
+#: Integer codes for the event kinds, indexable by numpy.
+_KINDS = (
+    CostEventKind.LOCAL_READ,
+    CostEventKind.REMOTE_READ,
+    CostEventKind.WRITE_NO_COPY,
+    CostEventKind.WRITE_PROPAGATED,
+    CostEventKind.WRITE_PROPAGATED_DEALLOCATE,
+    CostEventKind.WRITE_DELETE_REQUEST,
+)
+_LOCAL_READ, _REMOTE_READ, _WRITE_NO_COPY = 0, 1, 2
+_WRITE_PROPAGATED, _WRITE_PROPAGATED_DEALLOCATE, _WRITE_DELETE_REQUEST = 3, 4, 5
+
+
+def supports(algorithm_name: str) -> bool:
+    """Whether the vectorized path handles this algorithm."""
+    lowered = algorithm_name.strip().lower()
+    return lowered in ("st1", "st2", "sw1") or bool(_SW_PATTERN.match(lowered))
+
+
+def _write_bits(schedule: Schedule) -> np.ndarray:
+    return np.fromiter(
+        (request.is_write for request in schedule),
+        dtype=bool,
+        count=len(schedule),
+    )
+
+
+def _codes_static_one(writes: np.ndarray) -> np.ndarray:
+    return np.where(writes, _WRITE_NO_COPY, _REMOTE_READ)
+
+
+def _codes_static_two(writes: np.ndarray) -> np.ndarray:
+    return np.where(writes, _WRITE_PROPAGATED, _LOCAL_READ)
+
+
+def _codes_sw1(writes: np.ndarray) -> np.ndarray:
+    # The MC holds a copy iff the previous request was a read; the
+    # initial state is no-copy.
+    had_copy = np.empty_like(writes)
+    had_copy[0] = False
+    np.logical_not(writes[:-1], out=had_copy[1:])
+    return np.select(
+        [
+            ~writes & had_copy,
+            ~writes & ~had_copy,
+            writes & ~had_copy,
+        ],
+        [_LOCAL_READ, _REMOTE_READ, _WRITE_NO_COPY],
+        default=_WRITE_DELETE_REQUEST,
+    )
+
+
+def _codes_swk(writes: np.ndarray, k: int) -> np.ndarray:
+    ensure_odd_window(k)
+    n = (k - 1) // 2
+    length = writes.size
+    # Prepend the k-write initial window, then rolling write counts:
+    # count_after[i] = writes in the window right after request i.
+    padded = np.concatenate([np.ones(k, dtype=np.int64), writes.astype(np.int64)])
+    cumulative = np.cumsum(padded)
+    # Window after request i covers padded[i+1 .. i+k].
+    count_after = cumulative[k:] - cumulative[:length]
+    copy_after = count_after <= n
+    had_copy = np.empty(length, dtype=bool)
+    had_copy[0] = False  # initial window is all writes
+    had_copy[1:] = copy_after[:-1]
+    return np.select(
+        [
+            ~writes & had_copy,
+            ~writes & ~had_copy,
+            writes & ~had_copy,
+            writes & had_copy & copy_after,
+        ],
+        [_LOCAL_READ, _REMOTE_READ, _WRITE_NO_COPY, _WRITE_PROPAGATED],
+        default=_WRITE_PROPAGATED_DEALLOCATE,
+    )
+
+
+def fast_event_kinds(algorithm_name: str, schedule: Schedule) -> Tuple[CostEventKind, ...]:
+    """The per-request cost events, computed without a Python loop."""
+    codes = _fast_codes(algorithm_name, schedule)
+    return tuple(_KINDS[code] for code in codes)
+
+
+def _fast_codes(algorithm_name: str, schedule: Schedule) -> np.ndarray:
+    lowered = algorithm_name.strip().lower()
+    if len(schedule) == 0:
+        return np.empty(0, dtype=np.int64)
+    writes = _write_bits(schedule)
+    if lowered == "st1":
+        return _codes_static_one(writes)
+    if lowered == "st2":
+        return _codes_static_two(writes)
+    if lowered == "sw1":
+        return _codes_sw1(writes)
+    match = _SW_PATTERN.match(lowered)
+    if match:
+        return _codes_swk(writes, int(match.group(1)))
+    raise UnknownAlgorithmError(
+        f"no vectorized path for {algorithm_name!r}; use repro.core.replay"
+    )
+
+
+def fast_total_cost(
+    algorithm_name: str,
+    schedule: Schedule,
+    cost_model: CostModel,
+) -> float:
+    """Total cost of a run, exactly equal to the reference replay's."""
+    codes = _fast_codes(algorithm_name, schedule)
+    prices = np.array([cost_model.price(kind) for kind in _KINDS])
+    return float(prices[codes].sum())
+
+
+def fast_cost_array(
+    algorithm_name: str,
+    schedule: Schedule,
+    cost_model: CostModel,
+) -> np.ndarray:
+    """Per-request charges as a numpy array (reference-replay exact)."""
+    codes = _fast_codes(algorithm_name, schedule)
+    prices = np.array([cost_model.price(kind) for kind in _KINDS])
+    return prices[codes]

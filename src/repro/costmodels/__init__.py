@@ -1,0 +1,26 @@
+"""Cost models: connection-based and message-based charging (section 3).
+
+A :class:`~repro.costmodels.base.CostModel` translates the abstract
+*cost events* produced by an allocation algorithm (remote read, write
+propagation, delete-request, ...) into charges.  Two concrete models
+reproduce the paper's:
+
+* :class:`~repro.costmodels.connection.ConnectionCostModel` — the user
+  is charged per minimum-length connection (cellular telephony).
+* :class:`~repro.costmodels.message.MessageCostModel` — the user is
+  charged per message; data messages cost 1 and control messages cost
+  ``omega`` with ``0 <= omega <= 1``.
+"""
+
+from .base import CostBreakdown, CostEvent, CostEventKind, CostModel
+from .connection import ConnectionCostModel
+from .message import MessageCostModel
+
+__all__ = [
+    "CostBreakdown",
+    "CostEvent",
+    "CostEventKind",
+    "CostModel",
+    "ConnectionCostModel",
+    "MessageCostModel",
+]

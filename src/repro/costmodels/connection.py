@@ -1,0 +1,40 @@
+"""The connection (time-based) cost model of section 5.
+
+Every chargeable interaction between the mobile and the stationary
+computer — a remote read, a propagated write, or a delete-request —
+fits in one minimum-length connection and therefore costs exactly one
+unit.  Local reads and writes to an absent replica cost nothing.
+"""
+
+from __future__ import annotations
+
+from .base import CostEventKind, CostModel
+
+__all__ = ["ConnectionCostModel"]
+
+_PRICES = {
+    CostEventKind.LOCAL_READ: 0.0,
+    CostEventKind.REMOTE_READ: 1.0,
+    CostEventKind.WRITE_NO_COPY: 0.0,
+    CostEventKind.WRITE_PROPAGATED: 1.0,
+    # The deallocation indication rides the same connection as the
+    # propagated write, so it adds nothing in this model (section 5's
+    # expected-cost formula has no deallocation term).
+    CostEventKind.WRITE_PROPAGATED_DEALLOCATE: 1.0,
+    CostEventKind.WRITE_DELETE_REQUEST: 1.0,
+}
+
+
+class ConnectionCostModel(CostModel):
+    """Charge one unit per connection, as in cellular telephony."""
+
+    name = "connection"
+
+    def price(self, kind: CostEventKind) -> float:
+        return _PRICES[kind]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConnectionCostModel)
+
+    def __hash__(self) -> int:
+        return hash(type(self))

@@ -1,0 +1,69 @@
+"""The message (packet-based) cost model of section 6.
+
+A data message (one that carries the data item) costs 1; a control
+message (read-request, delete-request, deallocation notice) costs
+``omega`` with ``0 <= omega <= 1`` since a control message is never
+longer than a data message.
+
+Per-request charges (section 3):
+
+* remote read: control message to the SC + data message back → ``1 + ω``
+* write propagated to a kept replica: one data message → ``1``
+* write propagated after which the MC deallocates: data message plus
+  the deallocate control message → ``1 + ω``
+* SW1's delete-request write: one control message → ``ω``
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidParameterError
+from .base import CostEventKind, CostModel
+
+__all__ = ["MessageCostModel"]
+
+
+class MessageCostModel(CostModel):
+    """Charge per message, with control/data cost ratio ``omega``."""
+
+    name = "message"
+
+    def __init__(self, omega: float):
+        omega = float(omega)
+        if not 0.0 <= omega <= 1.0:
+            raise InvalidParameterError(
+                f"omega must be in [0, 1] (a control message is not longer "
+                f"than a data message), got {omega!r}"
+            )
+        self._omega = omega
+
+    @property
+    def omega(self) -> float:
+        """The control-to-data message cost ratio ``ω``."""
+        return self._omega
+
+    def price(self, kind: CostEventKind) -> float:
+        omega = self._omega
+        if kind is CostEventKind.LOCAL_READ:
+            return 0.0
+        if kind is CostEventKind.REMOTE_READ:
+            return 1.0 + omega
+        if kind is CostEventKind.WRITE_NO_COPY:
+            return 0.0
+        if kind is CostEventKind.WRITE_PROPAGATED:
+            return 1.0
+        if kind is CostEventKind.WRITE_PROPAGATED_DEALLOCATE:
+            return 1.0 + omega
+        if kind is CostEventKind.WRITE_DELETE_REQUEST:
+            return omega
+        raise InvalidParameterError(f"unknown cost event kind: {kind!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MessageCostModel):
+            return NotImplemented
+        return self._omega == other._omega
+
+    def __hash__(self) -> int:
+        return hash((type(self), self._omega))
+
+    def __repr__(self) -> str:
+        return f"MessageCostModel(omega={self._omega!r})"

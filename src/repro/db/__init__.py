@@ -1,0 +1,31 @@
+"""Multi-item mobile database layer.
+
+The paper analyzes one data item in isolation and notes (section 3)
+that per-item costs are independent, so a real deployment — the
+introduction's palmtop holding schedules, quotes and traffic data —
+simply runs one allocator per item.  This package is that deployment
+surface:
+
+* :class:`~repro.db.catalog.MobileDatabase` — a catalog of items, each
+  with its own allocation algorithm, one cost model, aggregate and
+  per-item accounting.
+* allocation policies — how algorithms are assigned to items:
+  :class:`~repro.db.policies.UniformPolicy` (same method everywhere),
+  :class:`~repro.db.policies.PerItemPolicy` (explicit map), and
+  :class:`~repro.db.policies.AdvisorPolicy` (the section-9 window-size
+  advisor, given an average-cost budget).
+* :class:`~repro.workload.catalog.CatalogWorkload` generates the
+  merged multi-item request stream.
+"""
+
+from .catalog import ItemReport, MobileDatabase
+from .policies import AdvisorPolicy, AllocationPolicy, PerItemPolicy, UniformPolicy
+
+__all__ = [
+    "MobileDatabase",
+    "ItemReport",
+    "AllocationPolicy",
+    "UniformPolicy",
+    "PerItemPolicy",
+    "AdvisorPolicy",
+]

@@ -1,0 +1,175 @@
+"""A catalog of items, one allocation algorithm per item.
+
+Per-item costs are independent (section 3 ignores request origins and
+treats each item separately), so the catalog simply routes each
+relevant request to its item's allocator and aggregates the charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..core.base import AllocationAlgorithm
+from ..costmodels.base import CostEventKind, CostModel
+from ..exceptions import InvalidParameterError
+from ..types import AllocationScheme, Request, Schedule
+from .policies import AllocationPolicy
+
+__all__ = ["ItemReport", "MobileDatabase"]
+
+
+@dataclass
+class _ItemState:
+    algorithm: AllocationAlgorithm
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    cost: float = 0.0
+    scheme_changes: int = 0
+
+
+@dataclass(frozen=True)
+class ItemReport:
+    """Accounting summary for one catalog item."""
+
+    item: str
+    algorithm_name: str
+    requests: int
+    reads: int
+    writes: int
+    total_cost: float
+    scheme_changes: int
+    current_scheme: AllocationScheme
+
+    @property
+    def mean_cost(self) -> float:
+        return self.total_cost / self.requests if self.requests else 0.0
+
+    @property
+    def observed_theta(self) -> Optional[float]:
+        """Empirical write fraction seen so far, or None before data."""
+        if not self.requests:
+            return None
+        return self.writes / self.requests
+
+
+class MobileDatabase:
+    """Mobile-side catalog: allocator, routing and accounting per item.
+
+    Parameters
+    ----------
+    items:
+        The catalog's item names.
+    policy:
+        An :class:`~repro.db.policies.AllocationPolicy` assigning each
+        item its allocation method.
+    cost_model:
+        The charging scheme for the whole catalog.
+    """
+
+    def __init__(
+        self,
+        items: Iterable[str],
+        policy: AllocationPolicy,
+        cost_model: CostModel,
+    ):
+        names = list(items)
+        if not names:
+            raise InvalidParameterError("a catalog needs at least one item")
+        if len(set(names)) != len(names):
+            raise InvalidParameterError("duplicate item names in the catalog")
+        self._policy = policy
+        self._cost_model = cost_model
+        self._items: Dict[str, _ItemState] = {
+            name: _ItemState(algorithm=policy.algorithm_for(name))
+            for name in names
+        }
+        for state in self._items.values():
+            state.algorithm.reset()
+
+    @property
+    def items(self) -> List[str]:
+        return list(self._items)
+
+    @property
+    def policy(self) -> AllocationPolicy:
+        return self._policy
+
+    def process(self, request: Request) -> float:
+        """Serve one request; returns its charge.
+
+        The request must name exactly one catalog item in ``objects``
+        (multi-object operations belong to
+        :mod:`repro.core.multi_object`, which prices joint access).
+        """
+        if len(request.objects) != 1:
+            raise InvalidParameterError(
+                f"catalog requests touch exactly one item, got "
+                f"{request.objects!r}"
+            )
+        item = request.objects[0]
+        state = self._items.get(item)
+        if state is None:
+            raise InvalidParameterError(f"unknown item {item!r}")
+        scheme_before = state.algorithm.scheme
+        kind: CostEventKind = state.algorithm.process(request.operation)
+        charge = self._cost_model.price(kind)
+        state.requests += 1
+        if request.is_read:
+            state.reads += 1
+        else:
+            state.writes += 1
+        state.cost += charge
+        if state.algorithm.scheme is not scheme_before:
+            state.scheme_changes += 1
+        return charge
+
+    def run(self, schedule: Schedule) -> float:
+        """Serve a whole schedule; returns the total charge."""
+        return sum(self.process(request) for request in schedule)
+
+    # -- reporting -------------------------------------------------------
+
+    def total_cost(self) -> float:
+        """Total charge across the whole catalog."""
+        return sum(state.cost for state in self._items.values())
+
+    def total_requests(self) -> int:
+        """Number of requests served across all items."""
+        return sum(state.requests for state in self._items.values())
+
+    def mean_cost(self) -> float:
+        """Average charge per request over the whole catalog."""
+        requests = self.total_requests()
+        return self.total_cost() / requests if requests else 0.0
+
+    def report(self, item: str) -> ItemReport:
+        """Accounting summary for one item."""
+        state = self._items.get(item)
+        if state is None:
+            raise InvalidParameterError(f"unknown item {item!r}")
+        return ItemReport(
+            item=item,
+            algorithm_name=state.algorithm.name,
+            requests=state.requests,
+            reads=state.reads,
+            writes=state.writes,
+            total_cost=state.cost,
+            scheme_changes=state.scheme_changes,
+            current_scheme=state.algorithm.scheme,
+        )
+
+    def reports(self) -> List[ItemReport]:
+        """Per-item reports, most expensive first."""
+        summaries = [self.report(item) for item in self._items]
+        summaries.sort(key=lambda report: report.total_cost, reverse=True)
+        return summaries
+
+    def replicated_items(self) -> List[str]:
+        """Items the mobile computer currently replicates."""
+        return [
+            item
+            for item, state in self._items.items()
+            if state.algorithm.mobile_has_copy
+        ]

@@ -1,0 +1,104 @@
+"""Policies assigning an allocation algorithm to each catalog item."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping
+
+from ..analysis.window_choice import recommend_window
+from ..core.base import AllocationAlgorithm
+from ..core.registry import make_algorithm
+from ..costmodels.base import CostModel
+from ..costmodels.message import MessageCostModel
+from ..exceptions import InvalidParameterError
+
+__all__ = ["AllocationPolicy", "UniformPolicy", "PerItemPolicy", "AdvisorPolicy"]
+
+
+class AllocationPolicy(abc.ABC):
+    """Chooses the allocation algorithm for a given item."""
+
+    @abc.abstractmethod
+    def algorithm_for(self, item: str) -> AllocationAlgorithm:
+        """A fresh algorithm instance for ``item``."""
+
+    def describe(self) -> str:
+        """One-line human-readable label for reports."""
+        return type(self).__name__
+
+
+class UniformPolicy(AllocationPolicy):
+    """Every item runs the same method, e.g. ``UniformPolicy("sw9")``."""
+
+    def __init__(self, algorithm_name: str):
+        # Validate the name eagerly so misconfiguration fails at
+        # construction, not at the first request.
+        make_algorithm(algorithm_name)
+        self._name = algorithm_name
+
+    def algorithm_for(self, item: str) -> AllocationAlgorithm:
+        return make_algorithm(self._name)
+
+    def describe(self) -> str:
+        """One-line human-readable label for reports."""
+        return f"uniform({self._name})"
+
+
+class PerItemPolicy(AllocationPolicy):
+    """Explicit item → algorithm-name map with an optional default."""
+
+    def __init__(self, assignments: Mapping[str, str], default: str = "sw9"):
+        for name in list(assignments.values()) + [default]:
+            make_algorithm(name)
+        self._assignments: Dict[str, str] = dict(assignments)
+        self._default = default
+
+    def algorithm_for(self, item: str) -> AllocationAlgorithm:
+        return make_algorithm(self._assignments.get(item, self._default))
+
+    def describe(self) -> str:
+        """One-line human-readable label for reports."""
+        return f"per-item({len(self._assignments)} pinned, default {self._default})"
+
+
+class AdvisorPolicy(AllocationPolicy):
+    """Window size from the section-9 trade-off, one budget for all items.
+
+    Given a relative average-cost budget (e.g. 0.10 → k = 9 in the
+    connection model) the advisor returns the smallest window meeting
+    it; every item gets that window.  In the message model with
+    ω ≤ 0.4 the advisor naturally lands on SW1 (Corollary 3).
+    """
+
+    def __init__(self, max_average_excess: float, cost_model: CostModel):
+        if cost_model.name == "connection":
+            pick = recommend_window(max_average_excess, model="connection")
+        elif isinstance(cost_model, MessageCostModel):
+            pick = recommend_window(
+                max_average_excess, model="message", omega=cost_model.omega
+            )
+        else:
+            raise InvalidParameterError(
+                f"no advisor for cost model {cost_model!r}"
+            )
+        self._k = pick.k
+        self._recommendation = pick
+
+    @property
+    def window_size(self) -> int:
+        return self._k
+
+    @property
+    def recommendation(self):
+        """The underlying :class:`WindowRecommendation`."""
+        return self._recommendation
+
+    def algorithm_for(self, item: str) -> AllocationAlgorithm:
+        return make_algorithm("sw1" if self._k == 1 else f"sw{self._k}")
+
+    def describe(self) -> str:
+        """One-line human-readable label for reports."""
+        return (
+            f"advisor(k={self._k}, "
+            f"{self._recommendation.competitive_factor:.0f}-competitive)"
+        )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`
+so that callers can catch library failures with a single ``except``
+clause while still letting programming errors (``TypeError`` and
+friends raised by the standard library) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A numeric or structural parameter is outside its legal domain.
+
+    Examples: an even sliding-window size ``k``, a control/data cost
+    ratio ``omega`` outside ``[0, 1]``, or a write fraction ``theta``
+    outside ``[0, 1]``.
+    """
+
+
+class InvalidScheduleError(ReproError, ValueError):
+    """A request schedule is malformed (bad symbols, wrong origin, ...)."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """The distributed protocol simulator reached an inconsistent state.
+
+    Raised, for example, when both the mobile and the stationary node
+    believe they are in charge of the request window, or when a data
+    message arrives for an item the receiver never requested.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event kernel was misused (time travel, reuse, ...)."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """An algorithm name was not found in the registry."""
+
+
+class UnknownExperimentError(ReproError, KeyError):
+    """An experiment id was not found in the experiment registry."""

@@ -1,0 +1,29 @@
+"""The reproduction harness: one experiment per figure/claim.
+
+Every figure and quantitative claim in the paper's analysis maps to an
+experiment (see the experiment index in DESIGN.md).  Each experiment
+
+* regenerates the paper's artifact (a table of rows or an ASCII
+  rendering of the figure),
+* validates it with explicit pass/fail checks (closed form vs
+  quadrature vs Monte-Carlo simulation vs protocol simulation), and
+* renders a human-readable report.
+
+Run them via the CLI (``repro-mobile run fig1``) or programmatically::
+
+    from repro.experiments import get_experiment
+    result = get_experiment("fig1").run()
+    print(result.render())
+"""
+
+from .harness import Check, Experiment, ExperimentResult
+from .registry import all_experiment_ids, get_experiment, run_all
+
+__all__ = [
+    "Check",
+    "Experiment",
+    "ExperimentResult",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_all",
+]

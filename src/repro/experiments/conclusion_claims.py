@@ -1,0 +1,151 @@
+"""The conclusion section's engineering guidance (section 9).
+
+The paper closes with concrete numbers; this experiment verifies each:
+
+* "for k = 9 the sliding-window algorithm will have an average expected
+  cost that is within 10% of the optimum, and in the worst case will be
+  at most 10 times worse than the optimum offline algorithm";
+* when θ varies over time, SWk beats both static methods on average
+  cost (the raison d'être of the dynamic family), demonstrated on a
+  regime-switching workload with uniformly random per-period θ;
+* "if ω ≤ 0.4 then the SW1 algorithm should be chosen" (message model);
+* the window-size advisor reproduces k = 9 for a 10% target and k = 15
+  for a 6% target.
+"""
+
+from __future__ import annotations
+
+from ..analysis import connection as ca
+from ..analysis import message as ma
+from ..analysis.window_choice import recommend_window
+from ..core.registry import make_algorithm
+from ..core.replay import replay
+from ..costmodels.connection import ConnectionCostModel
+from ..workload.regimes import uniform_theta_regimes
+from .harness import Check, Experiment, ExperimentResult
+
+__all__ = ["ConclusionClaims"]
+
+
+class ConclusionClaims(Experiment):
+    experiment_id = "t-conclusion"
+    title = "Conclusion-section guidance (section 9)"
+    paper_claim = (
+        "k=9: AVG within 10% of optimum and 10-competitive; dynamic "
+        "methods beat statics when theta varies; omega <= 0.4 -> pick SW1."
+    )
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+        model = ConnectionCostModel()
+
+        # k = 9 numbers.
+        avg_9 = ca.average_cost_swk(9)
+        excess_9 = (avg_9 - 0.25) / 0.25
+        result.rows.append(
+            {
+                "claim": "k=9 average excess over optimum",
+                "value": f"{100 * excess_9:.2f}%",
+                "paper": "<= 10%",
+            }
+        )
+        result.checks.append(
+            Check(
+                "AVG_SW9 within 10% of the optimum",
+                excess_9 <= 0.10,
+                f"AVG={avg_9:.4f}, excess {100 * excess_9:.2f}%",
+            )
+        )
+        result.checks.append(
+            Check(
+                "SW9 is 10-competitive",
+                ca.competitive_factor_swk(9) == 10.0,
+            )
+        )
+
+        # Window advisor reproduces the paper's k = 9 and k = 15 picks.
+        pick_10 = recommend_window(0.10, model="connection")
+        pick_6 = recommend_window(0.06, model="connection")
+        result.rows.append(
+            {
+                "claim": "advisor pick for 10% target",
+                "value": f"k={pick_10.k} (factor {pick_10.competitive_factor:.0f})",
+                "paper": "k=9",
+            }
+        )
+        result.rows.append(
+            {
+                "claim": "advisor pick for 6% target",
+                "value": f"k={pick_6.k} (factor {pick_6.competitive_factor:.0f})",
+                "paper": "k=15",
+            }
+        )
+        result.checks.append(
+            Check("advisor: 10% target -> k=9", pick_10.k == 9)
+        )
+        result.checks.append(
+            Check("advisor: 6% target -> k=15", pick_6.k == 15)
+        )
+
+        # Regime-switching workload: one long-lived algorithm instance
+        # crosses many periods with theta_i ~ U(0, 1).
+        num_periods = 40 if quick else 400
+        period_length = 200 if quick else 1_000
+        workload = uniform_theta_regimes(num_periods, period_length, seed=2718)
+        schedule = workload.generate()
+        costs = {}
+        for name in ("st1", "st2", "sw9", "sw15", "sw1"):
+            run = replay(make_algorithm(name), schedule, model)
+            costs[name] = run.mean_cost
+            result.rows.append(
+                {
+                    "claim": f"regime workload mean cost: {name}",
+                    "value": f"{run.mean_cost:.4f}",
+                    "paper": {
+                        "st1": "~0.5",
+                        "st2": "~0.5",
+                        "sw9": f"~{ca.average_cost_swk(9):.4f}",
+                        "sw15": f"~{ca.average_cost_swk(15):.4f}",
+                        "sw1": f"~{ca.average_cost_swk(1):.4f}",
+                    }[name],
+                }
+            )
+        result.checks.append(
+            Check(
+                "SW9 beats both statics on the regime workload",
+                costs["sw9"] < costs["st1"] and costs["sw9"] < costs["st2"],
+                f"sw9={costs['sw9']:.4f}, st1={costs['st1']:.4f}, "
+                f"st2={costs['st2']:.4f}",
+            )
+        )
+        result.checks.append(
+            Check(
+                "larger windows help on the regime workload (sw15 < sw9 < sw1)",
+                costs["sw15"] < costs["sw9"] < costs["sw1"],
+                f"sw15={costs['sw15']:.4f}, sw9={costs['sw9']:.4f}, "
+                f"sw1={costs['sw1']:.4f}",
+            )
+        )
+        tolerance = 0.05 if quick else 0.015
+        result.checks.append(
+            Check(
+                "regime-workload mean cost approximates AVG_SW9",
+                abs(costs["sw9"] - ca.average_cost_swk(9)) < tolerance,
+                f"measured {costs['sw9']:.4f} vs AVG {ca.average_cost_swk(9):.4f}",
+            )
+        )
+
+        # omega <= 0.4 -> SW1 has the lowest AVG among the family.
+        sw1_best = all(
+            ma.average_cost_sw1(omega)
+            <= min(ma.average_cost_swk(k, omega) for k in range(3, 100, 2))
+            for omega in (0.0, 0.2, 0.4)
+        )
+        result.checks.append(
+            Check(
+                "omega <= 0.4: SW1 has the best average expected cost",
+                sw1_best,
+                "k swept over 3..99 at omega in {0, 0.2, 0.4}",
+            )
+        )
+        return result

@@ -1,0 +1,113 @@
+"""Average expected cost in the connection model (eqs. 3 and 6).
+
+Regenerates the AVG-vs-k table: AVG_SWk = 1/4 + 1/(4(k+2)) checked by
+symbolic formula, adaptive quadrature of EXP_SWk, and Monte-Carlo runs
+over a θ-uniform regime workload.  Also validates Corollary 1 (AVG
+decreases in k and always beats the statics' 1/2) and the paper's
+"within 6% of the optimum for k = 15".
+"""
+
+from __future__ import annotations
+
+from ..analysis import connection as ca
+from ..analysis.numerics import average_by_quadrature, monte_carlo_average_cost
+from ..core.registry import make_algorithm
+from ..costmodels.connection import ConnectionCostModel
+from .harness import Check, Experiment, ExperimentResult, approx_check
+
+__all__ = ["ConnectionAverageCost"]
+
+
+class ConnectionAverageCost(Experiment):
+    experiment_id = "t-conn-avg"
+    title = "Average expected cost, connection model (eqs. 3 and 6)"
+    paper_claim = (
+        "AVG_ST1 = AVG_ST2 = 1/2; AVG_SWk = 1/4 + 1/(4(k+2)), decreasing "
+        "in k, within 6% of the 1/4 optimum at k = 15 (Cor. 1)."
+    )
+
+    WINDOW_SIZES = (1, 3, 5, 9, 15, 21, 33)
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+        model = ConnectionCostModel()
+
+        mc_kwargs = (
+            {"num_thetas": 30, "length_per_theta": 500}
+            if quick
+            else {"num_thetas": 120, "length_per_theta": 3_000}
+        )
+        tolerance = 0.03 if quick else 0.008
+
+        for k in self.WINDOW_SIZES:
+            closed_form = ca.average_cost_swk(k)
+            quadrature = average_by_quadrature(
+                lambda theta, k=k: ca.expected_cost_swk(theta, k)
+            )
+            monte_carlo = monte_carlo_average_cost(
+                make_algorithm(f"sw{k}"), model, seed=555, **mc_kwargs
+            )
+            excess = (closed_form - 0.25) / 0.25
+            result.rows.append(
+                {
+                    "k": k,
+                    "AVG(formula)": closed_form,
+                    "AVG(quadrature)": quadrature,
+                    "AVG(monte-carlo)": monte_carlo,
+                    "excess_over_opt": f"{100 * excess:.1f}%",
+                    "competitive": ca.competitive_factor_swk(k),
+                }
+            )
+            result.checks.append(
+                approx_check(
+                    f"quadrature of EXP_SW{k} matches 1/4 + 1/(4(k+2))",
+                    quadrature,
+                    closed_form,
+                    1e-9,
+                )
+            )
+            result.checks.append(
+                approx_check(
+                    f"Monte-Carlo AVG of SW{k}",
+                    monte_carlo,
+                    closed_form,
+                    tolerance,
+                )
+            )
+
+        statics = {
+            "st1": ca.average_cost_st1(),
+            "st2": ca.average_cost_st2(),
+        }
+        result.checks.append(
+            Check(
+                "AVG_ST1 = AVG_ST2 = 1/2 (eq. 3)",
+                statics["st1"] == 0.5 and statics["st2"] == 0.5,
+            )
+        )
+
+        averages = [ca.average_cost_swk(k) for k in self.WINDOW_SIZES]
+        result.checks.append(
+            Check(
+                "Corollary 1: AVG_SWk strictly decreasing in k",
+                all(a > b for a, b in zip(averages, averages[1:])),
+                f"AVG over k={self.WINDOW_SIZES}: "
+                + ", ".join(f"{a:.4f}" for a in averages),
+            )
+        )
+        result.checks.append(
+            Check(
+                "Corollary 1: AVG_SWk < 1/2 = min static for every k",
+                all(a < 0.5 for a in averages),
+            )
+        )
+
+        excess_15 = (ca.average_cost_swk(15) - 0.25) / 0.25
+        result.checks.append(
+            Check(
+                "k=15 comes within 6% of the optimum",
+                excess_15 <= 0.06,
+                f"excess {100 * excess_15:.2f}%",
+            )
+        )
+        return result

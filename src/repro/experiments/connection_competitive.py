@@ -1,0 +1,140 @@
+"""Worst-case analysis in the connection model (section 5.3).
+
+Measures, against the offline-optimal dynamic program:
+
+* statics are not competitive — their realized ratio on all-read /
+  all-write schedules grows linearly without bound;
+* SWk's realized ratio on the tight adversarial family equals k+1
+  exactly (Theorem 4's lower bound);
+* SWk never exceeds (k+1)·OPT + b on random and greedy-adversarial
+  schedules (Theorem 4's upper bound), with additive allowance b = k+1
+  for start-up effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.competitive import (
+    exceeds_bound,
+    measure_competitive_ratio,
+    ratio_over_family,
+)
+from ..core.offline import OfflineOptimal
+from ..core.registry import make_algorithm
+from ..costmodels.connection import ConnectionCostModel
+from ..workload.adversary import (
+    GreedyAdversary,
+    all_reads,
+    all_writes,
+    swk_tight_schedule,
+)
+from ..workload.poisson import bernoulli_schedule
+from .harness import Check, Experiment, ExperimentResult
+
+__all__ = ["ConnectionCompetitive"]
+
+
+class ConnectionCompetitive(Experiment):
+    experiment_id = "t-conn-comp"
+    title = "Competitiveness in the connection model (Thm 4, sec 5.3)"
+    paper_claim = (
+        "ST1 and ST2 are not competitive; SWk is tightly "
+        "(k+1)-competitive."
+    )
+
+    WINDOW_SIZES = (1, 3, 5, 9, 15)
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+        model = ConnectionCostModel()
+        offline = OfflineOptimal(model)
+
+        # Statics: the ratio diverges with schedule length.
+        lengths = (10, 100, 1_000)
+        for name, family in (("st1", all_reads), ("st2", all_writes)):
+            measurements = [
+                measure_competitive_ratio(
+                    make_algorithm(name), family(n), model, offline
+                )
+                for n in lengths
+            ]
+            result.rows.append(
+                {
+                    "algorithm": name,
+                    "family": family.__name__,
+                    **{f"ratio@{n}": m.ratio for n, m in zip(lengths, measurements)},
+                }
+            )
+            # Non-competitiveness: the online cost grows linearly while
+            # the offline optimum stays bounded by a constant (1 for
+            # ST1's piggybacked acquisition, 0 for ST2's free release),
+            # so no (c, b) pair can cover the family.
+            online_grows = all(
+                later.online_cost > earlier.online_cost
+                for earlier, later in zip(measurements, measurements[1:])
+            )
+            offline_bounded = all(m.offline_cost <= 1.0 for m in measurements)
+            unbounded = online_grows and offline_bounded and (
+                measurements[-1].online_cost >= lengths[-1] / 2
+            )
+            result.checks.append(
+                Check(
+                    f"{name.upper()} not competitive "
+                    "(online grows, offline stays bounded)",
+                    unbounded,
+                    f"online costs {[m.online_cost for m in measurements]}, "
+                    f"offline costs {[m.offline_cost for m in measurements]}",
+                )
+            )
+
+        # SWk: the tight family realizes exactly k+1.
+        cycles = 50 if quick else 400
+        for k in self.WINDOW_SIZES:
+            schedule = swk_tight_schedule(k, cycles)
+            measurement = measure_competitive_ratio(
+                make_algorithm(f"sw{k}"), schedule, model, offline
+            )
+            result.rows.append(
+                {
+                    "algorithm": f"sw{k}",
+                    "family": "tight cycles",
+                    "online": measurement.online_cost,
+                    "offline": measurement.offline_cost,
+                    "ratio": measurement.ratio,
+                    "claimed": k + 1,
+                }
+            )
+            result.checks.append(
+                Check(
+                    f"SW{k} tight family realizes ratio k+1 = {k + 1}",
+                    abs(measurement.ratio - (k + 1)) < 0.05,
+                    f"measured {measurement.ratio:.4f}",
+                )
+            )
+
+        # Upper bound on random + greedy-adversarial schedules.
+        rng = np.random.default_rng(31337)
+        num_random = 10 if quick else 60
+        length = 300 if quick else 1_500
+        for k in self.WINDOW_SIZES:
+            algorithm = make_algorithm(f"sw{k}")
+            schedules = [
+                bernoulli_schedule(float(theta), length, rng=rng)
+                for theta in rng.random(num_random)
+            ]
+            schedules.append(
+                GreedyAdversary(algorithm, model, seed=5).generate(length)
+            )
+            measurements = ratio_over_family(algorithm, schedules, model)
+            violations = exceeds_bound(measurements, factor=k + 1, additive=k + 1)
+            worst = max(m.ratio_with_additive(k + 1) for m in measurements)
+            result.checks.append(
+                Check(
+                    f"SW{k} cost <= (k+1)*OPT + (k+1) on "
+                    f"{len(schedules)} random/greedy schedules",
+                    not violations,
+                    f"worst net ratio {worst:.3f} vs bound {k + 1}",
+                )
+            )
+        return result

@@ -1,0 +1,93 @@
+"""Expected cost per request in the connection model (section 5.1-5.2).
+
+Regenerates the table behind equations 2 and 5: EXP(θ) for ST1, ST2
+and SWk over a θ grid, with three independent measurements per cell
+(closed form, Monte-Carlo replay, protocol simulation), plus Theorem
+2's inequality EXP_SWk ≥ min(EXP_ST1, EXP_ST2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import connection as ca
+from ..analysis.numerics import monte_carlo_expected_cost
+from ..core.registry import make_algorithm
+from ..costmodels.connection import ConnectionCostModel
+from ..sim import simulate_protocol
+from ..workload.poisson import bernoulli_schedule
+from .harness import Check, Experiment, ExperimentResult, approx_check
+
+__all__ = ["ConnectionExpectedCost"]
+
+
+class ConnectionExpectedCost(Experiment):
+    experiment_id = "t-conn-exp"
+    title = "Expected cost per request, connection model (eqs. 2 and 5)"
+    paper_claim = (
+        "EXP_ST1 = 1-theta, EXP_ST2 = theta, EXP_SWk = theta*pi_k + "
+        "(1-theta)(1-pi_k); and EXP_SWk >= min(EXP_ST1, EXP_ST2) (Thm 2)."
+    )
+
+    ALGORITHMS = ("st1", "st2", "sw1", "sw3", "sw9", "sw15")
+
+    def _exact(self, name: str, theta: float) -> float:
+        if name == "st1":
+            return ca.expected_cost_st1(theta)
+        if name == "st2":
+            return ca.expected_cost_st2(theta)
+        k = int(name[2:])
+        return ca.expected_cost_swk(theta, k)
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+        model = ConnectionCostModel()
+        thetas = (0.1, 0.25, 0.5, 0.75, 0.9) if quick else (
+            0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95
+        )
+        mc_length = 5_000 if quick else 60_000
+        sim_length = 800 if quick else 4_000
+        tolerance = 0.03 if quick else 0.01
+
+        rng = np.random.default_rng(2024)
+        for theta in thetas:
+            row = {"theta": theta}
+            sim_schedule = bernoulli_schedule(theta, sim_length, rng=rng)
+            for name in self.ALGORITHMS:
+                exact = self._exact(name, theta)
+                estimate = monte_carlo_expected_cost(
+                    make_algorithm(name), model, theta, length=mc_length, seed=77
+                )
+                row[f"{name}(exact)"] = exact
+                row[f"{name}(mc)"] = estimate
+                result.checks.append(
+                    approx_check(
+                        f"{name} Monte-Carlo at theta={theta}",
+                        estimate,
+                        exact,
+                        tolerance,
+                    )
+                )
+            # Protocol simulation (one representative algorithm per row
+            # keeps the runtime sane; the integration tests cover all).
+            protocol = simulate_protocol("sw9", sim_schedule)
+            row["sw9(protocol)"] = protocol.total_cost(model) / sim_length
+            result.rows.append(row)
+
+        # Theorem 2 on a fine grid, for several window sizes.
+        fine = np.linspace(0.0, 1.0, 201)
+        violations = sum(
+            1
+            for theta in fine
+            for k in (1, 3, 5, 9, 15, 33)
+            if ca.expected_cost_swk(float(theta), k)
+            < ca.best_static_expected(float(theta)) - 1e-12
+        )
+        result.checks.append(
+            Check(
+                "Theorem 2: EXP_SWk >= min(EXP_ST1, EXP_ST2)",
+                violations == 0,
+                "201 theta points x 6 window sizes, 0 tolerance",
+            )
+        )
+        return result

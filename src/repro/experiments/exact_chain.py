@@ -1,0 +1,187 @@
+"""Exact Markov-chain cross-validation of every closed form.
+
+Beyond the paper: each allocation method is a finite state machine on
+i.i.d. Bernoulli(θ) input, so its exact expected cost is computable
+from the stationary distribution of a finite Markov chain — no
+sampling, no hand derivation.  This experiment re-derives the paper's
+formulas mechanically:
+
+* π_k (eq. 4) = stationary replica probability of the SWk chain;
+* EXP formulas (eqs. 2, 5, 7, 9, 11) and the T1m formula (§7.1), in
+  both cost models, to near machine precision;
+* AVG formulas (eqs. 6, 12) via Simpson integration of exact EXP;
+* and values the paper *doesn't* give: T2m in the message model and
+  the estimator-based allocators.
+"""
+
+from __future__ import annotations
+
+from ..analysis import connection as ca
+from ..analysis import message as ma
+from ..analysis.majority import pi_k
+from ..analysis.markov import analyze, exact_average_cost, exact_expected_cost
+from ..analysis.numerics import monte_carlo_expected_cost
+from ..core.registry import make_algorithm
+from ..costmodels.connection import ConnectionCostModel
+from ..costmodels.message import MessageCostModel
+from .harness import Check, Experiment, ExperimentResult, approx_check
+
+__all__ = ["ExactChainValidation"]
+
+
+class ExactChainValidation(Experiment):
+    experiment_id = "t-exact"
+    title = "Exact Markov-chain re-derivation of every formula"
+    paper_claim = (
+        "The i.i.d. request stream makes each algorithm a finite Markov "
+        "chain; its stationary distribution must reproduce eqs. 2-12 "
+        "exactly."
+    )
+
+    THETAS = (0.15, 0.35, 0.5, 0.65, 0.85)
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+        connection = ConnectionCostModel()
+        omega = 0.45
+        message = MessageCostModel(omega)
+        window_sizes = (1, 3, 5) if quick else (1, 3, 5, 9)
+
+        for theta in self.THETAS:
+            row = {"theta": theta}
+            # pi_k from the chain == equation 4.
+            for k in window_sizes:
+                name = f"sw{k}" if k > 1 else "sw1"
+                chain = analyze(make_algorithm(name), theta)
+                row[f"pi_{k}(chain)"] = chain.copy_probability
+                result.checks.append(
+                    approx_check(
+                        f"pi_{k}({theta}) from the chain matches eq. 4",
+                        chain.copy_probability,
+                        pi_k(theta, k),
+                        1e-9,
+                    )
+                )
+                # Connection-model EXP == eq. 5.
+                result.checks.append(
+                    approx_check(
+                        f"chain EXP_SW{k}({theta}) connection",
+                        chain.expected_cost(connection),
+                        ca.expected_cost_swk(theta, k),
+                        1e-9,
+                    )
+                )
+                # Message-model EXP == Thm 5 / eq. 11.
+                expected = (
+                    ma.expected_cost_sw1(theta, omega)
+                    if k == 1
+                    else ma.expected_cost_swk(theta, k, omega)
+                )
+                result.checks.append(
+                    approx_check(
+                        f"chain EXP_SW{k}({theta}) message",
+                        chain.expected_cost(message),
+                        expected,
+                        1e-9,
+                    )
+                )
+            # Statics and T1m.
+            result.checks.append(
+                approx_check(
+                    f"chain EXP_ST1({theta}) message",
+                    exact_expected_cost(make_algorithm("st1"), message, theta),
+                    ma.expected_cost_st1(theta, omega),
+                    1e-12,
+                )
+            )
+            result.checks.append(
+                approx_check(
+                    f"chain EXP_T1_7({theta}) connection",
+                    exact_expected_cost(make_algorithm("t1_7"), connection, theta),
+                    ca.expected_cost_t1m(theta, 7),
+                    1e-9,
+                )
+            )
+            result.rows.append(row)
+
+        # AVG formulas via Simpson over exact EXP.
+        grid = 101 if quick else 201
+        for k in (3, 5):
+            avg_connection = exact_average_cost(
+                make_algorithm(f"sw{k}"), connection, num_thetas=grid
+            )
+            result.checks.append(
+                approx_check(
+                    f"chain AVG_SW{k} connection matches eq. 6",
+                    avg_connection,
+                    ca.average_cost_swk(k),
+                    1e-6,
+                )
+            )
+            avg_message = exact_average_cost(
+                make_algorithm(f"sw{k}"), message, num_thetas=grid
+            )
+            result.checks.append(
+                approx_check(
+                    f"chain AVG_SW{k} message matches eq. 12",
+                    avg_message,
+                    ma.average_cost_swk(k, omega),
+                    1e-6,
+                )
+            )
+
+        # New exact values the paper does not provide: T2m in the
+        # message model, verified against an independent Monte-Carlo run.
+        theta = 0.6
+        exact = exact_expected_cost(make_algorithm("t2_4"), message, theta)
+        simulated = monte_carlo_expected_cost(
+            make_algorithm("t2_4"),
+            message,
+            theta,
+            length=4_000 if quick else 60_000,
+            seed=321,
+        )
+        result.rows.append(
+            {
+                "theta": theta,
+                "EXP_T2_4 message (exact chain)": exact,
+                "EXP_T2_4 message (monte-carlo)": simulated,
+            }
+        )
+        result.checks.append(
+            approx_check(
+                "exact T2_4 message-model cost confirmed by Monte-Carlo",
+                simulated,
+                exact,
+                0.03 if quick else 0.01,
+            )
+        )
+
+        # Estimator allocators are chains too (quantized estimate).
+        from ..core.estimators import EwmaAllocator
+
+        ewma = EwmaAllocator(0.25, quantization=3)
+        exact = exact_expected_cost(ewma, connection, 0.3)
+        simulated = monte_carlo_expected_cost(
+            ewma.clone(),
+            connection,
+            0.3,
+            length=4_000 if quick else 60_000,
+            seed=654,
+        )
+        result.rows.append(
+            {
+                "theta": 0.3,
+                "EXP_EWMA(0.25) connection (exact chain)": exact,
+                "EXP_EWMA(0.25) connection (monte-carlo)": simulated,
+            }
+        )
+        result.checks.append(
+            approx_check(
+                "exact EWMA cost confirmed by Monte-Carlo",
+                simulated,
+                exact,
+                0.03 if quick else 0.01,
+            )
+        )
+        return result

@@ -1,0 +1,142 @@
+"""Figure 1: superiority coverage in the message model.
+
+Reproduces the paper's dominance diagram (section 2.2 / Theorem 6):
+which of ST1, ST2, SW1 has the lowest expected cost at each (θ, ω).
+Three independent routes must agree:
+
+1. the analytic thresholds θ = (1+ω)/(1+2ω) and θ = 2ω/(1+2ω);
+2. the numeric argmin of the three EXP formulas on a dense grid;
+3. Monte-Carlo runs of the actual algorithms on Bernoulli streams at a
+   coarser grid of clear-margin points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import dominance
+from ..analysis.numerics import monte_carlo_expected_cost
+from ..core.registry import make_algorithm
+from ..costmodels.message import MessageCostModel
+from .harness import Check, Experiment, ExperimentResult
+from .tables import format_region_map
+
+__all__ = ["Figure1Dominance"]
+
+_SYMBOLS = {
+    dominance.DominanceRegion.ST1: "1",
+    dominance.DominanceRegion.ST2: "2",
+    dominance.DominanceRegion.SW1: "w",
+    dominance.DominanceRegion.BOUNDARY: ".",
+}
+
+
+class Figure1Dominance(Experiment):
+    experiment_id = "fig1"
+    title = "Superiority coverage in the message model (Figure 1)"
+    paper_claim = (
+        "ST1 is best iff theta > (1+w)/(1+2w); ST2 is best iff "
+        "theta < 2w/(1+2w); SW1 is best in between (Theorem 6)."
+    )
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+
+        # 1+2. analytic thresholds vs numeric argmin on a dense grid.
+        grid = 25 if quick else 81
+        thetas = np.linspace(0.0, 1.0, grid)
+        omegas = np.linspace(0.0, 1.0, grid)
+        cells = dominance.dominance_grid(thetas, omegas)
+        margin = 0.02  # stay clear of boundaries where ties are exact
+        disagreements = 0
+        compared = 0
+        for cell in cells:
+            if cell.analytic_winner is dominance.DominanceRegion.BOUNDARY:
+                continue
+            upper = dominance.st1_sw1_boundary(cell.omega)
+            lower = dominance.st2_sw1_boundary(cell.omega)
+            if min(abs(cell.theta - upper), abs(cell.theta - lower)) < margin:
+                continue
+            compared += 1
+            if cell.numeric_winner != cell.analytic_winner.value:
+                disagreements += 1
+        result.checks.append(
+            Check(
+                "analytic thresholds match numeric argmin of the EXP formulas",
+                disagreements == 0,
+                f"{compared} clear-margin grid cells compared, "
+                f"{disagreements} disagreements",
+            )
+        )
+
+        # 3. Monte-Carlo winners at representative points of each region.
+        probe_points = [
+            (0.95, 0.30, "st1"),
+            (0.95, 0.40, "st1"),
+            (0.10, 0.60, "st2"),
+            (0.20, 0.90, "st2"),
+            (0.50, 0.20, "sw1"),
+            (0.55, 0.40, "sw1"),
+        ]
+        length = 4_000 if quick else 40_000
+        rows = []
+        for theta, omega, expected_winner in probe_points:
+            model = MessageCostModel(omega)
+            estimates = {}
+            for name in ("st1", "st2", "sw1"):
+                estimates[name] = monte_carlo_expected_cost(
+                    make_algorithm(name), model, theta, length=length, seed=1234
+                )
+            simulated_winner = min(estimates, key=estimates.get)
+            rows.append(
+                {
+                    "theta": theta,
+                    "omega": omega,
+                    "exp_st1": estimates["st1"],
+                    "exp_st2": estimates["st2"],
+                    "exp_sw1": estimates["sw1"],
+                    "winner(sim)": simulated_winner,
+                    "winner(paper)": expected_winner,
+                }
+            )
+            result.checks.append(
+                Check(
+                    f"simulated winner at theta={theta}, omega={omega}",
+                    simulated_winner == expected_winner,
+                    f"simulated {simulated_winner}, Theorem 6 says {expected_winner}",
+                )
+            )
+        result.rows = rows
+
+        # Boundary spot values quoted from the formulas at omega = 0.5.
+        result.checks.append(
+            Check(
+                "boundary curves at omega=0.5",
+                abs(dominance.st1_sw1_boundary(0.5) - 0.75) < 1e-12
+                and abs(dominance.st2_sw1_boundary(0.5) - 0.5) < 1e-12,
+                "(1+w)/(1+2w)=0.75 and 2w/(1+2w)=0.5 at w=0.5",
+            )
+        )
+        # At omega=1 the SW1 wedge closes at theta=2/3 (the paper's
+        # figure shows the three regions meeting in a point).
+        closes = abs(
+            dominance.st1_sw1_boundary(1.0) - dominance.st2_sw1_boundary(1.0)
+        )
+        result.checks.append(
+            Check(
+                "SW1 region closes at omega=1",
+                closes < 1e-12,
+                f"both boundaries equal 2/3 (gap {closes:.2g})",
+            )
+        )
+
+        def classify(theta: float, omega: float) -> str:
+            return _SYMBOLS[dominance.best_expected_algorithm(theta, omega, 5e-3)]
+
+        result.figures.append(
+            format_region_map(
+                classify,
+                legend={"1": "ST1", "2": "ST2", "w": "SW1", ".": "boundary"},
+            )
+        )
+        return result

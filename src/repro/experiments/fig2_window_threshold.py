@@ -1,0 +1,125 @@
+"""Figure 2 + Corollaries 3-4: when does SWk beat SW1 on average cost.
+
+The paper's second figure plots, against ω, the smallest window size k
+for which AVG_SWk ≤ AVG_SW1.  Anchors quoted in the text: ω = 0.45 →
+k = 39 and ω = 0.8 → k = 7; the figure's k-axis ticks are
+3, 5, 7, 11, 21, 39, 95.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import message as ma
+from ..analysis import window_choice as wc
+from ..analysis.numerics import monte_carlo_expected_cost
+from ..core.registry import make_algorithm
+from ..costmodels.message import MessageCostModel
+from .harness import Check, Experiment, ExperimentResult
+from .tables import format_staircase
+
+__all__ = ["Figure2WindowThreshold"]
+
+
+class Figure2WindowThreshold(Experiment):
+    experiment_id = "fig2"
+    title = "Smallest odd k with AVG_SWk <= AVG_SW1 vs omega (Figure 2)"
+    paper_claim = (
+        "If w <= 0.4 SW1 always wins (Cor. 3); for w > 0.4 the first "
+        "odd k is k0(w) = [(10-w)+sqrt(100-68w+121w^2)]/(2(5w-2)) "
+        "(Cor. 4); e.g. w=0.45 -> k=39 and w=0.8 -> k=7."
+    )
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+
+        omegas = np.round(np.arange(0.05, 1.0001, 0.05), 4)
+        points = []
+        rows = []
+        for omega in omegas:
+            k = wc.first_odd_k_beating_sw1(float(omega))
+            points.append((float(omega), k))
+            row = {"omega": float(omega), "first_odd_k": "-" if k is None else k}
+            if k is not None:
+                row["AVG_SWk"] = ma.average_cost_swk(k, float(omega))
+                row["AVG_SW1"] = ma.average_cost_sw1(float(omega))
+            rows.append(row)
+        result.rows = rows
+        result.figures.append(format_staircase(points))
+
+        # Paper anchors.
+        anchors = [(0.45, 39), (0.8, 7)]
+        for omega, expected_k in anchors:
+            measured = wc.first_odd_k_beating_sw1(omega)
+            result.checks.append(
+                Check(
+                    f"anchor omega={omega} -> k={expected_k}",
+                    measured == expected_k,
+                    f"first odd k measured {measured}",
+                )
+            )
+
+        # Corollary 3: below omega = 0.4 no k wins.
+        cor3_holds = all(
+            ma.average_cost_swk(k, omega) > ma.average_cost_sw1(omega)
+            for omega in (0.0, 0.1, 0.25, 0.4)
+            for k in range(3, 200, 2)
+        )
+        result.checks.append(
+            Check(
+                "Corollary 3: omega <= 0.4 -> AVG_SWk > AVG_SW1 for all k > 1",
+                cor3_holds,
+                "checked k = 3..199 at omega in {0, .1, .25, .4}",
+            )
+        )
+
+        # Corollary 4 consistency: right at the staircase the direct
+        # AVG comparison flips between k-2 and k.
+        consistent = True
+        for omega in (0.45, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0):
+            k = wc.first_odd_k_beating_sw1(omega)
+            assert k is not None
+            wins = ma.average_cost_swk(k, omega) <= ma.average_cost_sw1(omega)
+            loses_below = (
+                k == 3
+                or ma.average_cost_swk(k - 2, omega) > ma.average_cost_sw1(omega)
+            )
+            consistent = consistent and wins and loses_below
+        result.checks.append(
+            Check(
+                "staircase is exactly the AVG crossover",
+                consistent,
+                "SWk wins at k and loses at k-2 for omega in {0.45..1.0}",
+            )
+        )
+
+        # Monte-Carlo confirmation at omega = 0.8 with window sizes well
+        # clear of the k = 7 crossover (margins at the crossover itself
+        # are sub-0.002 and not resolvable by simulation): SW21 beats
+        # SW1 on a theta-uniform workload, SW3 loses to it.
+        omega = 0.8
+        model = MessageCostModel(omega)
+        num_thetas = 20 if quick else 60
+        length = 1_000 if quick else 4_000
+        averages = {}
+        for name in ("sw1", "sw3", "sw21"):
+            total = 0.0
+            midpoints = (np.arange(num_thetas) + 0.5) / num_thetas
+            for i, theta in enumerate(midpoints):
+                total += monte_carlo_expected_cost(
+                    make_algorithm(name),
+                    model,
+                    float(theta),
+                    length=length,
+                    seed=9_000 + i,
+                )
+            averages[name] = total / num_thetas
+        result.checks.append(
+            Check(
+                "Monte-Carlo at omega=0.8: AVG(SW21) < AVG(SW1) < AVG(SW3)",
+                averages["sw21"] < averages["sw1"] < averages["sw3"],
+                f"sw21={averages['sw21']:.4f}, sw1={averages['sw1']:.4f}, "
+                f"sw3={averages['sw3']:.4f}",
+            )
+        )
+        return result

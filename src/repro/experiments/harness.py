@@ -1,0 +1,167 @@
+"""Experiment base classes and result reporting."""
+
+from __future__ import annotations
+
+import abc
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .tables import format_table
+
+__all__ = ["Check", "ExperimentResult", "Experiment"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a cell value into something json.dumps accepts."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # JSON has no Infinity/NaN; stringify them.
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)
+        return value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Check:
+    """One verified claim: name, verdict and supporting detail."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        """One report line: [PASS]/[FAIL], name and detail."""
+        mark = "PASS" if self.passed else "FAIL"
+        detail = f" — {self.detail}" if self.detail else ""
+        return f"  [{mark}] {self.name}{detail}"
+
+
+@dataclass
+class ExperimentResult:
+    """Rows, figures and checks produced by one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+    #: Pre-rendered ASCII artifacts (region maps, staircases, ...).
+    figures: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> List[Check]:
+        """The checks that did not pass."""
+        return [check for check in self.checks if not check.passed]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (stable keys, JSON-safe values)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "passed": self.passed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "rows": [
+                {key: _jsonable(value) for key, value in row.items()}
+                for row in self.rows
+            ],
+            "checks": [
+                {
+                    "name": check.name,
+                    "passed": check.passed,
+                    "detail": check.detail,
+                }
+                for check in self.checks
+            ],
+            "figures": list(self.figures),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable report: tables, figures and checks."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            "",
+        ]
+        if self.rows:
+            lines.append(format_table(self.rows))
+            lines.append("")
+        for figure in self.figures:
+            lines.append(figure)
+            lines.append("")
+        if self.checks:
+            lines.append(f"checks ({sum(c.passed for c in self.checks)}"
+                         f"/{len(self.checks)} passed):")
+            lines.extend(check.render() for check in self.checks)
+        lines.append(f"[{self.elapsed_seconds:.2f}s]")
+        return "\n".join(lines)
+
+
+class Experiment(abc.ABC):
+    """Base class: identifies, documents and runs one reproduction."""
+
+    #: Experiment id as used in DESIGN.md / EXPERIMENTS.md (e.g. "fig1").
+    experiment_id: str = "abstract"
+    title: str = ""
+    #: The paper statement being reproduced, quoted or paraphrased.
+    paper_claim: str = ""
+
+    def run(self, quick: bool = False) -> ExperimentResult:
+        """Execute the experiment.
+
+        ``quick`` shrinks Monte-Carlo sample sizes so benchmarks finish
+        fast; the checks still run, with correspondingly looser
+        tolerances chosen by each experiment.
+        """
+        started = time.perf_counter()
+        result = self._execute(quick=quick)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    @abc.abstractmethod
+    def _execute(self, quick: bool) -> ExperimentResult:
+        """Produce the rows, figures and checks."""
+
+    def _new_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+        )
+
+
+def approx_check(
+    name: str,
+    measured: float,
+    expected: float,
+    tolerance: float,
+    *,
+    relative: bool = False,
+) -> Check:
+    """A numeric agreement check with absolute or relative tolerance."""
+    if relative:
+        scale = max(abs(expected), 1e-12)
+        error = abs(measured - expected) / scale
+    else:
+        error = abs(measured - expected)
+    kind = "rel" if relative else "abs"
+    return Check(
+        name=name,
+        passed=error <= tolerance,
+        detail=(
+            f"measured={measured:.6g}, expected={expected:.6g}, "
+            f"{kind}-err={error:.3g} (tol {tolerance:g})"
+        ),
+    )

@@ -1,0 +1,158 @@
+"""Average expected cost in the message model (eqs. 8, 10, 12).
+
+Regenerates the AVG table over (k, ω): closed forms vs quadrature vs
+Monte Carlo, Theorem 7's ordering, Corollary 2's lower bound and the
+Corollary 3/4 crossover behaviour.
+"""
+
+from __future__ import annotations
+
+from ..analysis import message as ma
+from ..analysis import window_choice as wc
+from ..analysis.numerics import average_by_quadrature, monte_carlo_average_cost
+from ..core.registry import make_algorithm
+from ..costmodels.message import MessageCostModel
+from .harness import Check, Experiment, ExperimentResult, approx_check
+
+__all__ = ["MessageAverageCost"]
+
+
+class MessageAverageCost(Experiment):
+    experiment_id = "t-msg-avg"
+    title = "Average expected cost, message model (eqs. 8, 10, 12)"
+    paper_claim = (
+        "AVG_ST1 = (1+w)/2, AVG_ST2 = 1/2, AVG_SW1 = (1+2w)/6, AVG_SWk "
+        "per eq. 12 with infimum 1/4 + w/8 (Cor. 2); AVG_SW1 <= AVG_ST2 "
+        "<= AVG_ST1 (Thm 7)."
+    )
+
+    WINDOW_SIZES = (3, 5, 9, 15, 33)
+    OMEGAS = (0.1, 0.4, 0.7, 1.0)
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+
+        mc_kwargs = (
+            {"num_thetas": 30, "length_per_theta": 500}
+            if quick
+            else {"num_thetas": 100, "length_per_theta": 2_500}
+        )
+        tolerance = 0.03 if quick else 0.01
+
+        for omega in self.OMEGAS:
+            model = MessageCostModel(omega)
+            # SW1 first (Theorem 7).
+            sw1_formula = ma.average_cost_sw1(omega)
+            sw1_quadrature = average_by_quadrature(
+                lambda theta, w=omega: ma.expected_cost_sw1(theta, w)
+            )
+            sw1_mc = monte_carlo_average_cost(
+                make_algorithm("sw1"), model, seed=808, **mc_kwargs
+            )
+            result.rows.append(
+                {
+                    "omega": omega,
+                    "k": 1,
+                    "AVG(formula)": sw1_formula,
+                    "AVG(quadrature)": sw1_quadrature,
+                    "AVG(monte-carlo)": sw1_mc,
+                }
+            )
+            result.checks.append(
+                approx_check(
+                    f"quadrature AVG_SW1 at omega={omega}",
+                    sw1_quadrature,
+                    sw1_formula,
+                    1e-9,
+                )
+            )
+            result.checks.append(
+                approx_check(
+                    f"Monte-Carlo AVG_SW1 at omega={omega}",
+                    sw1_mc,
+                    sw1_formula,
+                    tolerance,
+                )
+            )
+            result.checks.append(
+                Check(
+                    f"Theorem 7 ordering at omega={omega}",
+                    sw1_formula
+                    <= ma.average_cost_st2(omega)
+                    <= ma.average_cost_st1(omega),
+                    f"SW1={sw1_formula:.4f} <= ST2=0.5 <= "
+                    f"ST1={ma.average_cost_st1(omega):.4f}",
+                )
+            )
+
+            for k in self.WINDOW_SIZES:
+                formula = ma.average_cost_swk(k, omega)
+                quadrature = average_by_quadrature(
+                    lambda theta, k=k, w=omega: ma.expected_cost_swk(theta, k, w)
+                )
+                result.rows.append(
+                    {
+                        "omega": omega,
+                        "k": k,
+                        "AVG(formula)": formula,
+                        "AVG(quadrature)": quadrature,
+                        "AVG(monte-carlo)": "",
+                    }
+                )
+                result.checks.append(
+                    approx_check(
+                        f"quadrature AVG_SW{k} at omega={omega} matches eq. 12",
+                        quadrature,
+                        formula,
+                        1e-9,
+                    )
+                )
+                result.checks.append(
+                    Check(
+                        f"Corollary 2 lower bound at omega={omega}, k={k}",
+                        formula > ma.average_cost_swk_lower_bound(omega),
+                        f"{formula:.4f} > {ma.average_cost_swk_lower_bound(omega):.4f}",
+                    )
+                )
+
+            # Monotone decrease in k (Corollary 2's first part).
+            averages = [ma.average_cost_swk(k, omega) for k in self.WINDOW_SIZES]
+            result.checks.append(
+                Check(
+                    f"AVG_SWk decreasing in k at omega={omega}",
+                    all(a > b for a, b in zip(averages, averages[1:])),
+                )
+            )
+
+        # One Monte-Carlo confirmation of eq. 12 (full mode only would
+        # be slow for all cells).
+        model = MessageCostModel(0.7)
+        mc = monte_carlo_average_cost(make_algorithm("sw9"), model, seed=909, **mc_kwargs)
+        result.checks.append(
+            approx_check(
+                "Monte-Carlo AVG_SW9 at omega=0.7 matches eq. 12",
+                mc,
+                ma.average_cost_swk(9, 0.7),
+                tolerance,
+            )
+        )
+
+        # Corollary 3/4 crossover behaviour delegated to fig2; assert
+        # the headline here for completeness.
+        result.checks.append(
+            Check(
+                "Corollary 3 headline: at omega=0.4 SW1 beats SW201",
+                ma.average_cost_swk(201, 0.4) > ma.average_cost_sw1(0.4),
+                f"SW201={ma.average_cost_swk(201, 0.4):.5f} > "
+                f"SW1={ma.average_cost_sw1(0.4):.5f}",
+            )
+        )
+        result.checks.append(
+            Check(
+                "Corollary 4 headline: at omega=0.8 SW7 beats SW1",
+                ma.average_cost_swk(7, 0.8) <= ma.average_cost_sw1(0.8),
+                f"SW7={ma.average_cost_swk(7, 0.8):.5f} <= "
+                f"SW1={ma.average_cost_sw1(0.8):.5f}",
+            )
+        )
+        return result

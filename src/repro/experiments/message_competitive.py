@@ -1,0 +1,155 @@
+"""Worst-case analysis in the message model (section 6.4).
+
+Measures Theorems 11 and 12 against the offline optimum:
+
+* SW1's tight family (alternating r, w) realizes exactly 1+2ω;
+* SWk's tight family realizes exactly (1+ω/2)(k+1)+ω;
+* neither bound is exceeded (plus additive slack) on random and
+  greedy-adversarial schedules;
+* statics remain non-competitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import message as ma
+from ..analysis.competitive import (
+    exceeds_bound,
+    measure_competitive_ratio,
+    ratio_over_family,
+)
+from ..core.offline import OfflineOptimal
+from ..core.registry import make_algorithm
+from ..costmodels.message import MessageCostModel
+from ..workload.adversary import (
+    GreedyAdversary,
+    all_reads,
+    all_writes,
+    sw1_tight_schedule,
+    swk_tight_schedule,
+)
+from ..workload.poisson import bernoulli_schedule
+from .harness import Check, Experiment, ExperimentResult
+
+__all__ = ["MessageCompetitive"]
+
+
+class MessageCompetitive(Experiment):
+    experiment_id = "t-msg-comp"
+    title = "Competitiveness in the message model (Thms 11-12)"
+    paper_claim = (
+        "SW1 is tightly (1+2w)-competitive; SWk (k>1) is tightly "
+        "((1+w/2)(k+1)+w)-competitive; ST1/ST2 are not competitive."
+    )
+
+    OMEGAS = (0.2, 0.5, 0.9)
+    WINDOW_SIZES = (3, 5, 9)
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+        cycles = 50 if quick else 400
+
+        for omega in self.OMEGAS:
+            model = MessageCostModel(omega)
+            offline = OfflineOptimal(model)
+
+            # Statics: not competitive.
+            divergence = measure_competitive_ratio(
+                make_algorithm("st1"), all_reads(1_000), model, offline
+            )
+            result.checks.append(
+                Check(
+                    f"ST1 not competitive at omega={omega}",
+                    divergence.ratio > 100,
+                    f"ratio {divergence.ratio:.1f} on 1000 reads",
+                )
+            )
+            divergence = measure_competitive_ratio(
+                make_algorithm("st2"), all_writes(1_000), model, offline
+            )
+            result.checks.append(
+                Check(
+                    f"ST2 not competitive at omega={omega}",
+                    divergence.ratio == float("inf"),
+                    "offline keeps no replica and pays 0; ST2 pays per write",
+                )
+            )
+
+            # SW1 tight family.
+            claimed_sw1 = ma.competitive_factor_sw1(omega)
+            measurement = measure_competitive_ratio(
+                make_algorithm("sw1"), sw1_tight_schedule(cycles), model, offline
+            )
+            result.rows.append(
+                {
+                    "omega": omega,
+                    "algorithm": "sw1",
+                    "ratio(tight family)": measurement.ratio,
+                    "claimed factor": claimed_sw1,
+                }
+            )
+            result.checks.append(
+                Check(
+                    f"SW1 tight family realizes 1+2w at omega={omega}",
+                    abs(measurement.ratio - claimed_sw1) < 0.05,
+                    f"measured {measurement.ratio:.4f} vs {claimed_sw1:.4f}",
+                )
+            )
+
+            # SWk tight family.
+            for k in self.WINDOW_SIZES:
+                claimed = ma.competitive_factor_swk(k, omega)
+                measurement = measure_competitive_ratio(
+                    make_algorithm(f"sw{k}"),
+                    swk_tight_schedule(k, cycles),
+                    model,
+                    offline,
+                )
+                result.rows.append(
+                    {
+                        "omega": omega,
+                        "algorithm": f"sw{k}",
+                        "ratio(tight family)": measurement.ratio,
+                        "claimed factor": claimed,
+                    }
+                )
+                result.checks.append(
+                    Check(
+                        f"SW{k} tight family realizes (1+w/2)(k+1)+w "
+                        f"at omega={omega}",
+                        abs(measurement.ratio - claimed) < 0.05,
+                        f"measured {measurement.ratio:.4f} vs {claimed:.4f}",
+                    )
+                )
+
+            # Upper bounds on random + greedy schedules.
+            rng = np.random.default_rng(12345)
+            num_random = 8 if quick else 40
+            length = 300 if quick else 1_200
+            for name, factor in [
+                ("sw1", claimed_sw1),
+                *[
+                    (f"sw{k}", ma.competitive_factor_swk(k, omega))
+                    for k in self.WINDOW_SIZES
+                ],
+            ]:
+                algorithm = make_algorithm(name)
+                schedules = [
+                    bernoulli_schedule(float(theta), length, rng=rng)
+                    for theta in rng.random(num_random)
+                ]
+                schedules.append(
+                    GreedyAdversary(algorithm, model, seed=6).generate(length)
+                )
+                measurements = ratio_over_family(algorithm, schedules, model)
+                additive = factor  # start-up allowance
+                violations = exceeds_bound(measurements, factor, additive)
+                result.checks.append(
+                    Check(
+                        f"{name} bound holds on random/greedy at omega={omega}",
+                        not violations,
+                        f"factor {factor:.3f}, {len(schedules)} schedules",
+                    )
+                )
+        return result

@@ -1,0 +1,133 @@
+"""Expected cost per request in the message model (section 6.1-6.3).
+
+Regenerates the (θ, ω) expected-cost table behind equations 7, 9 and
+11 — closed form vs Monte-Carlo vs protocol simulation — and validates
+Theorems 6 and 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import message as ma
+from ..analysis.numerics import monte_carlo_expected_cost
+from ..core.registry import make_algorithm
+from ..costmodels.message import MessageCostModel
+from ..sim import simulate_protocol
+from ..workload.poisson import bernoulli_schedule
+from .harness import Check, Experiment, ExperimentResult, approx_check
+
+__all__ = ["MessageExpectedCost"]
+
+
+class MessageExpectedCost(Experiment):
+    experiment_id = "t-msg-exp"
+    title = "Expected cost per request, message model (eqs. 7, 9, 11)"
+    paper_claim = (
+        "EXP_ST1 = (1+w)(1-theta); EXP_ST2 = theta; EXP_SW1 = "
+        "theta(1-theta)(1+2w); EXP_SWk per eq. 11; and EXP_SWk >= "
+        "min(EXP_SW1, EXP_ST1, EXP_ST2) (Thm 9)."
+    )
+
+    def _exact(self, name: str, theta: float, omega: float) -> float:
+        if name == "st1":
+            return ma.expected_cost_st1(theta, omega)
+        if name == "st2":
+            return ma.expected_cost_st2(theta, omega)
+        if name == "sw1":
+            return ma.expected_cost_sw1(theta, omega)
+        return ma.expected_cost_swk(theta, int(name[2:]), omega)
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+        thetas = (0.2, 0.5, 0.8) if quick else (0.1, 0.3, 0.5, 0.7, 0.9)
+        omegas = (0.2, 0.8) if quick else (0.1, 0.4, 0.7, 1.0)
+        names = ("st1", "st2", "sw1", "sw5", "sw9")
+        mc_length = 5_000 if quick else 50_000
+        tolerance = 0.04 if quick else 0.012
+
+        rng = np.random.default_rng(99)
+        for omega in omegas:
+            model = MessageCostModel(omega)
+            for theta in thetas:
+                row = {"omega": omega, "theta": theta}
+                for name in names:
+                    exact = self._exact(name, theta, omega)
+                    estimate = monte_carlo_expected_cost(
+                        make_algorithm(name),
+                        model,
+                        theta,
+                        length=mc_length,
+                        seed=4242,
+                    )
+                    row[f"{name}(exact)"] = exact
+                    row[f"{name}(mc)"] = estimate
+                    result.checks.append(
+                        approx_check(
+                            f"{name} at theta={theta}, omega={omega}",
+                            estimate,
+                            exact,
+                            tolerance,
+                        )
+                    )
+                result.rows.append(row)
+
+        # Protocol simulation spot check (sw5 at one grid point).
+        schedule = bernoulli_schedule(0.5, 1_000 if quick else 5_000, rng=rng)
+        protocol = simulate_protocol("sw5", schedule)
+        model = MessageCostModel(0.4)
+        protocol_mean = protocol.total_cost(model) / len(schedule)
+        result.checks.append(
+            approx_check(
+                "protocol simulation of SW5 at theta=0.5, omega=0.4",
+                protocol_mean,
+                ma.expected_cost_swk(0.5, 5, 0.4),
+                0.06 if quick else 0.03,
+            )
+        )
+
+        # Theorem 9 on a fine grid.
+        fine_thetas = np.linspace(0.0, 1.0, 101)
+        fine_omegas = np.linspace(0.0, 1.0, 21)
+        violations = 0
+        for omega in fine_omegas:
+            for theta in fine_thetas:
+                floor = min(
+                    ma.expected_cost_sw1(float(theta), float(omega)),
+                    ma.expected_cost_st1(float(theta), float(omega)),
+                    ma.expected_cost_st2(float(theta), float(omega)),
+                )
+                for k in (3, 5, 9, 15):
+                    if (
+                        ma.expected_cost_swk(float(theta), k, float(omega))
+                        < floor - 1e-12
+                    ):
+                        violations += 1
+        result.checks.append(
+            Check(
+                "Theorem 9: EXP_SWk >= min(EXP_SW1, EXP_ST1, EXP_ST2)",
+                violations == 0,
+                "101x21 (theta, omega) grid, k in {3,5,9,15}",
+            )
+        )
+
+        # Theorem 6 ordering inside each region (spot points).
+        spots = [
+            (0.9, 0.3, "st1"),
+            (0.1, 0.8, "st2"),
+            (0.5, 0.3, "sw1"),
+        ]
+        for theta, omega, winner in spots:
+            costs = {
+                "st1": ma.expected_cost_st1(theta, omega),
+                "st2": ma.expected_cost_st2(theta, omega),
+                "sw1": ma.expected_cost_sw1(theta, omega),
+            }
+            result.checks.append(
+                Check(
+                    f"Theorem 6 winner at theta={theta}, omega={omega} is {winner}",
+                    min(costs, key=costs.get) == winner,
+                    ", ".join(f"{n}={c:.4f}" for n, c in costs.items()),
+                )
+            )
+        return result

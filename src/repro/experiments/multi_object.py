@@ -1,0 +1,221 @@
+"""Multiple objects (section 7.2): static optimum and windowed dynamic.
+
+Reproduces the paper's two-object analysis — the expected costs of the
+four allocations ST1, ST2, ST1,2, ST2,1 computed from the six joint
+frequencies, with the argmin chosen — and validates our generalization:
+
+* the min-cut optimizer agrees with exhaustive search on randomized
+  specs (including joint operations over >2 objects);
+* the windowed dynamic allocator converges to the static optimum's
+  cost rate on a stationary workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.multi_object import (
+    Allocation,
+    ExhaustiveStaticOptimizer,
+    MinCutStaticOptimizer,
+    MultiObjectWorkloadSpec,
+    OperationClass,
+    WindowedMultiObjectAllocator,
+    expected_cost,
+)
+from ..costmodels.connection import ConnectionCostModel
+from ..types import AllocationScheme
+from ..workload.multi_object import MultiObjectWorkload
+from .harness import Check, Experiment, ExperimentResult
+
+__all__ = ["MultiObjectAllocation"]
+
+_ONE = AllocationScheme.ONE_COPY
+_TWO = AllocationScheme.TWO_COPIES
+
+
+def _paper_two_object_spec() -> MultiObjectWorkloadSpec:
+    """A concrete instance of the paper's two-object example.
+
+    x is read-hot (worth replicating), y is write-hot (not worth it),
+    with some joint traffic — so the optimum is the mixed allocation
+    ST2,1 (x replicated, y not).
+    """
+    return MultiObjectWorkloadSpec(
+        {
+            OperationClass.read("x"): 30.0,
+            OperationClass.read("y"): 4.0,
+            OperationClass.read("x", "y"): 3.0,
+            OperationClass.write("x"): 5.0,
+            OperationClass.write("y"): 25.0,
+            OperationClass.write("x", "y"): 3.0,
+        }
+    )
+
+
+class MultiObjectAllocation(Experiment):
+    experiment_id = "t-multi"
+    title = "Multiple-object allocation (section 7.2)"
+    paper_claim = (
+        "With joint read/write frequencies, evaluate the expected cost "
+        "of each static allocation and choose the argmin; e.g. "
+        "EXP_ST1 = (l_rx + l_ry + l_rxy)/l.  Unknown frequencies: "
+        "estimate from a window and re-optimize periodically."
+    )
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+        model = ConnectionCostModel()
+        spec = _paper_two_object_spec()
+        total = spec.total_rate
+
+        # The paper's closed forms for the four two-object allocations.
+        freq = {repr(oc): f for oc, f in spec.frequencies.items()}
+        paper_costs = {
+            "ST1 (x:1, y:1)": (freq["r(x)"] + freq["r(y)"] + freq["r(x,y)"]) / total,
+            "ST2 (x:2, y:2)": (freq["w(x)"] + freq["w(y)"] + freq["w(x,y)"]) / total,
+            "ST1,2 (x:1, y:2)": (
+                freq["r(x)"] + freq["w(y)"] + freq["r(x,y)"] + freq["w(x,y)"]
+            )
+            / total,
+            "ST2,1 (x:2, y:1)": (
+                freq["w(x)"] + freq["r(y)"] + freq["r(x,y)"] + freq["w(x,y)"]
+            )
+            / total,
+        }
+        allocations = {
+            "ST1 (x:1, y:1)": {"x": _ONE, "y": _ONE},
+            "ST2 (x:2, y:2)": {"x": _TWO, "y": _TWO},
+            "ST1,2 (x:1, y:2)": {"x": _ONE, "y": _TWO},
+            "ST2,1 (x:2, y:1)": {"x": _TWO, "y": _ONE},
+        }
+        for name, allocation in allocations.items():
+            computed = expected_cost(spec, allocation, model)
+            result.rows.append(
+                {
+                    "allocation": name,
+                    "EXP(paper formula)": paper_costs[name],
+                    "EXP(library)": computed,
+                }
+            )
+            result.checks.append(
+                Check(
+                    f"{name} matches the paper's closed form",
+                    abs(computed - paper_costs[name]) < 1e-12,
+                    f"{computed:.4f}",
+                )
+            )
+
+        best_name = min(paper_costs, key=paper_costs.get)
+        exhaustive_allocation, exhaustive_cost = ExhaustiveStaticOptimizer(
+            model
+        ).optimize(spec)
+        mincut_allocation, mincut_cost = MinCutStaticOptimizer(model).optimize(spec)
+        result.checks.append(
+            Check(
+                "exhaustive optimizer picks the argmin allocation",
+                abs(exhaustive_cost - paper_costs[best_name]) < 1e-12
+                and exhaustive_allocation == allocations[best_name],
+                f"picked cost {exhaustive_cost:.4f} = {best_name}",
+            )
+        )
+        result.checks.append(
+            Check(
+                "min-cut optimizer agrees with exhaustive on the example",
+                abs(mincut_cost - exhaustive_cost) < 1e-9,
+                f"min-cut {mincut_cost:.4f} vs exhaustive {exhaustive_cost:.4f}",
+            )
+        )
+
+        # Randomized agreement sweep (objects up to 6, joint ops up to
+        # 3 objects — beyond the paper's sketch).
+        rng = np.random.default_rng(4321)
+        trials = 10 if quick else 60
+        disagreements = 0
+        for _trial in range(trials):
+            num_objects = int(rng.integers(2, 7))
+            names = [f"o{i}" for i in range(num_objects)]
+            frequencies = {}
+            for _op in range(int(rng.integers(3, 10))):
+                size = int(rng.integers(1, min(3, num_objects) + 1))
+                subset = rng.choice(names, size=size, replace=False)
+                op_class = (
+                    OperationClass.read(*subset)
+                    if rng.random() < 0.5
+                    else OperationClass.write(*subset)
+                )
+                frequencies[op_class] = frequencies.get(op_class, 0.0) + float(
+                    rng.uniform(0.1, 10.0)
+                )
+            random_spec = MultiObjectWorkloadSpec(frequencies)
+            _, cost_a = ExhaustiveStaticOptimizer(model).optimize(random_spec)
+            _, cost_b = MinCutStaticOptimizer(model).optimize(random_spec)
+            if abs(cost_a - cost_b) > 1e-9:
+                disagreements += 1
+        result.checks.append(
+            Check(
+                "min-cut == exhaustive on randomized specs",
+                disagreements == 0,
+                f"{trials} random specs, joint ops over up to 3 of 6 objects",
+            )
+        )
+
+        # Windowed dynamic allocator converges to the static optimum.
+        workload = MultiObjectWorkload(spec, seed=11)
+        length = 2_000 if quick else 10_000
+        schedule = workload.generate(length)
+        allocator = WindowedMultiObjectAllocator(
+            spec.objects,
+            window_size=200,
+            reallocation_period=50,
+            cost_model=model,
+        )
+        dynamic_cost = allocator.run(schedule) / length
+        static_optimum = exhaustive_cost
+        result.rows.append(
+            {
+                "allocation": "windowed dynamic (section 7.2)",
+                "EXP(paper formula)": "",
+                "EXP(library)": dynamic_cost,
+            }
+        )
+        result.checks.append(
+            Check(
+                "windowed dynamic cost within 15% of the static optimum",
+                dynamic_cost <= static_optimum * 1.15,
+                f"dynamic {dynamic_cost:.4f} vs optimum {static_optimum:.4f}",
+            )
+        )
+        result.checks.append(
+            Check(
+                "windowed dynamic settles on the optimal allocation",
+                allocator.allocation == exhaustive_allocation,
+                f"final allocation {sorted((n, s.name) for n, s in allocator.allocation.items())}",
+            )
+        )
+
+        # Worst-case positioning (extension): compare the windowed
+        # method against the exact multi-object offline optimum.
+        from ..core.multi_object import MultiObjectOfflineOptimal
+
+        ratio_schedule = workload.generate(300 if quick else 800)
+        offline = MultiObjectOfflineOptimal(model).optimal_cost(
+            ratio_schedule, spec.objects
+        )
+        fresh_allocator = WindowedMultiObjectAllocator(
+            spec.objects,
+            window_size=200,
+            reallocation_period=50,
+            cost_model=model,
+        )
+        online = fresh_allocator.run(ratio_schedule)
+        result.checks.append(
+            Check(
+                "windowed dynamic stays within 5x the exact multi-object "
+                "offline optimum",
+                offline <= online <= 5.0 * offline + 10.0,
+                f"online {online:.1f} vs offline {offline:.1f} "
+                f"(ratio {online / max(offline, 1e-9):.2f})",
+            )
+        )
+        return result

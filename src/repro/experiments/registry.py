@@ -1,0 +1,68 @@
+"""Experiment lookup: id → experiment instance."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import UnknownExperimentError
+from .ablations import Ablations
+from .adaptation import AdaptationProfiles
+from .bursty import BurstinessSweep
+from .conclusion_claims import ConclusionClaims
+from .connection_average import ConnectionAverageCost
+from .connection_competitive import ConnectionCompetitive
+from .connection_expected import ConnectionExpectedCost
+from .estimators import EstimatorComparison
+from .exact_chain import ExactChainValidation
+from .fig1_dominance import Figure1Dominance
+from .fig2_window_threshold import Figure2WindowThreshold
+from .harness import Experiment, ExperimentResult
+from .message_average import MessageAverageCost
+from .message_competitive import MessageCompetitive
+from .message_expected import MessageExpectedCost
+from .multi_object import MultiObjectAllocation
+from .threshold_methods import ThresholdMethods
+
+__all__ = ["all_experiment_ids", "get_experiment", "run_all"]
+
+_EXPERIMENTS = [
+    Figure1Dominance,
+    Figure2WindowThreshold,
+    ConnectionExpectedCost,
+    ConnectionAverageCost,
+    ConnectionCompetitive,
+    MessageExpectedCost,
+    MessageAverageCost,
+    MessageCompetitive,
+    ThresholdMethods,
+    MultiObjectAllocation,
+    ConclusionClaims,
+    Ablations,
+    ExactChainValidation,
+    EstimatorComparison,
+    BurstinessSweep,
+    AdaptationProfiles,
+]
+
+_BY_ID: Dict[str, type] = {cls.experiment_id: cls for cls in _EXPERIMENTS}
+
+
+def all_experiment_ids() -> List[str]:
+    """Experiment ids in the order of the DESIGN.md index."""
+    return [cls.experiment_id for cls in _EXPERIMENTS]
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Instantiate the experiment with the given id."""
+    cls = _BY_ID.get(experiment_id)
+    if cls is None:
+        raise UnknownExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {all_experiment_ids()}"
+        )
+    return cls()
+
+
+def run_all(quick: bool = False) -> List[ExperimentResult]:
+    """Run every experiment; returns the results in index order."""
+    return [get_experiment(eid).run(quick=quick) for eid in all_experiment_ids()]

@@ -1,0 +1,94 @@
+"""Plain-text rendering of tables and the paper's two figures."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_region_map", "format_staircase"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Column order defaults to first-seen key order across the rows.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    rendered = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_region_map(
+    classify: Callable[[float, float], str],
+    *,
+    theta_steps: int = 41,
+    omega_steps: int = 21,
+    legend: Optional[Mapping[str, str]] = None,
+) -> str:
+    """ASCII rendering of Figure 1: ω on the y-axis, θ on the x-axis.
+
+    ``classify(theta, omega)`` returns a one-character symbol for the
+    winning algorithm at that grid point.  ω increases upward, matching
+    the paper's axes.
+    """
+    lines: List[str] = []
+    for row in range(omega_steps - 1, -1, -1):
+        omega = row / (omega_steps - 1)
+        cells = []
+        for col in range(theta_steps):
+            theta = col / (theta_steps - 1)
+            cells.append(classify(theta, omega))
+        label = f"omega={omega:4.2f} |"
+        lines.append(label + "".join(cells))
+    axis = " " * len("omega=0.00 |") + "".join(
+        "+" if col % 10 == 0 else "-" for col in range(theta_steps)
+    )
+    lines.append(axis)
+    lines.append(" " * len("omega=0.00 |") + "theta: 0.0 ... 1.0")
+    if legend:
+        lines.append("legend: " + ", ".join(f"{sym}={name}" for sym, name in legend.items()))
+    return "\n".join(lines)
+
+
+def format_staircase(
+    points: Sequence[tuple],
+    *,
+    x_label: str = "omega",
+    y_label: str = "k",
+) -> str:
+    """Render (x, y) threshold points as the paper's Figure-2 staircase."""
+    if not points:
+        return "(no points)"
+    lines = [f"{x_label:>8}  {y_label:>6}"]
+    lines.append("-" * 16)
+    for x, y in points:
+        bar = "#" * min(int(y), 60) if y is not None else ""
+        y_text = "-" if y is None else str(y)
+        lines.append(f"{x:8.3f}  {y_text:>6}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""The modified static methods T1m / T2m (section 7.1).
+
+Validates every quantitative statement the paper makes about them:
+
+* expected cost EXP_T1m = (1-θ) + (1-θ)^m (2θ-1) in the connection
+  model (formula vs Monte Carlo);
+* "for m = 15 and θ = 0.75 the expected cost of T1m will come within
+  4% of the optimum" (the optimum being ST1's 1-θ);
+* T1m is (m+1)-competitive, realized by the m-reads-then-write family;
+* "for each θ > 0.5 this algorithm [T1m] has a slightly lower expected
+  cost than SWm";
+* T2m mirrors all of it for θ < 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import connection as ca
+from ..analysis.competitive import exceeds_bound, measure_competitive_ratio, ratio_over_family
+from ..analysis.numerics import monte_carlo_expected_cost
+from ..core.offline import OfflineOptimal
+from ..core.registry import make_algorithm
+from ..costmodels.connection import ConnectionCostModel
+from ..workload.adversary import threshold_tight_schedule
+from ..workload.poisson import bernoulli_schedule
+from .harness import Check, Experiment, ExperimentResult, approx_check
+
+__all__ = ["ThresholdMethods"]
+
+
+class ThresholdMethods(Experiment):
+    experiment_id = "t-threshold"
+    title = "Modified static methods T1m / T2m (section 7.1)"
+    paper_claim = (
+        "T1m is (m+1)-competitive with EXP = (1-theta) + "
+        "(1-theta)^m (2theta-1); within 4% of optimum at m=15, "
+        "theta=0.75; slightly cheaper than SWm for theta > 0.5."
+    )
+
+    def _execute(self, quick: bool) -> ExperimentResult:
+        result = self._new_result()
+        model = ConnectionCostModel()
+        offline = OfflineOptimal(model)
+        mc_length = 5_000 if quick else 60_000
+        tolerance = 0.03 if quick else 0.01
+
+        # Expected-cost formula vs Monte Carlo.
+        for m in (3, 9, 15):
+            for theta in (0.3, 0.6, 0.75, 0.9):
+                exact = ca.expected_cost_t1m(theta, m)
+                estimate = monte_carlo_expected_cost(
+                    make_algorithm(f"t1_{m}"), model, theta, length=mc_length, seed=21
+                )
+                result.rows.append(
+                    {
+                        "algorithm": f"t1_{m}",
+                        "theta": theta,
+                        "EXP(formula)": exact,
+                        "EXP(mc)": estimate,
+                    }
+                )
+                result.checks.append(
+                    approx_check(
+                        f"EXP_T1_{m} at theta={theta}", estimate, exact, tolerance
+                    )
+                )
+                dual_exact = ca.expected_cost_t2m(1.0 - theta, m)
+                dual_estimate = monte_carlo_expected_cost(
+                    make_algorithm(f"t2_{m}"),
+                    model,
+                    1.0 - theta,
+                    length=mc_length,
+                    seed=22,
+                )
+                result.checks.append(
+                    approx_check(
+                        f"EXP_T2_{m} at theta={1.0 - theta:.2f} (dual)",
+                        dual_estimate,
+                        dual_exact,
+                        tolerance,
+                    )
+                )
+
+        # Symmetry: EXP_T2m(theta) == EXP_T1m(1-theta).
+        grid = np.linspace(0.0, 1.0, 101)
+        symmetric = all(
+            abs(ca.expected_cost_t2m(float(t), 7) - ca.expected_cost_t1m(1.0 - float(t), 7))
+            < 1e-12
+            for t in grid
+        )
+        result.checks.append(
+            Check("T2m is the exact mirror of T1m", symmetric, "m=7, 101 theta points")
+        )
+
+        # The 4%-of-optimum claim.
+        exact = ca.expected_cost_t1m(0.75, 15)
+        optimum = ca.expected_cost_st1(0.75)
+        excess = (exact - optimum) / optimum
+        result.checks.append(
+            Check(
+                "T1_15 within 4% of optimum at theta=0.75",
+                excess <= 0.04,
+                f"EXP_T1_15={exact:.6f} vs ST1={optimum:.4f} "
+                f"(excess {100 * excess:.4f}%)",
+            )
+        )
+
+        # T1m vs SWm for theta > 0.5 ("slightly lower expected cost").
+        comparisons = []
+        for theta in (0.55, 0.65, 0.75, 0.85, 0.95):
+            for m in (3, 9, 15):
+                t1 = ca.expected_cost_t1m(theta, m)
+                sw = ca.expected_cost_swk(theta, m)
+                comparisons.append(t1 <= sw + 1e-12)
+        result.checks.append(
+            Check(
+                "EXP_T1m <= EXP_SWm for theta > 0.5 (section 7.1)",
+                all(comparisons),
+                "theta in {0.55..0.95}, m in {3, 9, 15}",
+            )
+        )
+
+        # Competitiveness: tight family realizes m+1; bound holds on
+        # random schedules with additive slack m+1.
+        cycles = 30 if quick else 300
+        for m in (3, 9, 15):
+            measurement = measure_competitive_ratio(
+                make_algorithm(f"t1_{m}"),
+                threshold_tight_schedule(m, cycles),
+                model,
+                offline,
+            )
+            result.rows.append(
+                {
+                    "algorithm": f"t1_{m}",
+                    "theta": "tight family",
+                    "EXP(formula)": "",
+                    "EXP(mc)": "",
+                    "ratio": measurement.ratio,
+                    "claimed": m + 1,
+                }
+            )
+            result.checks.append(
+                Check(
+                    f"T1_{m} tight family realizes m+1 = {m + 1}",
+                    abs(measurement.ratio - (m + 1)) < 0.05,
+                    f"measured {measurement.ratio:.4f}",
+                )
+            )
+            rng = np.random.default_rng(777)
+            schedules = [
+                bernoulli_schedule(float(t), 300 if quick else 1_200, rng=rng)
+                for t in rng.random(8 if quick else 40)
+            ]
+            measurements = ratio_over_family(
+                make_algorithm(f"t1_{m}"), schedules, model
+            )
+            violations = exceeds_bound(measurements, factor=m + 1, additive=m + 1)
+            result.checks.append(
+                Check(
+                    f"T1_{m} never exceeds (m+1)*OPT + (m+1) on random schedules",
+                    not violations,
+                    f"{len(schedules)} schedules",
+                )
+            )
+        return result

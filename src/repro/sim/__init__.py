@@ -1,0 +1,39 @@
+"""Discrete-event simulation of the mobile/stationary protocol.
+
+The paper's algorithms are *distributed*: "they are implemented by
+software residing on both, the mobile and the stationary computers"
+(section 1), with the request window travelling between the two sides
+piggybacked on data messages (section 4).  This package runs that
+protocol for real:
+
+* :mod:`~repro.sim.kernel` — a minimal discrete-event kernel;
+* :mod:`~repro.sim.messages` — the wire protocol (read-requests, data
+  replies, write propagations, delete-requests, deallocation notices);
+* :mod:`~repro.sim.network` — a point-to-point link with latency that
+  feeds every transmission into a cost ledger;
+* :mod:`~repro.sim.ledger` — counts connections, data messages and
+  control messages, and prices them under any cost model;
+* :mod:`~repro.sim.nodes` — the mobile computer (issues reads, caches
+  the item) and the stationary computer (stores the database, issues
+  writes), parameterized by a protocol policy;
+* :mod:`~repro.sim.policies` — per-algorithm protocol logic (ST1, ST2,
+  SWk, SW1, T1m, T2m) mirroring section 4;
+* :mod:`~repro.sim.runner` — drives a timestamped schedule through the
+  two nodes, serializing concurrent requests as section 3 assumes, and
+  returns a per-request cost classification that integration tests
+  compare against the abstract replay.
+"""
+
+from .catalog_runner import CatalogRunResult, simulate_catalog_protocol
+from .kernel import EventKernel
+from .ledger import TrafficLedger
+from .runner import ProtocolRunResult, simulate_protocol
+
+__all__ = [
+    "EventKernel",
+    "TrafficLedger",
+    "ProtocolRunResult",
+    "simulate_protocol",
+    "CatalogRunResult",
+    "simulate_catalog_protocol",
+]

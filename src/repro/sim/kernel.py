@@ -1,0 +1,73 @@
+"""A minimal discrete-event simulation kernel.
+
+Events are (time, sequence, callback) triples in a binary heap; the
+sequence number makes simultaneous events fire in scheduling order,
+which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+
+__all__ = ["EventKernel"]
+
+
+class EventKernel:
+    """Single-threaded discrete-event loop."""
+
+    def __init__(self):
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time!r}; the clock is at {self._now!r}"
+            )
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay!r}")
+        self.schedule_at(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events in time order; returns the final clock value.
+
+        Stops when the queue drains or, if ``until`` is given, when the
+        next event lies beyond it (the clock then advances to ``until``).
+        """
+        if self._running:
+            raise SimulationError("the kernel is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, callback = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._queue)
+                self._now = time
+                callback()
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,136 @@
+"""Traffic accounting for the protocol simulator.
+
+The ledger observes every transmitted message and tallies, per relevant
+request, the physical resources used: connections (non-reply messages
+open one; replies ride their request's connection), data messages and
+control messages.  From those tallies it derives the per-request
+:class:`~repro.costmodels.base.CostEventKind` classification, which the
+integration tests compare one-for-one against the abstract replay —
+the end-to-end proof that the distributed protocol implements the
+analyzed algorithm at the analyzed price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..costmodels.base import CostBreakdown, CostEventKind, CostModel
+from ..exceptions import ProtocolError
+from ..types import Operation
+from .messages import Message, MessageKind
+
+__all__ = ["TrafficLedger"]
+
+
+@dataclass
+class _RequestTraffic:
+    operation: Optional[Operation] = None
+    connections: int = 0
+    data_messages: int = 0
+    control_messages: int = 0
+
+    def as_breakdown(self) -> CostBreakdown:
+        return CostBreakdown(
+            connections=self.connections,
+            data_messages=self.data_messages,
+            control_messages=self.control_messages,
+        )
+
+
+class TrafficLedger:
+    """Per-request traffic tallies plus whole-run totals."""
+
+    def __init__(self):
+        self._per_request: Dict[int, _RequestTraffic] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def note_request(self, index: int, operation: Operation) -> None:
+        """Register a relevant request before any traffic it causes."""
+        if index in self._per_request:
+            raise ProtocolError(f"request index {index} registered twice")
+        self._per_request[index] = _RequestTraffic(operation=operation)
+
+    def record(self, message: Message) -> None:
+        """Observe one transmitted message."""
+        traffic = self._per_request.get(message.request_index)
+        if traffic is None:
+            raise ProtocolError(
+                f"message {message!r} references unregistered request "
+                f"{message.request_index}"
+            )
+        if message.opens_connection:
+            traffic.connections += 1
+        if message.kind is MessageKind.DATA:
+            traffic.data_messages += 1
+        else:
+            traffic.control_messages += 1
+
+    # -- reporting -------------------------------------------------------
+
+    def request_count(self) -> int:
+        """Number of registered relevant requests."""
+        return len(self._per_request)
+
+    def breakdown(self, index: int) -> CostBreakdown:
+        """Physical resources one request consumed."""
+        return self._per_request[index].as_breakdown()
+
+    def total_breakdown(self) -> CostBreakdown:
+        """Whole-run connection/data/control totals."""
+        total = CostBreakdown()
+        for traffic in self._per_request.values():
+            total = total + traffic.as_breakdown()
+        return total
+
+    def classify(self, index: int) -> CostEventKind:
+        """Map a request's observed traffic to its cost event kind."""
+        traffic = self._per_request[index]
+        key = (
+            traffic.operation,
+            traffic.data_messages,
+            traffic.control_messages,
+        )
+        classification = _CLASSIFICATION.get(key)
+        if classification is None:
+            raise ProtocolError(
+                f"request {index} produced unclassifiable traffic: "
+                f"op={traffic.operation}, data={traffic.data_messages}, "
+                f"control={traffic.control_messages}"
+            )
+        expected_connections = _EXPECTED_CONNECTIONS[classification]
+        if traffic.connections != expected_connections:
+            raise ProtocolError(
+                f"request {index} ({classification.value}) used "
+                f"{traffic.connections} connections, expected "
+                f"{expected_connections}"
+            )
+        return classification
+
+    def classify_all(self) -> List[CostEventKind]:
+        """Event kinds for every request, in schedule order."""
+        return [self.classify(index) for index in sorted(self._per_request)]
+
+    def priced_total(self, cost_model: CostModel) -> float:
+        """Total cost of the run under the given model."""
+        return sum(cost_model.price(kind) for kind in self.classify_all())
+
+
+_CLASSIFICATION = {
+    (Operation.READ, 0, 0): CostEventKind.LOCAL_READ,
+    (Operation.READ, 1, 1): CostEventKind.REMOTE_READ,
+    (Operation.WRITE, 0, 0): CostEventKind.WRITE_NO_COPY,
+    (Operation.WRITE, 1, 0): CostEventKind.WRITE_PROPAGATED,
+    (Operation.WRITE, 1, 1): CostEventKind.WRITE_PROPAGATED_DEALLOCATE,
+    (Operation.WRITE, 0, 1): CostEventKind.WRITE_DELETE_REQUEST,
+}
+
+_EXPECTED_CONNECTIONS = {
+    CostEventKind.LOCAL_READ: 0,
+    CostEventKind.REMOTE_READ: 1,
+    CostEventKind.WRITE_NO_COPY: 0,
+    CostEventKind.WRITE_PROPAGATED: 1,
+    CostEventKind.WRITE_PROPAGATED_DEALLOCATE: 1,
+    CostEventKind.WRITE_DELETE_REQUEST: 1,
+}

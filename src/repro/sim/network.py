@@ -1,0 +1,54 @@
+"""Point-to-point wireless link between the MC and the SC.
+
+The paper assumes point-to-point communication (section 8.2, contrast
+with bus-based CDVM work).  The link delivers each message after a
+fixed latency and reports every transmission to the traffic ledger.
+Delivery order is FIFO per direction (latency is constant), matching
+the in-order channels the protocol implicitly assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..exceptions import SimulationError
+from .kernel import EventKernel
+from .ledger import TrafficLedger
+from .messages import Message
+
+__all__ = ["PointToPointNetwork"]
+
+
+class PointToPointNetwork:
+    """Two-endpoint network with per-message latency and accounting."""
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        ledger: TrafficLedger,
+        latency: float = 0.0,
+    ):
+        if latency < 0:
+            raise SimulationError(f"latency must be >= 0, got {latency!r}")
+        self._kernel = kernel
+        self._ledger = ledger
+        self._latency = latency
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+
+    @property
+    def latency(self) -> float:
+        return self._latency
+
+    def attach(self, endpoint: str, handler: Callable[[Message], None]) -> None:
+        """Register an endpoint (``"mc"`` or ``"sc"``) message handler."""
+        if endpoint in self._handlers:
+            raise SimulationError(f"endpoint {endpoint!r} attached twice")
+        self._handlers[endpoint] = handler
+
+    def send(self, destination: str, message: Message) -> None:
+        """Transmit a message; it is charged now and delivered later."""
+        handler = self._handlers.get(destination)
+        if handler is None:
+            raise SimulationError(f"no endpoint {destination!r} attached")
+        self._ledger.record(message)
+        self._kernel.schedule_after(self._latency, lambda: handler(message))

@@ -1,0 +1,212 @@
+"""The mobile and stationary computer nodes.
+
+The nodes implement the generic protocol mechanics — request/reply
+plumbing, replica caching, versioned data — and delegate the allocation
+decisions to the deciders of :mod:`repro.sim.policies`.
+
+Versioning: the SC increments a version counter on every write, and
+every data message carries (value, version).  The runner uses the
+versions returned by reads to assert replica consistency: under the
+serialized execution the paper assumes, a read must observe the version
+of the latest preceding write.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..exceptions import ProtocolError
+from ..types import Operation
+from .messages import (
+    DeallocationNotice,
+    DeleteRequest,
+    Message,
+    ReadReply,
+    ReadRequest,
+    WritePropagation,
+)
+from .network import PointToPointNetwork
+from .policies import MobileDecider, StationaryDecider
+
+__all__ = ["MobileComputer", "StationaryComputer", "ReadObservation"]
+
+#: (request_index, value, version) triple recorded for each read.
+ReadObservation = Tuple[int, object, int]
+
+
+class MobileComputer:
+    """The MC: issues reads, optionally caches a replica of the item."""
+
+    def __init__(
+        self,
+        network: PointToPointNetwork,
+        decider: MobileDecider,
+        on_request_complete: Callable[[int], None],
+        initially_has_copy: bool,
+        initial_value: object = None,
+    ):
+        self._network = network
+        self._decider = decider
+        self._complete = on_request_complete
+        self._cache: Optional[Tuple[object, int]] = (
+            (initial_value, 0) if initially_has_copy else None
+        )
+        self._observations: List[ReadObservation] = []
+        network.attach("mc", self.handle)
+
+    @property
+    def has_copy(self) -> bool:
+        return self._cache is not None
+
+    @property
+    def observations(self) -> List[ReadObservation]:
+        """Every read's (request index, value, version), in issue order."""
+        return list(self._observations)
+
+    def issue_read(self, request_index: int) -> None:
+        """A read issued at the mobile computer (section 3)."""
+        if self._cache is not None:
+            value, version = self._cache
+            self._decider.on_local_read()
+            self._observations.append((request_index, value, version))
+            self._complete(request_index)
+            return
+        self._network.send("sc", ReadRequest(request_index=request_index))
+
+    # -- message handling -------------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        """Dispatch an incoming wire message."""
+        if isinstance(message, ReadReply):
+            self._on_read_reply(message)
+        elif isinstance(message, WritePropagation):
+            self._on_propagation(message)
+        elif isinstance(message, DeleteRequest):
+            self._on_delete_request(message)
+        else:
+            raise ProtocolError(f"the MC cannot handle {type(message).__name__}")
+
+    def _on_read_reply(self, message: ReadReply) -> None:
+        self._observations.append(
+            (message.request_index, message.value, message.version)
+        )
+        if message.allocate:
+            if self._cache is not None:
+                raise ProtocolError("allocating reply but the MC already has a copy")
+            self._cache = (message.value, message.version)
+            self._decider.adopt_window(message.window)
+        self._complete(message.request_index)
+
+    def _on_propagation(self, message: WritePropagation) -> None:
+        if self._cache is None:
+            raise ProtocolError("write propagated to an MC without a replica")
+        self._cache = (message.value, message.version)
+        if self._decider.on_propagation():
+            # Majority flipped to writes: drop the replica and return
+            # the window with the stop-propagation indication.
+            window = self._decider.release_window()
+            self._cache = None
+            self._network.send(
+                "sc",
+                DeallocationNotice(
+                    request_index=message.request_index,
+                    in_reply_to=message.message_id,
+                    window=window,
+                ),
+            )
+            return
+        self._complete(message.request_index)
+
+    def _on_delete_request(self, message: DeleteRequest) -> None:
+        if self._cache is None:
+            raise ProtocolError("delete-request for an MC without a replica")
+        self._cache = None
+        self._complete(message.request_index)
+
+
+class StationaryComputer:
+    """The SC: stores the online database, issues writes."""
+
+    def __init__(
+        self,
+        network: PointToPointNetwork,
+        decider: StationaryDecider,
+        on_request_complete: Callable[[int], None],
+        mc_initially_subscribed: bool,
+        initial_value: object = None,
+    ):
+        self._network = network
+        self._decider = decider
+        self._complete = on_request_complete
+        self._value: object = initial_value
+        self._version = 0
+        self._mc_subscribed = mc_initially_subscribed
+        network.attach("sc", self.handle)
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def mc_subscribed(self) -> bool:
+        """Whether the SC believes the MC holds a replica to maintain."""
+        return self._mc_subscribed
+
+    def issue_write(self, request_index: int, value: object) -> None:
+        """A write issued at the stationary computer (section 3)."""
+        self._version += 1
+        self._value = value
+        action = self._decider.on_write(self._mc_subscribed)
+        if action.propagate and action.delete_request:
+            raise ProtocolError("a write cannot both propagate and delete")
+        if action.propagate:
+            self._network.send(
+                "mc",
+                WritePropagation(
+                    request_index=request_index,
+                    value=value,
+                    version=self._version,
+                ),
+            )
+            return
+        if action.delete_request:
+            self._mc_subscribed = False
+            self._network.send("mc", DeleteRequest(request_index=request_index))
+            return
+        self._complete(request_index)
+
+    # -- message handling -------------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        """Dispatch an incoming wire message."""
+        if isinstance(message, ReadRequest):
+            self._on_read_request(message)
+        elif isinstance(message, DeallocationNotice):
+            self._on_deallocation_notice(message)
+        else:
+            raise ProtocolError(f"the SC cannot handle {type(message).__name__}")
+
+    def _on_read_request(self, message: ReadRequest) -> None:
+        if self._mc_subscribed:
+            raise ProtocolError("remote read while the MC holds a replica")
+        allocate, window = self._decider.on_read_request()
+        if allocate:
+            self._mc_subscribed = True
+        self._network.send(
+            "mc",
+            ReadReply(
+                request_index=message.request_index,
+                in_reply_to=message.message_id,
+                value=self._value,
+                version=self._version,
+                allocate=allocate,
+                window=window,
+            ),
+        )
+
+    def _on_deallocation_notice(self, message: DeallocationNotice) -> None:
+        if not self._mc_subscribed:
+            raise ProtocolError("deallocation notice from an unsubscribed MC")
+        self._mc_subscribed = False
+        self._decider.adopt_window(message.window)
+        self._complete(message.request_index)

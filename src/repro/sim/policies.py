@@ -1,0 +1,324 @@
+"""Per-algorithm protocol deciders for the two nodes.
+
+The generic message mechanics (sending read-requests, caching replies,
+dropping replicas) live in :mod:`repro.sim.nodes`; the *decisions* —
+when to allocate, deallocate, propagate or delete — live here, one
+decider pair per algorithm, mirroring the distributed description in
+section 4 of the paper.
+
+State placement is faithful: whichever side is "in charge" holds the
+request window.  The stationary decider owns it while the MC has no
+copy (every relevant request is then visible at the SC: its own writes
+plus the forwarded reads); the mobile decider owns it while the MC has
+a copy (local reads plus propagated writes).  The window object itself
+is reused from :class:`repro.core.sliding_window.RequestWindow`, so the
+protocol and the abstract algorithm share one majority implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.sliding_window import RequestWindow
+from ..exceptions import InvalidParameterError, ProtocolError
+from ..types import Operation, ensure_odd_window
+
+__all__ = [
+    "WriteAction",
+    "StationaryDecider",
+    "MobileDecider",
+    "DeciderPair",
+    "make_deciders",
+]
+
+
+@dataclass(frozen=True)
+class WriteAction:
+    """What the SC does with a write while the MC holds a replica."""
+
+    propagate: bool = False
+    delete_request: bool = False
+
+
+class StationaryDecider(abc.ABC):
+    """SC-side decision logic."""
+
+    @abc.abstractmethod
+    def on_write(self, mc_subscribed: bool) -> WriteAction:
+        """Decide the action for a locally-applied write."""
+
+    @abc.abstractmethod
+    def on_read_request(self) -> Tuple[bool, Optional[Tuple[Operation, ...]]]:
+        """Decide whether the reply allocates; returns (allocate, window).
+
+        A true ``allocate`` hands charge to the MC; the returned window
+        (if any) is piggybacked on the data reply.
+        """
+
+    def adopt_window(self, window: Optional[Tuple[Operation, ...]]) -> None:
+        """Receive the window back when the MC deallocates."""
+
+
+class MobileDecider(abc.ABC):
+    """MC-side decision logic."""
+
+    def on_local_read(self) -> None:
+        """A read served from the replica (no communication)."""
+
+    @abc.abstractmethod
+    def on_propagation(self) -> bool:
+        """A propagated write arrived; return True to deallocate."""
+
+    def release_window(self) -> Optional[Tuple[Operation, ...]]:
+        """Window contents to send with a deallocation notice.
+
+        Algorithms without a window (T2m) return ``None``.
+        """
+        return None
+
+    def adopt_window(self, window: Optional[Tuple[Operation, ...]]) -> None:
+        """Receive the window piggybacked on an allocating read reply."""
+
+
+@dataclass(frozen=True)
+class DeciderPair:
+    """Everything the runner needs to wire one algorithm's protocol."""
+
+    name: str
+    stationary: StationaryDecider
+    mobile: MobileDecider
+    initial_mobile_has_copy: bool
+
+
+# ---------------------------------------------------------------------------
+# Static methods
+
+
+class _St1Stationary(StationaryDecider):
+    def on_write(self, mc_subscribed: bool) -> WriteAction:
+        if mc_subscribed:
+            raise ProtocolError("ST1 must never have a subscribed MC")
+        return WriteAction()
+
+    def on_read_request(self):
+        return False, None
+
+
+class _St2Stationary(StationaryDecider):
+    def on_write(self, mc_subscribed: bool) -> WriteAction:
+        if not mc_subscribed:
+            raise ProtocolError("ST2 must always have a subscribed MC")
+        return WriteAction(propagate=True)
+
+    def on_read_request(self):
+        raise ProtocolError("ST2's MC holds a replica; reads never go remote")
+
+
+class _NeverDeallocateMobile(MobileDecider):
+    def on_propagation(self) -> bool:
+        return False
+
+
+class _NoReplicaMobile(MobileDecider):
+    def on_propagation(self) -> bool:
+        raise ProtocolError("this algorithm never propagates writes to the MC")
+
+
+# ---------------------------------------------------------------------------
+# Sliding-window family
+
+
+class _SwkStationary(StationaryDecider):
+    def __init__(self, k: int, in_charge: bool = True):
+        self._k = ensure_odd_window(k)
+        self._window: Optional[RequestWindow] = (
+            RequestWindow.all_writes(k) if in_charge else None
+        )
+
+    def _require_window(self) -> RequestWindow:
+        if self._window is None:
+            raise ProtocolError(
+                "the SC is not in charge of the window but was asked to decide"
+            )
+        return self._window
+
+    def on_write(self, mc_subscribed: bool) -> WriteAction:
+        if mc_subscribed:
+            # MC in charge: propagate and let the MC decide deallocation.
+            return WriteAction(propagate=True)
+        self._require_window().slide(Operation.WRITE)
+        return WriteAction()
+
+    def on_read_request(self):
+        window = self._require_window()
+        window.slide(Operation.READ)
+        if window.majority_reads:
+            contents = window.contents()
+            self._window = None  # charge moves to the MC
+            return True, contents
+        return False, None
+
+    def adopt_window(self, window):
+        if self._window is not None:
+            raise ProtocolError("the SC already holds a window")
+        if window is None:
+            raise ProtocolError("a deallocation notice must carry the window")
+        self._window = RequestWindow(self._k, window)
+
+
+class _SwkMobile(MobileDecider):
+    def __init__(self, k: int):
+        self._k = ensure_odd_window(k)
+        self._window: Optional[RequestWindow] = None
+
+    def _require_window(self) -> RequestWindow:
+        if self._window is None:
+            raise ProtocolError(
+                "the MC is not in charge of the window but was asked to decide"
+            )
+        return self._window
+
+    def on_local_read(self) -> None:
+        self._require_window().slide(Operation.READ)
+
+    def on_propagation(self) -> bool:
+        window = self._require_window()
+        window.slide(Operation.WRITE)
+        if window.majority_reads:
+            return False
+        return True
+
+    def release_window(self) -> Tuple[Operation, ...]:
+        """Hand the window back for the deallocation notice."""
+        contents = self._require_window().contents()
+        self._window = None
+        return contents
+
+    def adopt_window(self, window):
+        if self._window is not None:
+            raise ProtocolError("the MC already holds a window")
+        if window is None:
+            raise ProtocolError("an allocating reply must carry the window")
+        self._window = RequestWindow(self._k, window)
+
+
+class _Sw1Stationary(StationaryDecider):
+    """SW1: the SC is always effectively in charge (window = last request)."""
+
+    def on_write(self, mc_subscribed: bool) -> WriteAction:
+        if mc_subscribed:
+            return WriteAction(delete_request=True)
+        return WriteAction()
+
+    def on_read_request(self):
+        return True, None
+
+
+# ---------------------------------------------------------------------------
+# Threshold methods (section 7.1)
+
+
+class _T1Stationary(StationaryDecider):
+    def __init__(self, m: int):
+        if m < 1:
+            raise InvalidParameterError(f"m must be >= 1, got {m}")
+        self._m = m
+        self._consecutive_reads = 0
+
+    def on_write(self, mc_subscribed: bool) -> WriteAction:
+        self._consecutive_reads = 0
+        if mc_subscribed:
+            return WriteAction(delete_request=True)
+        return WriteAction()
+
+    def on_read_request(self):
+        self._consecutive_reads += 1
+        if self._consecutive_reads >= self._m:
+            self._consecutive_reads = 0
+            return True, None
+        return False, None
+
+
+class _T2Stationary(StationaryDecider):
+    """T2m's SC side: propagate while subscribed, re-allocate on reads.
+
+    The SC cannot count *consecutive* writes — it never sees the local
+    reads at the MC that break a run — so the deallocation decision
+    lives in :class:`_T2Mobile`.
+    """
+
+    def on_write(self, mc_subscribed: bool) -> WriteAction:
+        if not mc_subscribed:
+            return WriteAction()
+        return WriteAction(propagate=True)
+
+    def on_read_request(self):
+        return True, None
+
+
+class _T2Mobile(MobileDecider):
+    """T2m's MC side: drop the replica after m consecutive writes."""
+
+    def __init__(self, m: int):
+        if m < 1:
+            raise InvalidParameterError(f"m must be >= 1, got {m}")
+        self._m = m
+        self._consecutive_writes = 0
+
+    def on_local_read(self) -> None:
+        self._consecutive_writes = 0
+
+    def on_propagation(self) -> bool:
+        self._consecutive_writes += 1
+        if self._consecutive_writes >= self._m:
+            self._consecutive_writes = 0
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Factory
+
+
+def make_deciders(name: str) -> DeciderPair:
+    """Build the protocol decider pair for an algorithm short name.
+
+    Accepts the same names as :func:`repro.core.registry.make_algorithm`
+    (``st1``, ``st2``, ``sw1``, ``swK``, ``t1_M``, ``t2_M``).
+    """
+    from ..core.registry import (
+        _SW_PATTERN,
+        _T1_PATTERN,
+        _T2_PATTERN,
+    )
+    from ..exceptions import UnknownAlgorithmError
+
+    lowered = name.strip().lower()
+    if lowered == "st1":
+        return DeciderPair("st1", _St1Stationary(), _NoReplicaMobile(), False)
+    if lowered == "st2":
+        return DeciderPair("st2", _St2Stationary(), _NeverDeallocateMobile(), True)
+    if lowered == "sw1":
+        return DeciderPair("sw1", _Sw1Stationary(), _NoReplicaMobile(), False)
+    if lowered == "sw1-unoptimized":
+        return DeciderPair(lowered, _SwkStationary(1), _SwkMobile(1), False)
+    match = _SW_PATTERN.match(lowered)
+    if match:
+        k = int(match.group(1))
+        return DeciderPair(lowered, _SwkStationary(k), _SwkMobile(k), False)
+    match = _T1_PATTERN.match(lowered)
+    if match:
+        return DeciderPair(
+            lowered, _T1Stationary(int(match.group(1))), _NoReplicaMobile(), False
+        )
+    match = _T2_PATTERN.match(lowered)
+    if match:
+        return DeciderPair(
+            lowered,
+            _T2Stationary(),
+            _T2Mobile(int(match.group(1))),
+            True,
+        )
+    raise UnknownAlgorithmError(f"no protocol deciders for algorithm {name!r}")

@@ -1,0 +1,66 @@
+"""Workload generation: Poisson request streams, adversaries, regimes.
+
+The paper's probabilistic analysis assumes reads at the MC and writes
+at the SC arrive as independent Poisson processes with rates ``λr`` and
+``λw``; the merged stream then makes each relevant request a write with
+probability ``θ = λw/(λw+λr)`` independently (memorylessness, section
+3).  :mod:`repro.workload.poisson` generates such streams, with real
+arrival timestamps for the discrete-event simulator and a fast
+Bernoulli path for Monte-Carlo estimation.
+
+The worst-case analysis needs adversarial schedules;
+:mod:`repro.workload.adversary` constructs the tight families for every
+competitiveness theorem plus a greedy adaptive adversary.
+
+The *average expected cost* measure models θ changing across periods;
+:mod:`repro.workload.regimes` builds those piecewise-θ workloads.
+"""
+
+from .adversary import (
+    GreedyAdversary,
+    all_reads,
+    all_writes,
+    alternating,
+    sw1_tight_schedule,
+    swk_tight_schedule,
+    threshold_tight_schedule,
+)
+from .bursty import BurstyWorkload
+from .catalog import CatalogWorkload, ItemRates
+from .multi_object import MultiObjectWorkload
+from .poisson import PoissonWorkload, bernoulli_schedule, theta_from_rates
+from .regimes import RegimePeriod, RegimeWorkload, uniform_theta_regimes
+from .trace import (
+    TraceProfile,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    profile_trace,
+    save_trace,
+)
+
+__all__ = [
+    "BurstyWorkload",
+    "CatalogWorkload",
+    "ItemRates",
+    "MultiObjectWorkload",
+    "PoissonWorkload",
+    "bernoulli_schedule",
+    "theta_from_rates",
+    "GreedyAdversary",
+    "all_reads",
+    "all_writes",
+    "alternating",
+    "swk_tight_schedule",
+    "sw1_tight_schedule",
+    "threshold_tight_schedule",
+    "RegimePeriod",
+    "RegimeWorkload",
+    "uniform_theta_regimes",
+    "TraceProfile",
+    "load_trace",
+    "loads_trace",
+    "save_trace",
+    "dumps_trace",
+    "profile_trace",
+]

@@ -1,0 +1,175 @@
+"""Adversarial schedules for the worst-case (competitiveness) analysis.
+
+Each competitiveness theorem in the paper comes with an implicit
+adversary; this module makes them explicit so the benchmarks can
+*measure* every claimed factor:
+
+* statics are not competitive — :func:`all_reads` (against ST1) and
+  :func:`all_writes` (against ST2) drive the ratio to infinity;
+* SWk is tightly (k+1)-competitive in the connection model and tightly
+  ((1+ω/2)(k+1)+ω)-competitive in the message model —
+  :func:`swk_tight_schedule` alternates read-bursts and write-bursts of
+  length (k+1)/2, keeping SWk paying on every request while the offline
+  optimum pays ~1 per cycle;
+* SW1 is tightly (1+2ω)-competitive — :func:`sw1_tight_schedule`
+  alternates single reads and writes;
+* T1m is (m+1)-competitive — :func:`threshold_tight_schedule` repeats
+  m reads followed by one write.
+
+:class:`GreedyAdversary` is an *adaptive* adversary used by the
+property-based tests: it simulates the online algorithm and always
+issues whichever operation charges it more right now.  It does not
+always achieve the tight ratio but it stresses upper bounds well beyond
+random schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import AllocationAlgorithm
+from ..costmodels.base import CostModel
+from ..exceptions import InvalidParameterError
+from ..types import Operation, Request, Schedule, ensure_odd_window
+
+__all__ = [
+    "all_reads",
+    "all_writes",
+    "alternating",
+    "swk_tight_schedule",
+    "sw1_tight_schedule",
+    "threshold_tight_schedule",
+    "GreedyAdversary",
+]
+
+
+def _ensure_positive(value: int, name: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise InvalidParameterError(f"{name} must be a positive int, got {value!r}")
+    return value
+
+
+def all_reads(length: int) -> Schedule:
+    """Only reads: unbounded ratio against ST1 (section 5.3)."""
+    _ensure_positive(length, "length")
+    return Schedule(Request(Operation.READ) for _ in range(length))
+
+
+def all_writes(length: int) -> Schedule:
+    """Only writes: unbounded ratio against ST2 (section 5.3)."""
+    _ensure_positive(length, "length")
+    return Schedule(Request(Operation.WRITE) for _ in range(length))
+
+
+def alternating(pairs: int, read_first: bool = True) -> Schedule:
+    """``pairs`` repetitions of ``r, w`` (or ``w, r``)."""
+    _ensure_positive(pairs, "pairs")
+    if read_first:
+        ops = [Operation.READ, Operation.WRITE] * pairs
+    else:
+        ops = [Operation.WRITE, Operation.READ] * pairs
+    return Schedule(Request(op) for op in ops)
+
+
+def swk_tight_schedule(k: int, cycles: int) -> Schedule:
+    """The tight adversary against SWk (Theorems 4 and 12).
+
+    With ``k = 2n+1`` and SWk starting from a one-copy state (window
+    all writes), each cycle issues ``n+1`` reads followed by ``n+1``
+    writes:
+
+    * every read is remote — the majority only flips to reads on the
+      (n+1)-th, after which the burst ends;
+    * every write is then propagated — the n leading writes evict the
+      stale writes still in the window, so the majority only flips
+      back on the (n+1)-th, which also pays the deallocation.
+
+    SWk therefore pays on all ``k+1`` requests of the cycle, while the
+    offline optimum serves the cycle for the price of one remote read
+    (acquire on the first read, release before the writes).  The
+    measured ratio approaches k+1 in the connection model and
+    (1+ω/2)(k+1)+ω in the message model as ``cycles`` grows.
+    """
+    ensure_odd_window(k)
+    _ensure_positive(cycles, "cycles")
+    burst = (k + 1) // 2
+    cycle = [Operation.READ] * burst + [Operation.WRITE] * burst
+    return Schedule(Request(op) for op in cycle * cycles)
+
+
+def sw1_tight_schedule(pairs: int) -> Schedule:
+    """The tight adversary against SW1 (Theorem 11): ``r, w`` repeated.
+
+    Each pair costs SW1 a remote read (1+ω) plus a delete-request (ω)
+    while the offline optimum keeps the replica and pays only the
+    propagated write (1), giving the ratio 1+2ω.
+    """
+    return alternating(pairs, read_first=True)
+
+
+def threshold_tight_schedule(m: int, cycles: int) -> Schedule:
+    """The tight adversary against T1m (section 7.1): m reads, then a write.
+
+    T1m pays m remote reads plus the deallocating write (m+1 per
+    cycle); the offline optimum keeps the replica throughout and pays
+    one propagated write per cycle.
+    """
+    _ensure_positive(m, "m")
+    _ensure_positive(cycles, "cycles")
+    cycle = [Operation.READ] * m + [Operation.WRITE]
+    return Schedule(Request(op) for op in cycle * cycles)
+
+
+class GreedyAdversary:
+    """Adaptive adversary: always issue the immediately-costlier request.
+
+    The adversary runs a private copy of the online algorithm.  At each
+    step it asks what a read and a write would charge in the given cost
+    model and issues the more expensive one; ties are broken by a
+    (seedable) coin so the stream does not degenerate.
+    """
+
+    def __init__(
+        self,
+        algorithm: AllocationAlgorithm,
+        cost_model: CostModel,
+        seed: Optional[int] = None,
+    ):
+        self._algorithm = algorithm.clone()
+        self._cost_model = cost_model
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, length: int) -> Schedule:
+        """Produce an adversarial schedule of the given length."""
+        _ensure_positive(length, "length")
+        self._algorithm.reset()
+        requests = []
+        for _ in range(length):
+            operation = self._pick_operation()
+            self._algorithm.process(operation)
+            requests.append(Request(operation))
+        return Schedule(requests)
+
+    def _pick_operation(self) -> Operation:
+        read_cost = self._peek_cost(Operation.READ)
+        write_cost = self._peek_cost(Operation.WRITE)
+        if read_cost > write_cost:
+            return Operation.READ
+        if write_cost > read_cost:
+            return Operation.WRITE
+        return Operation.READ if self._rng.random() < 0.5 else Operation.WRITE
+
+    def _peek_cost(self, operation: Operation) -> float:
+        """Cost the online algorithm would pay for ``operation`` now."""
+        probe = self._clone_state()
+        kind = probe.process(operation)
+        return self._cost_model.price(kind)
+
+    def _clone_state(self) -> AllocationAlgorithm:
+        # Algorithms are small state machines; replaying history would
+        # be O(n^2), so we deep-copy the live instance instead.
+        import copy
+
+        return copy.deepcopy(self._algorithm)

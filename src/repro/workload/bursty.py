@@ -1,0 +1,90 @@
+"""Bursty (Markov-modulated) request streams.
+
+The *average expected cost* measure assumes θ re-drawn uniformly per
+period; real mobile workloads are burstier — the paper's own examples
+(commute-time traffic queries, market-hours quote updates) alternate
+between read-heavy and write-heavy phases.  A two-state Markov
+modulation captures that: the stream sits in phase A (write fraction
+``theta_a``) or phase B (``theta_b``) and after each request switches
+phase with probability ``1/mean_sojourn``.
+
+The sojourn length is the knob that separates the allocation methods:
+
+* ``mean_sojourn → 1`` — phases blur into an effective
+  ``θ = (θa+θb)/2`` i.i.d. stream; nothing beats the better static.
+* ``mean_sojourn ≫ k`` — the window re-converges inside each phase and
+  SWk approaches the *piecewise* static optimum
+  ``(min(θa,1-θa) + min(θb,1-θb))/2``, which no single static method
+  can reach.
+
+The burstiness experiment (``t-bursty``) sweeps this knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..types import Operation, Request, Schedule, ensure_probability
+
+__all__ = ["BurstyWorkload"]
+
+
+class BurstyWorkload:
+    """Two-state Markov-modulated Bernoulli request stream."""
+
+    def __init__(
+        self,
+        theta_a: float,
+        theta_b: float,
+        mean_sojourn: float,
+        seed: Optional[int] = None,
+    ):
+        self._theta_a = ensure_probability(theta_a, "theta_a")
+        self._theta_b = ensure_probability(theta_b, "theta_b")
+        if mean_sojourn < 1.0:
+            raise InvalidParameterError(
+                f"mean_sojourn must be >= 1 request, got {mean_sojourn!r}"
+            )
+        self._switch_probability = 1.0 / float(mean_sojourn)
+        self._mean_sojourn = float(mean_sojourn)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def mean_sojourn(self) -> float:
+        return self._mean_sojourn
+
+    @property
+    def stationary_theta(self) -> float:
+        """Long-run write fraction (phases are symmetric, so the mean)."""
+        return (self._theta_a + self._theta_b) / 2.0
+
+    @property
+    def piecewise_static_optimum(self) -> float:
+        """Connection-model cost of picking the best static *per phase*.
+
+        This is the floor an adaptive method can approach when sojourns
+        are long; a single static method is stuck at
+        ``min(mean(1-θ), mean(θ))`` instead.
+        """
+        best_a = min(self._theta_a, 1.0 - self._theta_a)
+        best_b = min(self._theta_b, 1.0 - self._theta_b)
+        return (best_a + best_b) / 2.0
+
+    def generate(self, length: int) -> Schedule:
+        """``length`` requests of the modulated stream."""
+        if length < 0:
+            raise InvalidParameterError(f"length must be >= 0, got {length}")
+        in_phase_a = bool(self._rng.random() < 0.5)
+        requests = []
+        switches = self._rng.random(length) < self._switch_probability
+        draws = self._rng.random(length)
+        for switch, draw in zip(switches, draws):
+            if switch:
+                in_phase_a = not in_phase_a
+            theta = self._theta_a if in_phase_a else self._theta_b
+            operation = Operation.WRITE if draw < theta else Operation.READ
+            requests.append(Request(operation))
+        return Schedule(requests)

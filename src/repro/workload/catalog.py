@@ -1,0 +1,89 @@
+"""Merged multi-item request streams for the catalog layer.
+
+Each item has its own independent Poisson read and write processes; the
+merged stream picks an item with probability proportional to its total
+rate and an operation with that item's write fraction — the same
+memorylessness argument as the single-item model, applied per item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..types import Operation, Request, Schedule
+
+__all__ = ["ItemRates", "CatalogWorkload"]
+
+
+@dataclass(frozen=True)
+class ItemRates:
+    """Poisson rates for one catalog item."""
+
+    read_rate: float
+    write_rate: float
+
+    def __post_init__(self):
+        if self.read_rate < 0 or self.write_rate < 0:
+            raise InvalidParameterError("rates must be non-negative")
+        if self.read_rate + self.write_rate == 0:
+            raise InvalidParameterError("an item needs a positive total rate")
+
+    @property
+    def total(self) -> float:
+        return self.read_rate + self.write_rate
+
+    @property
+    def theta(self) -> float:
+        return self.write_rate / self.total
+
+
+class CatalogWorkload:
+    """Generates the merged request stream of a whole catalog."""
+
+    def __init__(self, rates: Mapping[str, ItemRates], seed: Optional[int] = None):
+        if not rates:
+            raise InvalidParameterError("catalog workload needs at least one item")
+        self._names: List[str] = sorted(rates)
+        self._rates: Dict[str, ItemRates] = dict(rates)
+        totals = np.array([self._rates[name].total for name in self._names])
+        self._item_probabilities = totals / totals.sum()
+        self._total_rate = float(totals.sum())
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def items(self) -> List[str]:
+        return list(self._names)
+
+    def theta(self, item: str) -> float:
+        """The write fraction of one item."""
+        rates = self._rates.get(item)
+        if rates is None:
+            raise InvalidParameterError(f"unknown item {item!r}")
+        return rates.theta
+
+    def generate(self, length: int) -> Schedule:
+        """``length`` timestamped requests across the catalog."""
+        if length < 0:
+            raise InvalidParameterError(f"length must be >= 0, got {length}")
+        gaps = self._rng.exponential(scale=1.0 / self._total_rate, size=length)
+        times = np.cumsum(gaps)
+        indices = self._rng.choice(
+            len(self._names), size=length, p=self._item_probabilities
+        )
+        draws = self._rng.random(length)
+        requests = []
+        for time, index, draw in zip(times, indices, draws):
+            name = self._names[int(index)]
+            operation = (
+                Operation.WRITE
+                if draw < self._rates[name].theta
+                else Operation.READ
+            )
+            requests.append(
+                Request(operation, timestamp=float(time), objects=(name,))
+            )
+        return Schedule(requests)

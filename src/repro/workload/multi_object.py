@@ -1,0 +1,54 @@
+"""Multi-object request streams (section 7.2).
+
+Each operation class (read/write over a fixed object set) arrives as an
+independent Poisson process, so the merged stream draws each request's
+class with probability proportional to its frequency — the same
+memorylessness argument as the single-object case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.multi_object import MultiObjectWorkloadSpec
+from ..exceptions import InvalidParameterError
+from ..types import Request, Schedule
+
+__all__ = ["MultiObjectWorkload"]
+
+
+class MultiObjectWorkload:
+    """Generates schedules of joint-operation requests from a spec."""
+
+    def __init__(self, spec: MultiObjectWorkloadSpec, seed: Optional[int] = None):
+        self._spec = spec
+        self._classes = list(spec.frequencies.items())
+        total = spec.total_rate
+        self._probabilities = np.array(
+            [frequency / total for _cls, frequency in self._classes]
+        )
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def spec(self) -> MultiObjectWorkloadSpec:
+        return self._spec
+
+    def generate(self, length: int) -> Schedule:
+        """``length`` requests, classes drawn i.i.d. by frequency."""
+        if length < 0:
+            raise InvalidParameterError(f"length must be >= 0, got {length}")
+        indices = self._rng.choice(
+            len(self._classes), size=length, p=self._probabilities
+        )
+        requests: List[Request] = []
+        for index in indices:
+            op_class, _frequency = self._classes[int(index)]
+            requests.append(
+                Request(
+                    op_class.operation,
+                    objects=tuple(sorted(op_class.objects)),
+                )
+            )
+        return Schedule(requests)

@@ -1,0 +1,97 @@
+"""Piecewise-θ ("regime switching") workloads.
+
+The paper's *average expected cost* measure (equation 1) is motivated
+by θ varying over time: "time is subdivided into periods, where in the
+i-th period the reads and writes are distributed with parameters λr_i
+and λw_i ... each θ_i has equal probability of having any value between
+0 and 1".  :class:`RegimeWorkload` realizes exactly that construction,
+and :func:`uniform_theta_regimes` draws the θ_i uniformly so that the
+empirical per-request cost of an algorithm converges to its AVG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..types import Schedule, ensure_probability
+from .poisson import bernoulli_schedule
+
+__all__ = ["RegimePeriod", "RegimeWorkload", "uniform_theta_regimes"]
+
+
+@dataclass(frozen=True)
+class RegimePeriod:
+    """One period of stationary request mix: ``length`` requests at θ."""
+
+    theta: float
+    length: int
+
+    def __post_init__(self):
+        ensure_probability(self.theta)
+        if self.length < 0:
+            raise InvalidParameterError(f"period length must be >= 0, got {self.length}")
+
+
+class RegimeWorkload:
+    """A workload whose write fraction changes across periods."""
+
+    def __init__(self, periods: Iterable[RegimePeriod], seed: Optional[int] = None):
+        self._periods: Tuple[RegimePeriod, ...] = tuple(periods)
+        if not self._periods:
+            raise InvalidParameterError("a regime workload needs at least one period")
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def periods(self) -> Tuple[RegimePeriod, ...]:
+        return self._periods
+
+    @property
+    def total_length(self) -> int:
+        return sum(p.length for p in self._periods)
+
+    def generate(self) -> Schedule:
+        """One concatenated schedule spanning all periods."""
+        schedule = Schedule()
+        for period in self._periods:
+            schedule = schedule + bernoulli_schedule(
+                period.theta, period.length, rng=self._rng
+            )
+        return schedule
+
+    def generate_segments(self) -> List[Schedule]:
+        """Per-period schedules, for experiments that track regime bounds."""
+        return [
+            bernoulli_schedule(period.theta, period.length, rng=self._rng)
+            for period in self._periods
+        ]
+
+
+def uniform_theta_regimes(
+    num_periods: int,
+    period_length: int,
+    seed: Optional[int] = None,
+) -> RegimeWorkload:
+    """Periods with θ_i drawn i.i.d. uniformly from [0, 1].
+
+    Running an algorithm over this workload and averaging the cost per
+    request estimates its AVG measure (equation 1): the inner
+    expectation is realized by the Bernoulli draws within a period and
+    the outer integral by the uniform θ_i across periods.
+    """
+    if num_periods < 1:
+        raise InvalidParameterError(f"num_periods must be >= 1, got {num_periods}")
+    if period_length < 1:
+        raise InvalidParameterError(
+            f"period_length must be >= 1, got {period_length}"
+        )
+    rng = np.random.default_rng(seed)
+    thetas = rng.random(num_periods)
+    periods = [RegimePeriod(float(theta), period_length) for theta in thetas]
+    # Derive the per-period generation seed from the master RNG so the
+    # whole workload is reproducible from one seed.
+    child_seed = int(rng.integers(0, 2**63 - 1))
+    return RegimeWorkload(periods, seed=child_seed)

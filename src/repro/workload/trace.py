@@ -1,0 +1,166 @@
+"""Trace recording, loading and characterization.
+
+A downstream user evaluates allocation methods against *their* request
+log, not against Poisson assumptions.  This module defines a plain-text
+trace format, loaders/savers, and the statistics needed to position a
+real trace inside the paper's parameter space:
+
+* the global write fraction (the θ to look up in the EXP formulas);
+* a rolling write fraction (does θ drift? if so the AVG analysis and
+  the SWk family apply, not the statics);
+* a burstiness summary (mean phase length of the thresholded rolling θ
+  — the knob of the ``t-bursty`` experiment).
+
+Trace format — one request per line::
+
+    # comment lines and blanks are ignored
+    r                      # a read, no timestamp, single-item model
+    w 12.5                 # a write at time 12.5
+    r 13.0 stock_quotes    # timestamped read of a named item
+
+Fields are whitespace-separated: operation (``r``/``w``), optional
+timestamp, optional item name (attached as the request's object).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import InvalidScheduleError
+from ..types import Operation, Request, Schedule
+
+__all__ = [
+    "load_trace",
+    "loads_trace",
+    "save_trace",
+    "dumps_trace",
+    "TraceProfile",
+    "profile_trace",
+]
+
+
+def _parse_line(line: str, line_number: int) -> Optional[Request]:
+    stripped = line.split("#", 1)[0].strip()
+    if not stripped:
+        return None
+    fields = stripped.split()
+    try:
+        operation = Operation.from_symbol(fields[0])
+    except InvalidScheduleError as error:
+        raise InvalidScheduleError(f"line {line_number}: {error}") from error
+    timestamp = 0.0
+    objects: Tuple[str, ...] = ()
+    if len(fields) >= 2:
+        try:
+            timestamp = float(fields[1])
+        except ValueError as error:
+            raise InvalidScheduleError(
+                f"line {line_number}: bad timestamp {fields[1]!r}"
+            ) from error
+    if len(fields) >= 3:
+        objects = (fields[2],)
+    if len(fields) > 3:
+        raise InvalidScheduleError(
+            f"line {line_number}: too many fields in {stripped!r}"
+        )
+    return Request(operation, timestamp=timestamp, objects=objects)
+
+
+def loads_trace(text: str) -> Schedule:
+    """Parse a trace from a string."""
+    requests: List[Request] = []
+    previous = float("-inf")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        request = _parse_line(line, line_number)
+        if request is None:
+            continue
+        if request.timestamp < previous:
+            raise InvalidScheduleError(
+                f"line {line_number}: timestamps must be non-decreasing"
+            )
+        previous = request.timestamp
+        requests.append(request)
+    return Schedule(requests)
+
+
+def load_trace(path: Union[str, Path]) -> Schedule:
+    """Load a trace file."""
+    with open(path) as handle:
+        return loads_trace(handle.read())
+
+
+def dumps_trace(schedule: Schedule, *, include_timestamps: bool = True) -> str:
+    """Serialize a schedule in the trace format."""
+    lines = []
+    for request in schedule:
+        fields = [request.operation.symbol]
+        has_item = bool(request.objects)
+        if include_timestamps or has_item:
+            fields.append(f"{request.timestamp:.6f}")
+        if has_item:
+            if len(request.objects) != 1:
+                raise InvalidScheduleError(
+                    "the trace format stores at most one item per request"
+                )
+            fields.append(request.objects[0])
+        lines.append(" ".join(fields))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def save_trace(schedule: Schedule, path: Union[str, Path]) -> None:
+    """Write a schedule as a trace file."""
+    with open(path, "w") as handle:
+        handle.write(dumps_trace(schedule))
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Positioning of a trace inside the paper's parameter space."""
+
+    length: int
+    write_fraction: float
+    #: Rolling write fraction over the profiling window, one value per
+    #: position (len = length - window + 1).
+    rolling_theta: Tuple[float, ...]
+    #: Standard deviation of the rolling θ — ~0 means stationary
+    #: (pick by the EXP formulas); large means drifting (pick SWk).
+    theta_drift: float
+    #: Mean run length of the >1/2 / <1/2 phases of the rolling θ;
+    #: the empirical analogue of the t-bursty sojourn parameter.
+    mean_phase_length: float
+
+    @property
+    def looks_stationary(self) -> bool:
+        """Heuristic: drift below 0.1 reads as a fixed θ."""
+        return self.theta_drift < 0.1
+
+
+def profile_trace(schedule: Schedule, window: int = 100) -> TraceProfile:
+    """Characterize a trace (see :class:`TraceProfile`)."""
+    if window < 1:
+        raise InvalidScheduleError(f"window must be >= 1, got {window}")
+    if len(schedule) < window:
+        raise InvalidScheduleError(
+            f"trace has {len(schedule)} requests; profiling needs at "
+            f"least the window size ({window})"
+        )
+    bits = np.array([1.0 if r.is_write else 0.0 for r in schedule])
+    kernel = np.ones(window) / window
+    rolling = np.convolve(bits, kernel, mode="valid")
+
+    phases = rolling >= 0.5
+    changes = int(np.count_nonzero(phases[1:] != phases[:-1]))
+    mean_phase = len(phases) / (changes + 1)
+
+    return TraceProfile(
+        length=len(schedule),
+        write_fraction=float(bits.mean()),
+        rolling_theta=tuple(float(v) for v in rolling),
+        theta_drift=float(rolling.std()),
+        mean_phase_length=float(mean_phase),
+    )

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; tests that need different streams derive
+    child seeds from it."""
+    return np.random.default_rng(123456789)
+
+
+@pytest.fixture
+def connection_model():
+    return ConnectionCostModel()
+
+
+@pytest.fixture(params=[0.0, 0.25, 0.5, 1.0])
+def message_model(request):
+    """Message model swept over representative omega values."""
+    return MessageCostModel(request.param)
+
+
+ALL_ALGORITHM_NAMES = (
+    "st1",
+    "st2",
+    "sw1",
+    "sw1-unoptimized",
+    "sw3",
+    "sw5",
+    "sw9",
+    "sw15",
+    "t1_1",
+    "t1_4",
+    "t1_15",
+    "t2_1",
+    "t2_3",
+    "t2_15",
+)
+
+
+@pytest.fixture(params=ALL_ALGORITHM_NAMES)
+def algorithm_name(request):
+    """Every algorithm variant the library ships."""
+    return request.param

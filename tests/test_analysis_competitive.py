@@ -1,0 +1,101 @@
+"""Unit tests for competitive-ratio measurement machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.competitive import (
+    CompetitiveMeasurement,
+    exceeds_bound,
+    measure_competitive_ratio,
+    ratio_over_family,
+)
+from repro.core import make_algorithm
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.types import Schedule
+from repro.workload.adversary import sw1_tight_schedule, swk_tight_schedule
+
+
+class TestMeasurement:
+    def test_ratio(self):
+        measurement = CompetitiveMeasurement("x", 10, online_cost=6.0, offline_cost=2.0)
+        assert measurement.ratio == 3.0
+
+    def test_ratio_infinite_when_offline_free(self):
+        measurement = CompetitiveMeasurement("x", 10, online_cost=5.0, offline_cost=0.0)
+        assert measurement.ratio == float("inf")
+
+    def test_ratio_one_when_both_free(self):
+        measurement = CompetitiveMeasurement("x", 10, online_cost=0.0, offline_cost=0.0)
+        assert measurement.ratio == 1.0
+
+    def test_ratio_with_additive(self):
+        measurement = CompetitiveMeasurement("x", 10, online_cost=6.0, offline_cost=2.0)
+        assert measurement.ratio_with_additive(2.0) == 2.0
+        assert measurement.ratio_with_additive(10.0) == 0.0
+
+    def test_measure_runs_both_sides(self):
+        schedule = Schedule.from_string("rwrw")
+        measurement = measure_competitive_ratio(
+            make_algorithm("st1"), schedule, ConnectionCostModel()
+        )
+        assert measurement.online_cost == 2.0  # two remote reads
+        assert measurement.offline_cost == 2.0  # optimal also pays both reads
+        assert measurement.schedule_length == 4
+
+
+class TestTightFamilies:
+    @pytest.mark.parametrize("k", [1, 3, 5, 9])
+    def test_swk_connection_exactly_k_plus_1(self, k):
+        """Theorem 4's lower bound, realized exactly."""
+        schedule = swk_tight_schedule(k, 100)
+        measurement = measure_competitive_ratio(
+            make_algorithm(f"sw{k}" if k > 1 else "sw1"),
+            schedule,
+            ConnectionCostModel(),
+        )
+        assert measurement.ratio == pytest.approx(k + 1, abs=0.02)
+
+    @pytest.mark.parametrize("omega", [0.1, 0.5, 1.0])
+    def test_sw1_message_exactly_1_plus_2w(self, omega):
+        """Theorem 11's bound, realized exactly."""
+        measurement = measure_competitive_ratio(
+            make_algorithm("sw1"), sw1_tight_schedule(200), MessageCostModel(omega)
+        )
+        assert measurement.ratio == pytest.approx(1 + 2 * omega, abs=0.02)
+
+    @pytest.mark.parametrize("k", [3, 9])
+    @pytest.mark.parametrize("omega", [0.2, 0.8])
+    def test_swk_message_exactly_theorem12(self, k, omega):
+        measurement = measure_competitive_ratio(
+            make_algorithm(f"sw{k}"),
+            swk_tight_schedule(k, 150),
+            MessageCostModel(omega),
+        )
+        claimed = (1 + omega / 2) * (k + 1) + omega
+        assert measurement.ratio == pytest.approx(claimed, abs=0.05)
+
+
+class TestBoundChecking:
+    def test_exceeds_bound_flags_violations(self):
+        measurements = [
+            CompetitiveMeasurement("x", 5, online_cost=10.0, offline_cost=2.0),
+            CompetitiveMeasurement("x", 5, online_cost=3.0, offline_cost=2.0),
+        ]
+        violations = exceeds_bound(measurements, factor=2.0, additive=0.0)
+        assert len(violations) == 1
+        assert violations[0].online_cost == 10.0
+
+    def test_additive_allowance(self):
+        measurements = [
+            CompetitiveMeasurement("x", 5, online_cost=10.0, offline_cost=2.0)
+        ]
+        assert not exceeds_bound(measurements, factor=2.0, additive=6.0)
+
+    def test_ratio_over_family(self):
+        schedules = [Schedule.from_string("rw"), Schedule.from_string("rrrw")]
+        measurements = ratio_over_family(
+            make_algorithm("sw1"), schedules, ConnectionCostModel()
+        )
+        assert len(measurements) == 2
+        assert all(m.algorithm_name == "sw1" for m in measurements)

@@ -1,0 +1,169 @@
+"""Unit tests for the dominance regions (Fig 1) and window choice (Fig 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import dominance
+from repro.analysis import message as ma
+from repro.analysis import window_choice as wc
+from repro.exceptions import InvalidParameterError
+
+
+class TestDominanceClassification:
+    def test_regions_at_omega_half(self):
+        # thresholds: lower 0.5, upper 0.75.
+        assert (
+            dominance.best_expected_algorithm(0.9, 0.5)
+            is dominance.DominanceRegion.ST1
+        )
+        assert (
+            dominance.best_expected_algorithm(0.3, 0.5)
+            is dominance.DominanceRegion.ST2
+        )
+        assert (
+            dominance.best_expected_algorithm(0.6, 0.5)
+            is dominance.DominanceRegion.SW1
+        )
+
+    def test_boundary_detection(self):
+        assert (
+            dominance.best_expected_algorithm(0.75, 0.5)
+            is dominance.DominanceRegion.BOUNDARY
+        )
+
+    def test_omega_zero_sw1_everywhere_inside(self):
+        for theta in (0.05, 0.5, 0.95):
+            assert (
+                dominance.best_expected_algorithm(theta, 0.0)
+                is dominance.DominanceRegion.SW1
+            )
+
+    def test_classification_matches_argmin(self):
+        """Off the boundaries the analytic region equals the argmin of
+        the three expected-cost formulas."""
+        steps = 41
+        for i in range(steps):
+            for j in range(steps):
+                theta = i / (steps - 1)
+                omega = j / (steps - 1)
+                region = dominance.best_expected_algorithm(theta, omega, 1e-9)
+                if region is dominance.DominanceRegion.BOUNDARY:
+                    continue
+                upper = dominance.st1_sw1_boundary(omega)
+                lower = dominance.st2_sw1_boundary(omega)
+                if min(abs(theta - upper), abs(theta - lower)) < 1e-6:
+                    continue
+                costs = {
+                    "st1": ma.expected_cost_st1(theta, omega),
+                    "st2": ma.expected_cost_st2(theta),
+                    "sw1": ma.expected_cost_sw1(theta, omega),
+                }
+                assert min(costs, key=costs.get) == region.value, (theta, omega)
+
+    def test_grid_cells(self):
+        cells = dominance.dominance_grid([0.2, 0.8], [0.5])
+        assert len(cells) == 2
+        assert cells[0].theta == 0.2
+        assert {name for name, _cost in cells[0].expected_costs} == {
+            "st1",
+            "st2",
+            "sw1",
+        }
+
+
+class TestK0Threshold:
+    def test_anchor_045(self):
+        assert wc.first_odd_k_beating_sw1(0.45) == 39
+
+    def test_anchor_080(self):
+        assert wc.first_odd_k_beating_sw1(0.8) == 7
+
+    def test_paper_axis_ticks(self):
+        """The paper's Figure 2 marks k ticks 5, 7, 11, 21, 39, 95 on
+        the staircase; each must be attained at some omega (95 only on
+        a fine grid near omega = 0.42)."""
+        attained = {
+            wc.first_odd_k_beating_sw1(omega / 1000.0)
+            for omega in range(401, 1001)
+        }
+        attained |= {
+            wc.first_odd_k_beating_sw1(omega / 100000.0)
+            for omega in range(42000, 42110)
+        }
+        for tick in (5, 7, 11, 21, 39, 95):
+            assert tick in attained, f"k={tick} never the first odd k"
+
+    def test_k3_never_attained(self):
+        """k0(omega) > 3 even at omega = 1 (k0(1) = (9+sqrt(153))/6
+        ~ 3.56), so the smallest useful window beyond SW1 is k = 5 —
+        the paper's figure starts its staircase there."""
+        assert wc.k0_threshold(1.0) == pytest.approx(
+            (9 + math.sqrt(153)) / 6
+        )
+        assert wc.first_odd_k_beating_sw1(1.0) == 5
+
+    def test_below_04_returns_none(self):
+        for omega in (0.0, 0.2, 0.4):
+            assert wc.first_odd_k_beating_sw1(omega) is None
+
+    def test_monotone_decreasing_in_omega(self):
+        """Cheaper control messages favour SW1; the threshold k falls
+        as omega rises."""
+        values = [
+            wc.first_odd_k_beating_sw1(omega / 100.0) for omega in range(41, 101, 2)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_k0_formula_solves_the_quadratic(self):
+        for omega in (0.45, 0.6, 0.8, 1.0):
+            k0 = wc.k0_threshold(omega)
+            residual = (5 * omega - 2) * k0**2 + (omega - 10) * k0 - 6 * omega
+            assert residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_k0_rejects_low_omega(self):
+        with pytest.raises(InvalidParameterError):
+            wc.k0_threshold(0.4)
+
+    def test_first_odd_k_consistent_with_direct_comparison(self):
+        for omega in (0.45, 0.55, 0.7, 0.9):
+            k = wc.first_odd_k_beating_sw1(omega)
+            assert ma.average_cost_swk(k, omega) <= ma.average_cost_sw1(omega)
+            if k > 3:
+                assert ma.average_cost_swk(k - 2, omega) > ma.average_cost_sw1(
+                    omega
+                )
+
+
+class TestRecommendWindow:
+    def test_paper_connection_picks(self):
+        assert wc.recommend_window(0.10, model="connection").k == 9
+        assert wc.recommend_window(0.06, model="connection").k == 15
+
+    def test_reports_competitive_price(self):
+        pick = wc.recommend_window(0.10, model="connection")
+        assert pick.competitive_factor == 10.0
+        assert pick.average_excess <= 0.10
+
+    def test_message_model_low_omega_picks_sw1(self):
+        pick = wc.recommend_window(0.5, model="message", omega=0.2)
+        assert pick.k == 1
+
+    def test_message_model_returns_odd_k(self):
+        pick = wc.recommend_window(0.10, model="message", omega=0.9)
+        assert pick.k % 2 == 1
+
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(InvalidParameterError):
+            wc.recommend_window(0.0)
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(InvalidParameterError):
+            wc.recommend_window(0.1, model="carrier-pigeon")
+
+    def test_tighter_target_needs_larger_window(self):
+        loose = wc.recommend_window(0.2, model="connection")
+        tight = wc.recommend_window(0.02, model="connection")
+        assert tight.k > loose.k

@@ -1,0 +1,122 @@
+"""Unit tests for pi_k and the deallocation probability (equation 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.analysis.majority import (
+    allocation_probability,
+    deallocation_probability,
+    half_window,
+    pi_k,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestHalfWindow:
+    @pytest.mark.parametrize("k, n", [(1, 0), (3, 1), (9, 4), (15, 7)])
+    def test_values(self, k, n):
+        assert half_window(k) == n
+
+    def test_rejects_even(self):
+        with pytest.raises(InvalidParameterError):
+            half_window(4)
+
+
+class TestPiK:
+    def test_theta_zero_always_copy(self):
+        for k in (1, 3, 9, 33):
+            assert pi_k(0.0, k) == 1.0
+
+    def test_theta_one_never_copy(self):
+        for k in (1, 3, 9, 33):
+            assert pi_k(1.0, k) == 0.0
+
+    def test_theta_half_is_half(self):
+        """At theta = 1/2 the binomial is symmetric and k odd, so the
+        majority-reads probability is exactly 1/2."""
+        for k in (1, 3, 5, 9, 15, 33):
+            assert pi_k(0.5, k) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        """pi_k(1-theta) = 1 - pi_k(theta): flipping reads and writes
+        flips the majority."""
+        for k in (3, 9, 15):
+            for theta in (0.1, 0.25, 0.4, 0.45):
+                assert pi_k(1.0 - theta, k) == pytest.approx(1.0 - pi_k(theta, k))
+
+    def test_k1_is_read_probability(self):
+        for theta in (0.0, 0.2, 0.7, 1.0):
+            assert pi_k(theta, 1) == pytest.approx(1.0 - theta)
+
+    def test_matches_binomial_cdf(self):
+        """Equation 4 is the Binomial(k, theta) CDF at n."""
+        for k in (3, 9, 21):
+            n = half_window(k)
+            for theta in (0.1, 0.3, 0.5, 0.8):
+                assert pi_k(theta, k) == pytest.approx(
+                    float(stats.binom.cdf(n, k, theta)), rel=1e-10
+                )
+
+    def test_monotone_in_theta(self):
+        values = [pi_k(theta / 50, 9) for theta in range(51)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_sharpens_with_k(self):
+        """Larger windows make the majority estimate sharper: for
+        theta < 1/2 pi_k increases with k, for theta > 1/2 it decreases
+        (this is Lemma 2 for theta > 0.5)."""
+        ks = (3, 5, 9, 15, 33)
+        low = [pi_k(0.3, k) for k in ks]
+        assert all(a < b for a, b in zip(low, low[1:]))
+        high = [pi_k(0.7, k) for k in ks]
+        assert all(a > b for a, b in zip(high, high[1:]))
+
+
+class TestDeallocationProbability:
+    def test_k3_hand_computed(self):
+        # n=1: theta^2 (1-theta)^2 * C(2,1)
+        theta = 0.4
+        expected = 2 * theta**2 * (1 - theta) ** 2
+        assert deallocation_probability(theta, 3) == pytest.approx(expected)
+
+    def test_rejects_k1(self):
+        with pytest.raises(InvalidParameterError):
+            deallocation_probability(0.5, 1)
+
+    def test_zero_at_extremes(self):
+        assert deallocation_probability(0.0, 9) == 0.0
+        assert deallocation_probability(1.0, 9) == 0.0
+
+    def test_symmetric_in_theta(self):
+        for k in (3, 9):
+            for theta in (0.2, 0.35):
+                assert deallocation_probability(theta, k) == pytest.approx(
+                    deallocation_probability(1.0 - theta, k)
+                )
+
+    def test_allocation_equals_deallocation(self):
+        """Steady state: allocations and deallocations balance."""
+        assert allocation_probability(0.3, 9) == deallocation_probability(0.3, 9)
+
+    def test_matches_simulated_transition_rate(self):
+        """The per-request deallocation frequency of a long SWk run
+        converges to the closed form."""
+        import numpy as np
+
+        from repro.core import SlidingWindow, replay
+        from repro.costmodels import ConnectionCostModel, CostEventKind
+        from repro.workload import bernoulli_schedule
+
+        k, theta, length = 5, 0.45, 120_000
+        schedule = bernoulli_schedule(theta, length, rng=np.random.default_rng(8))
+        result = replay(SlidingWindow(k), schedule, ConnectionCostModel())
+        deallocations = result.event_counts().get(
+            CostEventKind.WRITE_PROPAGATED_DEALLOCATE, 0
+        )
+        assert deallocations / length == pytest.approx(
+            deallocation_probability(theta, k), abs=0.005
+        )

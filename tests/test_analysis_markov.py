@@ -1,0 +1,150 @@
+"""Unit tests for the exact Markov-chain analyzer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import connection as ca
+from repro.analysis import message as ma
+from repro.analysis.majority import pi_k
+from repro.analysis.markov import (
+    MAX_STATES,
+    analyze,
+    exact_average_cost,
+    exact_expected_cost,
+)
+from repro.analysis.numerics import monte_carlo_expected_cost
+from repro.core import EwmaAllocator, make_algorithm
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import InvalidParameterError
+
+CONNECTION = ConnectionCostModel()
+MESSAGE = MessageCostModel(0.45)
+
+
+class TestStateEnumeration:
+    def test_static_algorithms_have_one_state(self):
+        assert analyze(make_algorithm("st1"), 0.3).num_states == 1
+        assert analyze(make_algorithm("st2"), 0.3).num_states == 1
+
+    def test_sw1_has_two_states(self):
+        assert analyze(make_algorithm("sw1"), 0.3).num_states == 2
+
+    def test_swk_has_2_to_the_k_states(self):
+        # The scheme is determined by the window, so states = windows.
+        assert analyze(make_algorithm("sw3"), 0.3).num_states == 8
+        assert analyze(make_algorithm("sw5"), 0.3).num_states == 32
+
+    def test_t1m_has_m_plus_1_states(self):
+        # Counter values 0..m-1 without copy, plus the with-copy state.
+        assert analyze(make_algorithm("t1_4"), 0.3).num_states == 5
+
+    def test_stationary_distribution_sums_to_one(self):
+        chain = analyze(make_algorithm("sw5"), 0.42)
+        assert sum(chain.stationary) == pytest.approx(1.0)
+
+    def test_event_rates_sum_to_one(self):
+        chain = analyze(make_algorithm("sw5"), 0.42)
+        assert sum(chain.event_rates.values()) == pytest.approx(1.0)
+
+
+class TestAgainstClosedForms:
+    @pytest.mark.parametrize("theta", [0.1, 0.35, 0.5, 0.8])
+    @pytest.mark.parametrize("k", [1, 3, 5, 9])
+    def test_copy_probability_is_pi_k(self, theta, k):
+        name = f"sw{k}" if k > 1 else "sw1"
+        chain = analyze(make_algorithm(name), theta)
+        assert chain.copy_probability == pytest.approx(pi_k(theta, k), abs=1e-9)
+
+    @pytest.mark.parametrize("theta", [0.15, 0.5, 0.75])
+    def test_swk_connection_exp(self, theta):
+        for k in (3, 5, 9):
+            exact = exact_expected_cost(make_algorithm(f"sw{k}"), CONNECTION, theta)
+            assert exact == pytest.approx(ca.expected_cost_swk(theta, k), abs=1e-9)
+
+    @pytest.mark.parametrize("theta", [0.15, 0.5, 0.75])
+    def test_swk_message_exp_equation11(self, theta):
+        for k in (3, 5, 9):
+            exact = exact_expected_cost(make_algorithm(f"sw{k}"), MESSAGE, theta)
+            assert exact == pytest.approx(
+                ma.expected_cost_swk(theta, k, 0.45), abs=1e-9
+            )
+
+    def test_sw1_message_exp_theorem5(self):
+        exact = exact_expected_cost(make_algorithm("sw1"), MESSAGE, 0.4)
+        assert exact == pytest.approx(ma.expected_cost_sw1(0.4, 0.45), abs=1e-12)
+
+    def test_t1m_connection_exp(self):
+        exact = exact_expected_cost(make_algorithm("t1_6"), CONNECTION, 0.7)
+        assert exact == pytest.approx(ca.expected_cost_t1m(0.7, 6), abs=1e-9)
+
+    def test_t2m_connection_exp(self):
+        exact = exact_expected_cost(make_algorithm("t2_6"), CONNECTION, 0.7)
+        assert exact == pytest.approx(ca.expected_cost_t2m(0.7, 6), abs=1e-9)
+
+    def test_statics(self):
+        assert exact_expected_cost(
+            make_algorithm("st1"), MESSAGE, 0.3
+        ) == pytest.approx(ma.expected_cost_st1(0.3, 0.45))
+        assert exact_expected_cost(
+            make_algorithm("st2"), CONNECTION, 0.3
+        ) == pytest.approx(0.3)
+
+    def test_average_cost_simpson(self):
+        assert exact_average_cost(
+            make_algorithm("sw5"), CONNECTION, num_thetas=101
+        ) == pytest.approx(ca.average_cost_swk(5), abs=1e-6)
+
+    def test_average_cost_message(self):
+        assert exact_average_cost(
+            make_algorithm("sw3"), MESSAGE, num_thetas=101
+        ) == pytest.approx(ma.average_cost_swk(3, 0.45), abs=1e-6)
+
+
+class TestBeyondThePaper:
+    def test_t2m_message_model_matches_simulation(self):
+        """No closed form exists in the paper; chain vs Monte-Carlo."""
+        exact = exact_expected_cost(make_algorithm("t2_3"), MESSAGE, 0.55)
+        simulated = monte_carlo_expected_cost(
+            make_algorithm("t2_3"), MESSAGE, 0.55, length=80_000, seed=5
+        )
+        assert simulated == pytest.approx(exact, abs=0.01)
+
+    def test_ewma_matches_simulation(self):
+        allocator = EwmaAllocator(0.3, quantization=3)
+        exact = exact_expected_cost(allocator, CONNECTION, 0.4)
+        simulated = monte_carlo_expected_cost(
+            allocator.clone(), CONNECTION, 0.4, length=80_000, seed=6
+        )
+        assert simulated == pytest.approx(exact, abs=0.01)
+
+    def test_degenerate_thetas(self):
+        # theta = 0: all reads, SWk ends up holding a copy; cost 0.
+        assert exact_expected_cost(make_algorithm("sw5"), CONNECTION, 0.0) == (
+            pytest.approx(0.0, abs=1e-9)
+        )
+        assert exact_expected_cost(make_algorithm("sw5"), CONNECTION, 1.0) == (
+            pytest.approx(0.0, abs=1e-9)
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_theta(self):
+        with pytest.raises(InvalidParameterError):
+            analyze(make_algorithm("sw3"), 1.5)
+
+    def test_rejects_even_simpson_grid(self):
+        with pytest.raises(InvalidParameterError):
+            exact_average_cost(make_algorithm("sw3"), CONNECTION, num_thetas=100)
+
+    def test_state_space_guard(self):
+        # Quantization 6 makes the EWMA orbit far exceed MAX_STATES.
+        with pytest.raises(InvalidParameterError):
+            analyze(EwmaAllocator(0.37, quantization=8), 0.5)
+
+    def test_does_not_mutate_input_algorithm(self):
+        algorithm = make_algorithm("sw3")
+        algorithm.process(__import__("repro.types", fromlist=["READ"]).READ)
+        before = algorithm.state_signature()
+        analyze(algorithm, 0.5)
+        assert algorithm.state_signature() == before

@@ -1,0 +1,164 @@
+"""Unit tests for the message-model closed forms (section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import message as ma
+from repro.analysis.numerics import average_by_quadrature
+from repro.exceptions import InvalidParameterError
+
+
+class TestExpectedCosts:
+    def test_statics_eq7(self):
+        assert ma.expected_cost_st1(0.3, 0.5) == pytest.approx(1.5 * 0.7)
+        assert ma.expected_cost_st2(0.3) == pytest.approx(0.3)
+
+    def test_sw1_theorem5(self):
+        for theta in (0.2, 0.5, 0.9):
+            for omega in (0.0, 0.4, 1.0):
+                assert ma.expected_cost_sw1(theta, omega) == pytest.approx(
+                    theta * (1 - theta) * (1 + 2 * omega)
+                )
+
+    def test_sw1_zero_at_extremes(self):
+        assert ma.expected_cost_sw1(0.0, 0.7) == 0.0
+        assert ma.expected_cost_sw1(1.0, 0.7) == 0.0
+
+    def test_swk_reduces_to_connection_form_at_omega_zero(self):
+        """With free control messages, eq. 11 collapses to eq. 5."""
+        from repro.analysis import connection as ca
+
+        for k in (3, 9, 15):
+            for theta in (0.1, 0.5, 0.8):
+                assert ma.expected_cost_swk(theta, k, 0.0) == pytest.approx(
+                    ca.expected_cost_swk(theta, k)
+                )
+
+    def test_swk_eq11_hand_computed_k3(self):
+        """Spell out eq. 11 for k=3 and compare term by term."""
+        theta, omega = 0.4, 0.6
+        pi3 = (1 - theta) ** 3 + 3 * theta * (1 - theta) ** 2
+        expected = (
+            theta * pi3
+            + (1 + omega) * (1 - theta) * (1 - pi3)
+            + omega * 2 * theta**2 * (1 - theta) ** 2
+        )
+        assert ma.expected_cost_swk(theta, 3, omega) == pytest.approx(expected)
+
+    def test_swk_rejects_k1(self):
+        with pytest.raises(InvalidParameterError):
+            ma.expected_cost_swk(0.5, 1, 0.3)
+
+    def test_theorem9_inequality(self):
+        for omega in np.linspace(0, 1, 11):
+            for theta in np.linspace(0, 1, 51):
+                floor = min(
+                    ma.expected_cost_sw1(float(theta), float(omega)),
+                    ma.expected_cost_st1(float(theta), float(omega)),
+                    ma.expected_cost_st2(float(theta)),
+                )
+                for k in (3, 9, 21):
+                    assert (
+                        ma.expected_cost_swk(float(theta), k, float(omega))
+                        >= floor - 1e-12
+                    )
+
+
+class TestDominanceThresholds:
+    def test_theorem6_formulas(self):
+        assert ma.st1_dominance_threshold(0.5) == pytest.approx(0.75)
+        assert ma.st2_dominance_threshold(0.5) == pytest.approx(0.5)
+
+    def test_omega_zero_gives_whole_interval_to_sw1(self):
+        assert ma.st1_dominance_threshold(0.0) == 1.0
+        assert ma.st2_dominance_threshold(0.0) == 0.0
+
+    def test_omega_one_closes_the_wedge(self):
+        assert ma.st1_dominance_threshold(1.0) == pytest.approx(2 / 3)
+        assert ma.st2_dominance_threshold(1.0) == pytest.approx(2 / 3)
+
+    def test_ties_on_the_boundaries(self):
+        """On the threshold curves the neighbouring costs are equal."""
+        for omega in (0.2, 0.5, 0.8):
+            upper = ma.st1_dominance_threshold(omega)
+            assert ma.expected_cost_st1(upper, omega) == pytest.approx(
+                ma.expected_cost_sw1(upper, omega)
+            )
+            lower = ma.st2_dominance_threshold(omega)
+            assert ma.expected_cost_st2(lower) == pytest.approx(
+                ma.expected_cost_sw1(lower, omega)
+            )
+
+
+class TestAverageCosts:
+    def test_statics_eq8(self):
+        assert ma.average_cost_st1(0.6) == pytest.approx(0.8)
+        assert ma.average_cost_st2() == 0.5
+
+    def test_sw1_theorem7(self):
+        assert ma.average_cost_sw1(0.4) == pytest.approx(1.8 / 6)
+
+    def test_theorem7_ordering(self):
+        for omega in (0.0, 0.3, 0.7, 1.0):
+            assert (
+                ma.average_cost_sw1(omega)
+                <= ma.average_cost_st2()
+                <= ma.average_cost_st1(omega)
+            )
+
+    @pytest.mark.parametrize("k", [3, 5, 9, 15, 41])
+    @pytest.mark.parametrize("omega", [0.0, 0.3, 0.7, 1.0])
+    def test_eq12_vs_quadrature(self, k, omega):
+        integral = average_by_quadrature(
+            lambda t: ma.expected_cost_swk(t, k, omega)
+        )
+        assert integral == pytest.approx(ma.average_cost_swk(k, omega), abs=1e-9)
+
+    def test_sw1_quadrature(self):
+        for omega in (0.0, 0.5, 1.0):
+            integral = average_by_quadrature(
+                lambda t: ma.expected_cost_sw1(t, omega)
+            )
+            assert integral == pytest.approx(ma.average_cost_sw1(omega), abs=1e-12)
+
+    def test_corollary2_lower_bound(self):
+        for omega in (0.0, 0.4, 1.0):
+            bound = ma.average_cost_swk_lower_bound(omega)
+            for k in range(3, 400, 2):
+                assert ma.average_cost_swk(k, omega) > bound
+
+    def test_corollary2_bound_is_the_limit(self):
+        omega = 0.6
+        assert ma.average_cost_swk(99_999, omega) == pytest.approx(
+            ma.average_cost_swk_lower_bound(omega), abs=1e-4
+        )
+
+    def test_corollary2_monotone_decrease(self):
+        for omega in (0.1, 0.5, 0.9):
+            values = [ma.average_cost_swk(k, omega) for k in range(3, 60, 2)]
+            assert all(a > b for a, b in zip(values, values[1:]))
+
+
+class TestCompetitiveFactors:
+    def test_sw1_theorem11(self):
+        assert ma.competitive_factor_sw1(0.5) == 2.0
+
+    def test_swk_theorem12(self):
+        assert ma.competitive_factor_swk(9, 0.4) == pytest.approx(1.2 * 10 + 0.4)
+
+    def test_swk_factor_reduces_at_omega_zero(self):
+        """With free control messages Theorem 12 gives k+1 (Theorem 4)."""
+        for k in (3, 9, 15):
+            assert ma.competitive_factor_swk(k, 0.0) == k + 1
+
+    def test_swk_rejects_k1(self):
+        with pytest.raises(InvalidParameterError):
+            ma.competitive_factor_swk(1, 0.5)
+
+    def test_omega_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ma.ensure_omega(1.5)
+        with pytest.raises(InvalidParameterError):
+            ma.ensure_omega(-0.1)

@@ -1,0 +1,125 @@
+"""Unit tests for the exact modulated-workload analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import connection as ca
+from repro.analysis.markov import exact_expected_cost
+from repro.analysis.modulated import analyze_modulated, best_window_for_burstiness
+from repro.core import make_algorithm, replay
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import InvalidParameterError
+from repro.workload import BurstyWorkload
+
+MODEL = ConnectionCostModel()
+
+
+class TestDegenerateCases:
+    def test_equal_phases_reduce_to_plain_chain(self):
+        """theta_a == theta_b: the modulation is invisible."""
+        for name in ("sw3", "sw5", "t1_3", "st1"):
+            modulated = analyze_modulated(
+                make_algorithm(name), 0.35, 0.35, mean_sojourn=13
+            )
+            plain = exact_expected_cost(make_algorithm(name), MODEL, 0.35)
+            assert modulated.expected_cost(MODEL) == pytest.approx(plain, abs=1e-9)
+
+    def test_fast_switching_is_iid_at_the_mean(self):
+        """mean_sojourn = 2 makes phases i.i.d.: the stream is
+        Bernoulli((theta_a+theta_b)/2)."""
+        modulated = analyze_modulated(
+            make_algorithm("sw5"), 0.1, 0.9, mean_sojourn=2
+        )
+        iid = exact_expected_cost(make_algorithm("sw5"), MODEL, 0.5)
+        assert modulated.expected_cost(MODEL) == pytest.approx(iid, abs=1e-9)
+
+    def test_statics_see_only_the_mean(self):
+        for sojourn in (2, 50, 1_000):
+            modulated = analyze_modulated(
+                make_algorithm("st1"), 0.2, 0.6, mean_sojourn=sojourn
+            )
+            assert modulated.expected_cost(MODEL) == pytest.approx(
+                1.0 - 0.4, abs=1e-9
+            )
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("sojourn", [5, 60, 700])
+    def test_matches_bursty_workload_replay(self, sojourn):
+        """The exact chain reproduces long BurstyWorkload replays."""
+        workload = BurstyWorkload(0.15, 0.85, sojourn, seed=sojourn)
+        schedule = workload.generate(150_000)
+        simulated = replay(make_algorithm("sw5"), schedule, MODEL).mean_cost
+        exact = analyze_modulated(
+            make_algorithm("sw5"), 0.15, 0.85, sojourn
+        ).expected_cost(MODEL)
+        assert simulated == pytest.approx(exact, abs=0.012)
+
+    def test_message_model_too(self):
+        workload = BurstyWorkload(0.2, 0.8, 40, seed=3)
+        schedule = workload.generate(120_000)
+        model = MessageCostModel(0.5)
+        simulated = replay(make_algorithm("sw3"), schedule, model).mean_cost
+        exact = analyze_modulated(
+            make_algorithm("sw3"), 0.2, 0.8, 40
+        ).expected_cost(model)
+        assert simulated == pytest.approx(exact, abs=0.012)
+
+
+class TestStructure:
+    def test_long_sojourns_approach_phase_mixture(self):
+        """S → ∞: the chain spends each phase in its own steady state,
+        so the cost tends to the mixture of the two i.i.d. costs."""
+        mixture = (
+            ca.expected_cost_swk(0.1, 9) + ca.expected_cost_swk(0.9, 9)
+        ) / 2.0
+        exact = analyze_modulated(
+            make_algorithm("sw9"), 0.1, 0.9, mean_sojourn=50_000
+        ).expected_cost(MODEL)
+        assert exact == pytest.approx(mixture, abs=0.002)
+
+    def test_cost_decreases_with_sojourn(self):
+        costs = [
+            analyze_modulated(
+                make_algorithm("sw9"), 0.1, 0.9, sojourn
+            ).expected_cost(MODEL)
+            for sojourn in (2, 10, 100, 1_000)
+        ]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_copy_probability_is_half_by_symmetry(self):
+        """theta_b = 1 - theta_a makes the two phases mirror images, so
+        the long-run replica probability is exactly 1/2."""
+        analysis = analyze_modulated(make_algorithm("sw5"), 0.2, 0.8, 30)
+        assert analysis.copy_probability == pytest.approx(0.5, abs=1e-9)
+
+
+class TestBestWindow:
+    def test_crossover_with_burstiness(self):
+        fast_k, _ = best_window_for_burstiness(
+            0.1, 0.9, 10, MODEL, window_sizes=(1, 3, 5, 7, 9)
+        )
+        slow_k, _ = best_window_for_burstiness(
+            0.1, 0.9, 2_000, MODEL, window_sizes=(1, 3, 5, 7, 9)
+        )
+        assert fast_k < slow_k
+        assert fast_k == 1  # short phases: follow the last request
+        assert slow_k == 9  # long phases: the largest window offered
+
+    def test_returned_cost_matches_direct_analysis(self):
+        k, cost = best_window_for_burstiness(
+            0.1, 0.9, 50, MODEL, window_sizes=(3, 5)
+        )
+        direct = analyze_modulated(
+            make_algorithm(f"sw{k}"), 0.1, 0.9, 50
+        ).expected_cost(MODEL)
+        assert cost == pytest.approx(direct)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            best_window_for_burstiness(0.1, 0.9, 50, MODEL, window_sizes=())
+        with pytest.raises(InvalidParameterError):
+            analyze_modulated(make_algorithm("sw3"), 0.1, 0.9, 0.5)
+        with pytest.raises(InvalidParameterError):
+            analyze_modulated(make_algorithm("sw3"), 1.2, 0.9, 10)

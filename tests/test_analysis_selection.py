@@ -1,0 +1,154 @@
+"""Unit tests for the section-9 method-selection procedure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.selection import recommend_for_trace, recommend_method
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import InvalidParameterError
+from repro.workload import BurstyWorkload, bernoulli_schedule
+
+CONNECTION = ConnectionCostModel()
+
+
+class TestKnownThetaConnection:
+    def test_write_heavy_without_bound_is_st1(self):
+        pick = recommend_method(
+            CONNECTION, theta=0.8, needs_worst_case_bound=False
+        )
+        assert pick.algorithm == "st1"
+        assert pick.expected_cost == pytest.approx(0.2)
+
+    def test_read_heavy_without_bound_is_st2(self):
+        pick = recommend_method(
+            CONNECTION, theta=0.2, needs_worst_case_bound=False
+        )
+        assert pick.algorithm == "st2"
+        assert pick.expected_cost == pytest.approx(0.2)
+
+    def test_with_bound_upgrades_to_threshold_method(self):
+        pick = recommend_method(CONNECTION, theta=0.8)
+        assert pick.algorithm.startswith("t1_")
+        assert pick.competitive_factor is not None
+        low = recommend_method(CONNECTION, theta=0.2)
+        assert low.algorithm.startswith("t2_")
+
+    def test_upgrade_premium_is_tiny(self):
+        pick = recommend_method(CONNECTION, theta=0.75)
+        # EXP_T1m - EXP_ST1 = (1-theta)^m (2 theta - 1): negligible.
+        assert pick.expected_cost == pytest.approx(0.25, abs=1e-3)
+
+
+class TestKnownThetaMessage:
+    def test_theorem6_regions(self):
+        model = MessageCostModel(0.5)  # thresholds 0.5 and 0.75
+        st1_pick = recommend_method(model, theta=0.9, needs_worst_case_bound=False)
+        assert st1_pick.algorithm == "st1"
+        st2_pick = recommend_method(model, theta=0.2, needs_worst_case_bound=False)
+        assert st2_pick.algorithm == "st2"
+        sw1_pick = recommend_method(model, theta=0.6)
+        assert sw1_pick.algorithm == "sw1"
+
+    def test_sw1_needs_no_upgrade(self):
+        """SW1 is already competitive, so the bound flag is moot."""
+        model = MessageCostModel(0.5)
+        assert recommend_method(model, theta=0.6).algorithm == "sw1"
+
+    def test_static_with_bound_upgrades(self):
+        model = MessageCostModel(0.5)
+        pick = recommend_method(model, theta=0.95)
+        assert pick.algorithm.startswith("t1_")
+
+
+class TestUnknownTheta:
+    def test_connection_uses_advisor(self):
+        pick = recommend_method(CONNECTION, theta=None, average_budget=0.10)
+        assert pick.algorithm == "sw9"
+        assert pick.competitive_factor == 10.0
+
+    def test_tighter_budget_bigger_window(self):
+        pick = recommend_method(CONNECTION, theta=None, average_budget=0.06)
+        assert pick.algorithm == "sw15"
+
+    def test_message_low_omega_is_sw1(self):
+        pick = recommend_method(MessageCostModel(0.3), theta=None)
+        assert pick.algorithm == "sw1"
+        assert "Corollary 3" in pick.rationale
+
+    def test_message_high_omega_uses_corollary4(self):
+        pick = recommend_method(MessageCostModel(0.8), theta=None)
+        assert pick.algorithm == "sw7"
+        assert "Corollary 4" in pick.rationale
+
+    def test_str_is_informative(self):
+        text = str(recommend_method(CONNECTION, theta=None))
+        assert "sw9" in text and "competitive" in text
+
+    def test_invalid_theta(self):
+        with pytest.raises(InvalidParameterError):
+            recommend_method(CONNECTION, theta=1.5)
+
+
+class TestTraceDriven:
+    def test_stationary_trace_takes_static_branch(self):
+        schedule = bernoulli_schedule(
+            0.85, 20_000, rng=np.random.default_rng(1)
+        )
+        pick = recommend_for_trace(schedule, CONNECTION)
+        assert pick.algorithm.startswith("t1_")
+
+    def test_drifting_trace_takes_dynamic_branch(self):
+        schedule = BurstyWorkload(0.1, 0.9, 1_000, seed=2).generate(20_000)
+        pick = recommend_for_trace(schedule, CONNECTION)
+        # Burstiness-aware: a sliding window sized by the exact
+        # product-chain cost of the estimated phase structure.
+        assert pick.algorithm.startswith("sw")
+        assert int(pick.algorithm[2:]) >= 5  # long phases -> big window
+        assert "product-chain" in pick.rationale
+
+    def test_drifting_trace_plain_advisor_fallback(self):
+        schedule = BurstyWorkload(0.1, 0.9, 1_000, seed=2).generate(20_000)
+        pick = recommend_for_trace(
+            schedule, CONNECTION, burstiness_aware=False
+        )
+        assert pick.algorithm == "sw9"  # the section-9 default
+
+    def test_phase_estimate_recovers_the_generator(self):
+        from repro.analysis.selection import _estimate_phases
+        from repro.workload.trace import profile_trace
+
+        schedule = BurstyWorkload(0.15, 0.85, 700, seed=6).generate(30_000)
+        phases = _estimate_phases(profile_trace(schedule, window=100))
+        assert phases is not None
+        theta_low, theta_high, sojourn = phases
+        assert theta_low == pytest.approx(0.15, abs=0.08)
+        assert theta_high == pytest.approx(0.85, abs=0.08)
+        assert 200 < sojourn < 2_500
+
+    def test_single_phase_returns_none(self):
+        from repro.analysis.selection import _estimate_phases
+        from repro.workload.trace import profile_trace
+
+        schedule = bernoulli_schedule(
+            0.5, 20_000, rng=np.random.default_rng(8)
+        )
+        # Stationary at 0.5 is borderline; even if classified drifting,
+        # the phase gap is < 0.1 and the estimator must decline.
+        phases = _estimate_phases(profile_trace(schedule, window=100))
+        assert phases is None
+
+    def test_trace_branch_is_actually_cheaper(self):
+        """End-to-end sanity: the recommended method beats the
+        plausible alternative on the very trace that produced it."""
+        from repro.core import make_algorithm, replay
+
+        schedule = BurstyWorkload(0.1, 0.9, 1_000, seed=3).generate(30_000)
+        pick = recommend_for_trace(schedule, CONNECTION)
+        recommended = replay(
+            make_algorithm(pick.algorithm), schedule, CONNECTION
+        ).mean_cost
+        st1 = replay(make_algorithm("st1"), schedule, CONNECTION).mean_cost
+        st2 = replay(make_algorithm("st2"), schedule, CONNECTION).mean_cost
+        assert recommended < min(st1, st2)

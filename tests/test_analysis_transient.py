@@ -1,0 +1,123 @@
+"""Unit tests for the transient (finite-horizon) analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import connection as ca
+from repro.analysis.transient import adaptation_time, expected_cost_profile
+from repro.core import make_algorithm, replay
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import InvalidParameterError
+from repro.workload import bernoulli_schedule
+
+MODEL = ConnectionCostModel()
+
+
+class TestExpectedCostProfile:
+    def test_statics_have_flat_profiles(self):
+        profile = expected_cost_profile(make_algorithm("st1"), MODEL, 0.3, 10)
+        assert all(cost == pytest.approx(0.7) for cost in profile.costs)
+        assert profile.steady_state_cost == pytest.approx(0.7)
+
+    def test_converges_to_steady_state(self):
+        profile = expected_cost_profile(
+            make_algorithm("sw5"), MODEL, 0.25, 200
+        )
+        assert profile.costs[-1] == pytest.approx(
+            ca.expected_cost_swk(0.25, 5), abs=1e-9
+        )
+
+    def test_warm_start_begins_at_old_cost(self):
+        """Immediately after the switch the cost equals the old
+        steady-state *structure* priced at the new mix."""
+        profile = expected_cost_profile(
+            make_algorithm("sw9"), MODEL, 0.1, 30, warm_theta=0.9
+        )
+        # Old steady state: almost surely no copy; under theta=0.1 a
+        # request is a read w.p. 0.9 and remote -> cost ~0.9.
+        assert profile.costs[0] == pytest.approx(0.9, abs=0.01)
+        assert profile.costs[-1] == pytest.approx(
+            profile.steady_state_cost, abs=0.01
+        )
+
+    def test_structural_blindness_window(self):
+        """The majority of a k-window cannot flip before (k+1)/2 new
+        requests, so a cold-started SWk's expected cost is exactly
+        1-theta until then."""
+        for k in (3, 5, 9):
+            profile = expected_cost_profile(
+                make_algorithm(f"sw{k}"), MODEL, 0.3, (k + 1) // 2 + 1
+            )
+            floor = (k + 1) // 2
+            for step in range(floor):
+                assert profile.costs[step] == pytest.approx(0.7, abs=1e-12)
+            assert profile.costs[floor] < 0.7
+
+    def test_profile_matches_simulation(self):
+        """The exact step-4 expected cost equals the Monte-Carlo mean
+        of the 5th request's cost over many fresh runs."""
+        rng = np.random.default_rng(11)
+        runs = 30_000
+        total = 0.0
+        schedule_cache = bernoulli_schedule(0.4, 5 * runs, rng=rng)
+        algorithm = make_algorithm("sw3")
+        # Chop one long stream into independent 5-request prefixes.
+        for i in range(runs):
+            chunk = schedule_cache[5 * i : 5 * i + 5]
+            result = replay(algorithm, chunk, MODEL)
+            total += result.events[4].cost
+        simulated = total / runs
+        profile = expected_cost_profile(make_algorithm("sw3"), MODEL, 0.4, 5)
+        assert simulated == pytest.approx(profile.costs[4], abs=0.01)
+
+    def test_message_model_profiles(self):
+        profile = expected_cost_profile(
+            make_algorithm("sw3"), MessageCostModel(0.5), 0.5, 100
+        )
+        from repro.analysis import message as ma
+
+        assert profile.costs[-1] == pytest.approx(
+            ma.expected_cost_swk(0.5, 3, 0.5), abs=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            expected_cost_profile(make_algorithm("sw3"), MODEL, 0.5, 0)
+        with pytest.raises(InvalidParameterError):
+            expected_cost_profile(make_algorithm("sw3"), MODEL, 1.5, 5)
+
+
+class TestAdaptationTime:
+    def test_grows_with_window(self):
+        times = [
+            adaptation_time(
+                make_algorithm(name), MODEL, 0.9, 0.1, max_horizon=200
+            )
+            for name in ("sw1", "sw3", "sw9")
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_sw1_adapts_in_one_request(self):
+        assert adaptation_time(make_algorithm("sw1"), MODEL, 0.9, 0.1) == 1
+
+    def test_statics_never_need_to_adapt(self):
+        assert adaptation_time(make_algorithm("st1"), MODEL, 0.9, 0.1) == 0
+
+    def test_respects_majority_flip_floor(self):
+        for k in (3, 9):
+            settle = adaptation_time(
+                make_algorithm(f"sw{k}"), MODEL, 0.95, 0.05, max_horizon=200
+            )
+            assert settle >= (k + 1) // 2
+
+    def test_raises_when_horizon_too_short(self):
+        with pytest.raises(InvalidParameterError):
+            adaptation_time(
+                make_algorithm("sw9"), MODEL, 0.9, 0.1, max_horizon=3
+            )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            adaptation_time(make_algorithm("sw3"), MODEL, 0.9, 0.1, epsilon=0.0)

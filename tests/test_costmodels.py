@@ -1,0 +1,119 @@
+"""Unit tests for the connection and message cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodels import (
+    ConnectionCostModel,
+    CostBreakdown,
+    CostEventKind,
+    MessageCostModel,
+)
+from repro.costmodels.base import EVENT_RESOURCES
+from repro.exceptions import InvalidParameterError
+
+FREE = (CostEventKind.LOCAL_READ, CostEventKind.WRITE_NO_COPY)
+CHARGEABLE = (
+    CostEventKind.REMOTE_READ,
+    CostEventKind.WRITE_PROPAGATED,
+    CostEventKind.WRITE_PROPAGATED_DEALLOCATE,
+    CostEventKind.WRITE_DELETE_REQUEST,
+)
+
+
+class TestConnectionModel:
+    def test_free_events(self, connection_model):
+        for kind in FREE:
+            assert connection_model.price(kind) == 0.0
+
+    def test_every_chargeable_event_is_one_connection(self, connection_model):
+        # Section 5: every remote interaction fits one minimum-length
+        # connection.
+        for kind in CHARGEABLE:
+            assert connection_model.price(kind) == 1.0
+
+    def test_total(self, connection_model):
+        kinds = [CostEventKind.REMOTE_READ, CostEventKind.LOCAL_READ,
+                 CostEventKind.WRITE_PROPAGATED]
+        assert connection_model.total(kinds) == 2.0
+
+    def test_equality(self):
+        assert ConnectionCostModel() == ConnectionCostModel()
+
+    def test_offline_parameters(self, connection_model):
+        assert connection_model.remote_read_cost == 1.0
+        assert connection_model.write_propagate_cost == 1.0
+        assert connection_model.acquire_cost == 1.0
+        assert connection_model.release_cost == 0.0
+
+
+class TestMessageModel:
+    def test_prices_section3(self):
+        model = MessageCostModel(0.25)
+        assert model.price(CostEventKind.LOCAL_READ) == 0.0
+        assert model.price(CostEventKind.WRITE_NO_COPY) == 0.0
+        assert model.price(CostEventKind.REMOTE_READ) == 1.25
+        assert model.price(CostEventKind.WRITE_PROPAGATED) == 1.0
+        assert model.price(CostEventKind.WRITE_PROPAGATED_DEALLOCATE) == 1.25
+        assert model.price(CostEventKind.WRITE_DELETE_REQUEST) == 0.25
+
+    @pytest.mark.parametrize("omega", [-0.1, 1.1, 5.0])
+    def test_rejects_out_of_range_omega(self, omega):
+        with pytest.raises(InvalidParameterError):
+            MessageCostModel(omega)
+
+    def test_omega_zero_makes_control_free(self):
+        model = MessageCostModel(0.0)
+        assert model.price(CostEventKind.WRITE_DELETE_REQUEST) == 0.0
+        assert model.price(CostEventKind.REMOTE_READ) == 1.0
+
+    def test_omega_one_equalizes_message_costs(self):
+        model = MessageCostModel(1.0)
+        assert model.price(CostEventKind.REMOTE_READ) == 2.0
+        assert model.price(CostEventKind.WRITE_DELETE_REQUEST) == 1.0
+
+    def test_equality_by_omega(self):
+        assert MessageCostModel(0.3) == MessageCostModel(0.3)
+        assert MessageCostModel(0.3) != MessageCostModel(0.4)
+
+    def test_charge_wraps_event(self, message_model):
+        event = message_model.charge(CostEventKind.REMOTE_READ)
+        assert event.kind is CostEventKind.REMOTE_READ
+        assert event.cost == 1.0 + message_model.omega
+
+    def test_release_is_free_by_default(self, message_model):
+        assert message_model.release_cost == 0.0
+
+
+class TestCostBreakdown:
+    def test_addition(self):
+        total = CostBreakdown(1, 2, 3) + CostBreakdown(4, 5, 6)
+        assert total == CostBreakdown(5, 7, 9)
+
+    def test_event_resources_table_is_consistent(self):
+        # Each event's physical resources: a remote read is one
+        # control + one data message in one connection, etc.
+        remote = EVENT_RESOURCES[CostEventKind.REMOTE_READ]
+        assert (remote.connections, remote.data_messages,
+                remote.control_messages) == (1, 1, 1)
+        propagate = EVENT_RESOURCES[CostEventKind.WRITE_PROPAGATED]
+        assert (propagate.connections, propagate.data_messages,
+                propagate.control_messages) == (1, 1, 0)
+        delete = EVENT_RESOURCES[CostEventKind.WRITE_DELETE_REQUEST]
+        assert (delete.connections, delete.data_messages,
+                delete.control_messages) == (1, 0, 1)
+
+    def test_message_price_matches_resources(self):
+        """In the message model, price == data + omega * control."""
+        for omega in (0.0, 0.3, 1.0):
+            model = MessageCostModel(omega)
+            for kind, resources in EVENT_RESOURCES.items():
+                expected = resources.data_messages + omega * resources.control_messages
+                assert model.price(kind) == pytest.approx(expected)
+
+    def test_connection_price_matches_resources(self):
+        """In the connection model, price == number of connections."""
+        model = ConnectionCostModel()
+        for kind, resources in EVENT_RESOURCES.items():
+            assert model.price(kind) == resources.connections

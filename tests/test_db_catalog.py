@@ -1,0 +1,192 @@
+"""Unit tests for the multi-item database layer (repro.db)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import connection as ca
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.db import (
+    AdvisorPolicy,
+    MobileDatabase,
+    PerItemPolicy,
+    UniformPolicy,
+)
+from repro.exceptions import InvalidParameterError, UnknownAlgorithmError
+from repro.types import AllocationScheme, Operation, Request, Schedule
+from repro.workload import CatalogWorkload, ItemRates
+
+MODEL = ConnectionCostModel()
+
+
+def request(item: str, op: Operation) -> Request:
+    return Request(op, objects=(item,))
+
+
+class TestPolicies:
+    def test_uniform_policy_builds_fresh_instances(self):
+        policy = UniformPolicy("sw9")
+        a = policy.algorithm_for("x")
+        b = policy.algorithm_for("y")
+        assert a is not b
+        assert a.name == "sw9"
+
+    def test_uniform_policy_validates_name(self):
+        with pytest.raises(UnknownAlgorithmError):
+            UniformPolicy("quantum")
+
+    def test_per_item_policy(self):
+        policy = PerItemPolicy({"hot": "st2", "cold": "st1"}, default="sw9")
+        assert policy.algorithm_for("hot").name == "st2"
+        assert policy.algorithm_for("cold").name == "st1"
+        assert policy.algorithm_for("other").name == "sw9"
+
+    def test_per_item_policy_validates_all_names(self):
+        with pytest.raises(UnknownAlgorithmError):
+            PerItemPolicy({"x": "bogus"})
+
+    def test_advisor_policy_connection(self):
+        policy = AdvisorPolicy(0.10, ConnectionCostModel())
+        assert policy.window_size == 9
+        assert policy.algorithm_for("x").name == "sw9"
+
+    def test_advisor_policy_low_omega_picks_sw1(self):
+        policy = AdvisorPolicy(0.5, MessageCostModel(0.2))
+        assert policy.window_size == 1
+        assert policy.algorithm_for("x").name == "sw1"
+
+    def test_describe(self):
+        assert "sw9" in UniformPolicy("sw9").describe()
+        assert "advisor" in AdvisorPolicy(0.10, MODEL).describe()
+
+
+class TestMobileDatabase:
+    def test_requires_items(self):
+        with pytest.raises(InvalidParameterError):
+            MobileDatabase([], UniformPolicy("st1"), MODEL)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidParameterError):
+            MobileDatabase(["a", "a"], UniformPolicy("st1"), MODEL)
+
+    def test_routes_by_item(self):
+        db = MobileDatabase(["a", "b"], UniformPolicy("st1"), MODEL)
+        db.process(request("a", Operation.READ))
+        assert db.report("a").requests == 1
+        assert db.report("b").requests == 0
+
+    def test_rejects_unknown_item(self):
+        db = MobileDatabase(["a"], UniformPolicy("st1"), MODEL)
+        with pytest.raises(InvalidParameterError):
+            db.process(request("z", Operation.READ))
+
+    def test_rejects_multi_object_requests(self):
+        db = MobileDatabase(["a", "b"], UniformPolicy("st1"), MODEL)
+        with pytest.raises(InvalidParameterError):
+            db.process(Request(Operation.READ, objects=("a", "b")))
+        with pytest.raises(InvalidParameterError):
+            db.process(Request(Operation.READ))
+
+    def test_charges_match_single_item_replay(self):
+        """Per-item independence: the catalog's total equals the sum of
+        single-item replays of the per-item subsequences."""
+        from repro.core import make_algorithm, replay
+
+        workload = CatalogWorkload(
+            {
+                "x": ItemRates(read_rate=8.0, write_rate=2.0),
+                "y": ItemRates(read_rate=1.0, write_rate=9.0),
+            },
+            seed=5,
+        )
+        schedule = workload.generate(4_000)
+        db = MobileDatabase(["x", "y"], UniformPolicy("sw5"), MODEL)
+        total = db.run(schedule)
+        expected = 0.0
+        for item in ("x", "y"):
+            subsequence = Schedule(
+                r for r in schedule if r.objects == (item,)
+            )
+            expected += replay(
+                make_algorithm("sw5"), subsequence, MODEL
+            ).total_cost
+        assert total == pytest.approx(expected)
+
+    def test_item_costs_converge_to_theory(self):
+        workload = CatalogWorkload(
+            {
+                "reads": ItemRates(read_rate=9.0, write_rate=1.0),
+                "writes": ItemRates(read_rate=1.0, write_rate=9.0),
+            },
+            seed=6,
+        )
+        db = MobileDatabase(
+            ["reads", "writes"], UniformPolicy("sw9"), MODEL
+        )
+        db.run(workload.generate(40_000))
+        for item in ("reads", "writes"):
+            report = db.report(item)
+            theta = workload.theta(item)
+            assert report.mean_cost == pytest.approx(
+                ca.expected_cost_swk(theta, 9), abs=0.02
+            )
+            assert report.observed_theta == pytest.approx(theta, abs=0.02)
+
+    def test_replicated_items_tracks_schemes(self):
+        db = MobileDatabase(["a", "b"], PerItemPolicy({"a": "st2", "b": "st1"}), MODEL)
+        assert db.replicated_items() == ["a"]
+
+    def test_reports_sorted_by_cost(self):
+        db = MobileDatabase(["cheap", "dear"], UniformPolicy("st1"), MODEL)
+        db.process(request("dear", Operation.READ))
+        db.process(request("dear", Operation.READ))
+        db.process(request("cheap", Operation.READ))
+        reports = db.reports()
+        assert [r.item for r in reports] == ["dear", "cheap"]
+
+    def test_mean_cost_empty(self):
+        db = MobileDatabase(["a"], UniformPolicy("st1"), MODEL)
+        assert db.mean_cost() == 0.0
+
+    def test_scheme_changes_counted(self):
+        db = MobileDatabase(["a"], UniformPolicy("sw1"), MODEL)
+        db.process(request("a", Operation.READ))   # allocate
+        db.process(request("a", Operation.WRITE))  # deallocate
+        assert db.report("a").scheme_changes == 2
+        assert db.report("a").current_scheme is AllocationScheme.ONE_COPY
+
+
+class TestCatalogWorkload:
+    def test_items_sorted(self):
+        workload = CatalogWorkload(
+            {"b": ItemRates(1, 1), "a": ItemRates(1, 1)}, seed=1
+        )
+        assert workload.items == ["a", "b"]
+
+    def test_item_frequencies_proportional_to_rates(self):
+        workload = CatalogWorkload(
+            {"hot": ItemRates(30, 10), "cold": ItemRates(3, 1)}, seed=2
+        )
+        schedule = workload.generate(40_000)
+        hot = sum(1 for r in schedule if r.objects == ("hot",))
+        assert hot / len(schedule) == pytest.approx(0.9, abs=0.01)
+
+    def test_timestamps_increase(self):
+        workload = CatalogWorkload({"a": ItemRates(5, 5)}, seed=3)
+        schedule = workload.generate(100)
+        times = [r.timestamp for r in schedule]
+        assert all(x < y for x, y in zip(times, times[1:]))
+
+    def test_theta_lookup(self):
+        workload = CatalogWorkload({"a": ItemRates(3, 1)}, seed=4)
+        assert workload.theta("a") == 0.25
+        with pytest.raises(InvalidParameterError):
+            workload.theta("b")
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CatalogWorkload({}, seed=1)
+        with pytest.raises(InvalidParameterError):
+            ItemRates(read_rate=-1, write_rate=1)
+        with pytest.raises(InvalidParameterError):
+            ItemRates(read_rate=0, write_rate=0)

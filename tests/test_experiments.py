@@ -1,0 +1,126 @@
+"""Tests for the experiment harness and every experiment (quick mode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnknownExperimentError
+from repro.experiments import all_experiment_ids, get_experiment
+from repro.experiments.harness import Check, ExperimentResult, approx_check
+from repro.experiments.tables import format_region_map, format_staircase, format_table
+
+
+class TestHarness:
+    def test_check_render(self):
+        assert Check("x", True, "ok").render() == "  [PASS] x — ok"
+        assert "[FAIL]" in Check("x", False).render()
+
+    def test_approx_check_absolute(self):
+        assert approx_check("a", 1.005, 1.0, 0.01).passed
+        assert not approx_check("a", 1.02, 1.0, 0.01).passed
+
+    def test_approx_check_relative(self):
+        assert approx_check("a", 110.0, 100.0, 0.2, relative=True).passed
+        assert not approx_check("a", 130.0, 100.0, 0.2, relative=True).passed
+
+    def test_result_passed(self):
+        result = ExperimentResult("id", "t", "c")
+        result.checks.append(Check("ok", True))
+        assert result.passed
+        result.checks.append(Check("bad", False))
+        assert not result.passed
+        assert len(result.failed_checks()) == 1
+
+    def test_result_render_contains_pieces(self):
+        result = ExperimentResult("id", "title", "claim")
+        result.rows.append({"a": 1, "b": 2.5})
+        result.checks.append(Check("c1", True))
+        text = result.render()
+        assert "title" in text
+        assert "claim" in text
+        assert "2.5000" in text
+        assert "[PASS] c1" in text
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table([{"col": 1, "other": "xy"}, {"col": 22}])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert len(lines) == 4  # header, separator, 2 rows
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_order_first_seen(self):
+        text = format_table([{"z": 1}, {"a": 2}])
+        header = text.splitlines()[0]
+        assert header.index("z") < header.index("a")
+
+    def test_region_map_shape(self):
+        text = format_region_map(
+            lambda t, w: "x", theta_steps=11, omega_steps=5,
+            legend={"x": "test"},
+        )
+        lines = text.splitlines()
+        assert len(lines) == 5 + 3  # omega rows + axis + label + legend
+        assert "legend" in lines[-1]
+
+    def test_staircase(self):
+        text = format_staircase([(0.5, 3), (0.6, None)])
+        assert "0.500" in text
+        assert "###" in text
+        assert "-" in text
+
+
+class TestRegistry:
+    def test_all_ids_unique(self):
+        ids = all_experiment_ids()
+        assert len(ids) == len(set(ids))
+        assert "fig1" in ids and "fig2" in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(UnknownExperimentError):
+            get_experiment("fig99")
+
+    def test_instances_carry_metadata(self):
+        for experiment_id in all_experiment_ids():
+            experiment = get_experiment(experiment_id)
+            assert experiment.experiment_id == experiment_id
+            assert experiment.title
+            assert experiment.paper_claim
+
+
+@pytest.mark.parametrize("experiment_id", [
+    "fig1",
+    "fig2",
+    "t-conn-exp",
+    "t-conn-avg",
+    "t-conn-comp",
+    "t-msg-exp",
+    "t-msg-avg",
+    "t-msg-comp",
+    "t-threshold",
+    "t-multi",
+    "t-conclusion",
+    "t-ablations",
+    "t-exact",
+    "t-estimators",
+    "t-bursty",
+])
+def test_experiment_passes_in_quick_mode(experiment_id):
+    """Every reproduction experiment must pass all its checks."""
+    result = get_experiment(experiment_id).run(quick=True)
+    failed = result.failed_checks()
+    assert not failed, "\n".join(check.render() for check in failed)
+    assert result.elapsed_seconds >= 0
+
+
+def test_experiments_are_deterministic():
+    """Same seeds, same results: two runs serialize identically
+    (modulo wall-clock timing)."""
+    first = get_experiment("t-conclusion").run(quick=True).to_dict()
+    second = get_experiment("t-conclusion").run(quick=True).to_dict()
+    first.pop("elapsed_seconds")
+    second.pop("elapsed_seconds")
+    assert first == second

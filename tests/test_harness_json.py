@@ -1,0 +1,48 @@
+"""Tests for JSON reporting of experiment results and the CLI flag."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import get_experiment
+from repro.experiments.harness import Check, ExperimentResult
+
+
+class TestToDict:
+    def test_round_trips_through_json(self):
+        result = ExperimentResult("id", "title", "claim")
+        result.rows.append({"theta": 0.5, "cost": 0.25, "winner": "sw1"})
+        result.checks.append(Check("c", True, "d"))
+        result.figures.append("ascii art")
+        payload = json.loads(result.to_json())
+        assert payload["experiment_id"] == "id"
+        assert payload["passed"] is True
+        assert payload["rows"][0]["cost"] == 0.25
+        assert payload["checks"][0] == {"name": "c", "passed": True, "detail": "d"}
+        assert payload["figures"] == ["ascii art"]
+
+    def test_handles_infinity_and_objects(self):
+        result = ExperimentResult("id", "t", "c")
+        result.rows.append({"ratio": float("inf"), "obj": object()})
+        payload = json.loads(result.to_json())
+        assert payload["rows"][0]["ratio"] == "inf"
+        assert isinstance(payload["rows"][0]["obj"], str)
+
+    def test_real_experiment_serializes(self):
+        result = get_experiment("t-conclusion").run(quick=True)
+        payload = json.loads(result.to_json())
+        assert payload["passed"]
+        assert payload["rows"]
+
+
+class TestCliJson:
+    def test_run_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        code = main(["run", "t-conclusion", "--quick", "--json", str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["experiment_id"] == "t-conclusion"
+        assert f"wrote {target}" in capsys.readouterr().out

@@ -1,0 +1,249 @@
+"""Unit tests for the multi-object extension (section 7.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multi_object import (
+    ExhaustiveStaticOptimizer,
+    MinCutStaticOptimizer,
+    MultiObjectWorkloadSpec,
+    OperationClass,
+    WindowedMultiObjectAllocator,
+    expected_cost,
+)
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import InvalidParameterError
+from repro.types import AllocationScheme, Operation, Request
+from repro.workload.multi_object import MultiObjectWorkload
+
+_ONE = AllocationScheme.ONE_COPY
+_TWO = AllocationScheme.TWO_COPIES
+
+
+def two_object_spec():
+    return MultiObjectWorkloadSpec(
+        {
+            OperationClass.read("x"): 30.0,
+            OperationClass.read("y"): 4.0,
+            OperationClass.read("x", "y"): 3.0,
+            OperationClass.write("x"): 5.0,
+            OperationClass.write("y"): 25.0,
+            OperationClass.write("x", "y"): 3.0,
+        }
+    )
+
+
+class TestOperationClass:
+    def test_constructors(self):
+        read = OperationClass.read("x", "y")
+        assert read.operation is Operation.READ
+        assert read.objects == frozenset({"x", "y"})
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            OperationClass(Operation.READ, frozenset())
+
+    def test_repr_is_stable(self):
+        assert repr(OperationClass.write("b", "a")) == "w(a,b)"
+
+
+class TestWorkloadSpec:
+    def test_total_rate_and_objects(self):
+        spec = two_object_spec()
+        assert spec.total_rate == 70.0
+        assert spec.objects == frozenset({"x", "y"})
+
+    def test_probability(self):
+        spec = two_object_spec()
+        assert spec.probability(OperationClass.read("x")) == pytest.approx(30 / 70)
+        assert spec.probability(OperationClass.read("z")) == 0.0
+
+    def test_merges_duplicates(self):
+        spec = MultiObjectWorkloadSpec(
+            {OperationClass.read("x"): 1.0, OperationClass.write("x"): 2.0}
+        )
+        assert len(spec) == 2
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(InvalidParameterError):
+            MultiObjectWorkloadSpec({OperationClass.read("x"): -1.0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            MultiObjectWorkloadSpec({})
+
+
+class TestExpectedCost:
+    def test_paper_formula_st1(self):
+        # EXP_ST1 = (l_rx + l_ry + l_rxy)/l.
+        spec = two_object_spec()
+        allocation = {"x": _ONE, "y": _ONE}
+        assert expected_cost(spec, allocation) == pytest.approx(37 / 70)
+
+    def test_paper_formula_st12(self):
+        # EXP_ST1,2 = (l_rx + l_wy + l_rxy + l_wxy)/l.
+        spec = two_object_spec()
+        allocation = {"x": _ONE, "y": _TWO}
+        assert expected_cost(spec, allocation) == pytest.approx(61 / 70)
+
+    def test_message_model_scales_reads(self):
+        spec = two_object_spec()
+        allocation = {"x": _ONE, "y": _ONE}
+        cost = expected_cost(spec, allocation, MessageCostModel(0.5))
+        assert cost == pytest.approx(1.5 * 37 / 70)
+
+    def test_rejects_incomplete_allocation(self):
+        with pytest.raises(InvalidParameterError):
+            expected_cost(two_object_spec(), {"x": _ONE})
+
+
+class TestOptimizers:
+    def test_exhaustive_finds_mixed_optimum(self):
+        allocation, cost = ExhaustiveStaticOptimizer().optimize(two_object_spec())
+        assert allocation == {"x": _TWO, "y": _ONE}
+        assert cost == pytest.approx(15 / 70)
+
+    def test_mincut_matches_exhaustive_on_example(self):
+        allocation, cost = MinCutStaticOptimizer().optimize(two_object_spec())
+        assert allocation == {"x": _TWO, "y": _ONE}
+        assert cost == pytest.approx(15 / 70)
+
+    def test_single_object_read_heavy(self):
+        spec = MultiObjectWorkloadSpec(
+            {OperationClass.read("x"): 9.0, OperationClass.write("x"): 1.0}
+        )
+        allocation, cost = MinCutStaticOptimizer().optimize(spec)
+        assert allocation["x"] is _TWO
+        assert cost == pytest.approx(0.1)
+
+    def test_exhaustive_guard(self):
+        frequencies = {
+            OperationClass.read(f"o{i}"): 1.0 for i in range(25)
+        }
+        with pytest.raises(InvalidParameterError):
+            ExhaustiveStaticOptimizer().optimize(MultiObjectWorkloadSpec(frequencies))
+
+    @pytest.mark.parametrize("model", [ConnectionCostModel(), MessageCostModel(0.6)])
+    def test_mincut_equals_exhaustive_randomized(self, model):
+        rng = np.random.default_rng(99)
+        for _ in range(40):
+            num_objects = int(rng.integers(2, 7))
+            names = [f"o{i}" for i in range(num_objects)]
+            frequencies = {}
+            for _ in range(int(rng.integers(2, 9))):
+                size = int(rng.integers(1, min(4, num_objects) + 1))
+                subset = rng.choice(names, size=size, replace=False)
+                cls = (
+                    OperationClass.read(*subset)
+                    if rng.random() < 0.5
+                    else OperationClass.write(*subset)
+                )
+                frequencies[cls] = frequencies.get(cls, 0.0) + float(
+                    rng.uniform(0.5, 5.0)
+                )
+            spec = MultiObjectWorkloadSpec(frequencies)
+            _, exhaustive = ExhaustiveStaticOptimizer(model).optimize(spec)
+            mincut_allocation, mincut = MinCutStaticOptimizer(model).optimize(spec)
+            assert mincut == pytest.approx(exhaustive, abs=1e-9)
+            # The min-cut allocation itself achieves its reported cost.
+            assert expected_cost(spec, mincut_allocation, model) == pytest.approx(
+                mincut, abs=1e-9
+            )
+
+    def test_mincut_handles_many_objects(self):
+        """Beyond exhaustive's reach: 40 objects, pairwise joints."""
+        rng = np.random.default_rng(7)
+        frequencies = {}
+        for i in range(40):
+            frequencies[OperationClass.read(f"o{i}")] = float(rng.uniform(0, 5))
+            frequencies[OperationClass.write(f"o{i}")] = float(rng.uniform(0, 5))
+            if i:
+                frequencies[OperationClass.read(f"o{i - 1}", f"o{i}")] = float(
+                    rng.uniform(0, 2)
+                )
+        spec = MultiObjectWorkloadSpec(frequencies)
+        allocation, cost = MinCutStaticOptimizer().optimize(spec)
+        assert len(allocation) == 40
+        assert 0.0 <= cost <= 1.0
+
+
+class TestWindowedAllocator:
+    def test_converges_to_static_optimum(self):
+        spec = two_object_spec()
+        workload = MultiObjectWorkload(spec, seed=42)
+        allocator = WindowedMultiObjectAllocator(
+            spec.objects, window_size=200, reallocation_period=40
+        )
+        allocator.run(workload.generate(4_000))
+        _, optimum = ExhaustiveStaticOptimizer().optimize(spec)
+        assert allocator.allocation == {"x": _TWO, "y": _ONE}
+
+    def test_cost_rate_near_optimum(self):
+        spec = two_object_spec()
+        workload = MultiObjectWorkload(spec, seed=43)
+        allocator = WindowedMultiObjectAllocator(
+            spec.objects, window_size=200, reallocation_period=40
+        )
+        length = 6_000
+        rate = allocator.run(workload.generate(length)) / length
+        _, optimum = ExhaustiveStaticOptimizer().optimize(spec)
+        assert rate <= optimum * 1.2
+
+    def test_adapts_to_regime_change(self):
+        """Flip the workload mid-run; the allocation must follow."""
+        hot_reads = MultiObjectWorkloadSpec(
+            {OperationClass.read("x"): 9.0, OperationClass.write("x"): 1.0}
+        )
+        hot_writes = MultiObjectWorkloadSpec(
+            {OperationClass.read("x"): 1.0, OperationClass.write("x"): 9.0}
+        )
+        allocator = WindowedMultiObjectAllocator(
+            ["x"], window_size=50, reallocation_period=10
+        )
+        allocator.run(MultiObjectWorkload(hot_reads, seed=1).generate(500))
+        assert allocator.allocation["x"] is _TWO
+        allocator.run(MultiObjectWorkload(hot_writes, seed=2).generate(500))
+        assert allocator.allocation["x"] is _ONE
+
+    def test_rejects_requests_without_objects(self):
+        allocator = WindowedMultiObjectAllocator(["x"])
+        with pytest.raises(InvalidParameterError):
+            allocator.process(Request(Operation.READ))
+
+    def test_rejects_unknown_objects(self):
+        allocator = WindowedMultiObjectAllocator(["x"])
+        with pytest.raises(InvalidParameterError):
+            allocator.process(Request(Operation.READ, objects=("z",)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WindowedMultiObjectAllocator([])
+        with pytest.raises(InvalidParameterError):
+            WindowedMultiObjectAllocator(["x"], window_size=0)
+        with pytest.raises(InvalidParameterError):
+            WindowedMultiObjectAllocator(["x"], optimizer="quantum")
+
+
+class TestMultiObjectWorkload:
+    def test_lengths_and_objects(self):
+        workload = MultiObjectWorkload(two_object_spec(), seed=3)
+        schedule = workload.generate(100)
+        assert len(schedule) == 100
+        assert all(request.objects for request in schedule)
+
+    def test_class_frequencies_converge(self):
+        spec = two_object_spec()
+        workload = MultiObjectWorkload(spec, seed=4)
+        schedule = workload.generate(50_000)
+        joint_reads = sum(
+            1
+            for request in schedule
+            if request.is_read and request.objects == ("x", "y")
+        )
+        assert joint_reads / len(schedule) == pytest.approx(3 / 70, abs=0.005)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(InvalidParameterError):
+            MultiObjectWorkload(two_object_spec(), seed=5).generate(-1)

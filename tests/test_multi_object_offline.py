@@ -1,0 +1,201 @@
+"""Tests for the multi-object offline optimum (section 7.2 extension)."""
+
+from __future__ import annotations
+
+import functools
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.multi_object import (
+    ExhaustiveStaticOptimizer,
+    MultiObjectOfflineOptimal,
+    MultiObjectWorkloadSpec,
+    OperationClass,
+    WindowedMultiObjectAllocator,
+)
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import InvalidParameterError
+from repro.types import Operation, Request, Schedule
+from repro.workload.multi_object import MultiObjectWorkload
+
+MODEL = ConnectionCostModel()
+
+
+def brute_force(schedule: Schedule, names, model) -> float:
+    """Independent oracle: memoized recursion over replica sets."""
+    names = sorted(names)
+    index_of = {name: i for i, name in enumerate(names)}
+    read_price = model.remote_read_cost
+    write_price = model.write_propagate_cost
+
+    requests = tuple(
+        (
+            request.operation,
+            functools.reduce(
+                lambda mask, name: mask | (1 << index_of[name]),
+                request.objects,
+                0,
+            ),
+        )
+        for request in schedule
+    )
+    full = (1 << len(names)) - 1
+
+    @functools.lru_cache(maxsize=None)
+    def go(step: int, state: int) -> float:
+        if step == len(requests):
+            return 0.0
+        operation, mask = requests[step]
+        if operation is Operation.READ:
+            served = read_price if (mask & ~state) else 0.0
+            free_mask = mask if (mask & ~state) else 0
+        else:
+            served = write_price if (mask & state) else 0.0
+            free_mask = 0
+        best = float("inf")
+        for target in range(full + 1):
+            gained = target & ~state
+            paid = bin(gained & ~free_mask).count("1") * model.acquire_cost
+            lost = state & ~target
+            paid += bin(lost).count("1") * model.release_cost
+            best = min(best, served + paid + go(step + 1, target))
+        return best
+
+    return go(0, 0)
+
+
+def random_schedule(rng, names, length) -> Schedule:
+    requests = []
+    for _ in range(length):
+        size = int(rng.integers(1, min(3, len(names)) + 1))
+        subset = tuple(sorted(rng.choice(names, size=size, replace=False)))
+        operation = Operation.WRITE if rng.random() < 0.5 else Operation.READ
+        requests.append(Request(operation, objects=subset))
+    return Schedule(requests)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "model", [ConnectionCostModel(), MessageCostModel(0.4)]
+    )
+    def test_random_small_instances(self, model):
+        rng = np.random.default_rng(77)
+        names = ["a", "b", "c"]
+        offline = MultiObjectOfflineOptimal(model)
+        for _ in range(25):
+            schedule = random_schedule(rng, names, length=7)
+            assert offline.optimal_cost(schedule, names) == pytest.approx(
+                brute_force(schedule, names, model)
+            )
+
+    def test_hand_computed(self):
+        schedule = Schedule(
+            [
+                Request(Operation.READ, objects=("x",)),
+                Request(Operation.READ, objects=("x",)),
+                Request(Operation.WRITE, objects=("x", "y")),
+                Request(Operation.READ, objects=("y",)),
+            ]
+        )
+        # First x-read remote (1) + piggyback acquire; release x before
+        # the joint write (free); y-read remote (1).
+        offline = MultiObjectOfflineOptimal(MODEL)
+        assert offline.optimal_cost(schedule, ["x", "y"]) == 2.0
+
+    def test_single_object_matches_scalar_dp(self):
+        """On one object the multi-object DP equals OfflineOptimal."""
+        from repro.core import OfflineOptimal
+
+        rng = np.random.default_rng(5)
+        scalar = OfflineOptimal(MODEL)
+        multi = MultiObjectOfflineOptimal(MODEL)
+        for _ in range(20):
+            bits = "".join(rng.choice(["r", "w"], size=12))
+            plain = Schedule.from_string(bits)
+            tagged = Schedule(
+                Request(request.operation, objects=("x",)) for request in plain
+            )
+            assert multi.optimal_cost(tagged, ["x"]) == pytest.approx(
+                scalar.optimal_cost(plain)
+            )
+
+
+class TestBounds:
+    def test_offline_lower_bounds_windowed_allocator(self):
+        spec = MultiObjectWorkloadSpec(
+            {
+                OperationClass.read("x"): 5.0,
+                OperationClass.write("y"): 5.0,
+                OperationClass.read("x", "y"): 2.0,
+                OperationClass.write("x", "y"): 2.0,
+            }
+        )
+        schedule = MultiObjectWorkload(spec, seed=9).generate(400)
+        offline = MultiObjectOfflineOptimal(MODEL)
+        optimal = offline.optimal_cost(schedule, spec.objects)
+        allocator = WindowedMultiObjectAllocator(
+            spec.objects, window_size=60, reallocation_period=20
+        )
+        online = allocator.run(schedule)
+        assert optimal <= online + 1e-9
+
+    def test_windowed_ratio_stays_moderate(self):
+        """Empirical competitiveness of the windowed method on its
+        natural workload: well bounded (no theory claimed)."""
+        spec = MultiObjectWorkloadSpec(
+            {
+                OperationClass.read("x"): 6.0,
+                OperationClass.write("x"): 4.0,
+                OperationClass.read("y"): 4.0,
+                OperationClass.write("y"): 6.0,
+            }
+        )
+        schedule = MultiObjectWorkload(spec, seed=10).generate(600)
+        optimal = MultiObjectOfflineOptimal(MODEL).optimal_cost(
+            schedule, spec.objects
+        )
+        allocator = WindowedMultiObjectAllocator(
+            spec.objects, window_size=60, reallocation_period=20
+        )
+        online = allocator.run(schedule)
+        assert online <= 5.0 * optimal + 10.0
+
+    def test_offline_at_most_best_static(self):
+        spec = MultiObjectWorkloadSpec(
+            {
+                OperationClass.read("x"): 8.0,
+                OperationClass.write("y"): 8.0,
+                OperationClass.read("x", "y"): 1.0,
+            }
+        )
+        schedule = MultiObjectWorkload(spec, seed=11).generate(500)
+        _, static_rate = ExhaustiveStaticOptimizer(MODEL).optimize(spec)
+        offline = MultiObjectOfflineOptimal(MODEL)
+        optimal = offline.optimal_cost(schedule, spec.objects)
+        # The best static allocation run over this schedule costs about
+        # rate * len; offline can only be better (it may also need one
+        # acquisition to reach that allocation).
+        assert optimal <= static_rate * len(schedule) + 2.0 + 1e-9
+
+
+class TestValidation:
+    def test_rejects_unknown_objects(self):
+        schedule = Schedule([Request(Operation.READ, objects=("z",))])
+        with pytest.raises(InvalidParameterError):
+            MultiObjectOfflineOptimal(MODEL).optimal_cost(schedule, ["x"])
+
+    def test_rejects_object_less_requests(self):
+        schedule = Schedule([Request(Operation.READ)])
+        with pytest.raises(InvalidParameterError):
+            MultiObjectOfflineOptimal(MODEL).optimal_cost(schedule, ["x"])
+
+    def test_rejects_too_many_objects(self):
+        with pytest.raises(InvalidParameterError):
+            MultiObjectOfflineOptimal(MODEL).optimal_cost(
+                Schedule(), [f"o{i}" for i in range(9)]
+            )
+
+    def test_empty_schedule_is_free(self):
+        assert MultiObjectOfflineOptimal(MODEL).optimal_cost(Schedule(), ["x"]) == 0.0

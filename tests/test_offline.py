@@ -1,0 +1,194 @@
+"""Unit tests for the offline optimal dynamic program (section 3's M)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import OfflineOptimal, make_algorithm, replay
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.types import AllocationScheme, Operation, Schedule
+
+_ONE = AllocationScheme.ONE_COPY
+_TWO = AllocationScheme.TWO_COPIES
+
+
+def brute_force_optimal(schedule: Schedule, cost_model, initial=_ONE) -> float:
+    """Memoized-recursion oracle, written independently of the DP.
+
+    The state is the scheme in effect when serving the next request;
+    transitions happen after each request (acquisition is free exactly
+    when it piggybacks on a remote read just served, releases cost the
+    model's ``release_cost``), plus an optional paid switch before the
+    whole schedule.
+    """
+    import functools
+
+    @functools.lru_cache(maxsize=None)
+    def go(index: int, state: AllocationScheme) -> float:
+        if index == len(schedule):
+            return 0.0
+        request = schedule[index]
+        options = []
+        if request.operation is Operation.READ:
+            if state is _TWO:
+                options.append(go(index + 1, _TWO))
+                options.append(cost_model.release_cost + go(index + 1, _ONE))
+            else:
+                served = cost_model.remote_read_cost
+                # Stay one-copy, or piggyback the copy for free.
+                options.append(served + go(index + 1, _ONE))
+                options.append(served + go(index + 1, _TWO))
+        else:
+            if state is _TWO:
+                served = cost_model.write_propagate_cost
+                options.append(served + go(index + 1, _TWO))
+                options.append(
+                    served + cost_model.release_cost + go(index + 1, _ONE)
+                )
+            else:
+                options.append(go(index + 1, _ONE))
+                options.append(cost_model.acquire_cost + go(index + 1, _TWO))
+        return min(options)
+
+    other = _TWO if initial is _ONE else _ONE
+    switch_in = (
+        cost_model.acquire_cost if other is _TWO else cost_model.release_cost
+    )
+    return min(go(0, initial), switch_in + go(0, other))
+
+
+class TestHandComputedOptima:
+    def test_all_reads(self):
+        # First read goes remote (1 connection) and piggybacks the copy;
+        # the rest are local.
+        schedule = Schedule.from_string("rrrrr")
+        offline = OfflineOptimal(ConnectionCostModel())
+        assert offline.optimal_cost(schedule) == 1.0
+
+    def test_all_writes(self):
+        # Release the initial... the MC starts without a copy: all free.
+        schedule = Schedule.from_string("wwwww")
+        offline = OfflineOptimal(ConnectionCostModel())
+        assert offline.optimal_cost(schedule) == 0.0
+
+    def test_alternating(self):
+        # r w r w: best is to never hold a copy -> pay each read.
+        schedule = Schedule.from_string("rwrw")
+        offline = OfflineOptimal(ConnectionCostModel())
+        assert offline.optimal_cost(schedule) == 2.0
+
+    def test_alternating_message_model_spontaneous_acquire(self):
+        # With omega = 1 a remote read costs 2 but a spontaneous data
+        # push (acquire) costs only 1 — no read-request needed when the
+        # offline algorithm knows the future.  Since releases are free,
+        # the optimum pushes a copy before each read and drops it
+        # before each write: one data message per read.
+        schedule = Schedule.from_string("rwrwrw")
+        offline = OfflineOptimal(MessageCostModel(1.0))
+        assert offline.optimal_cost(schedule) == 3.0
+
+    def test_alternating_message_model_moderate_omega(self):
+        # With omega = 0.2 a remote read (1.2) still beats nothing, but
+        # keeping the copy the whole time costs 3 writes = 3.0 after a
+        # 1.2 first read; dropping the copy costs 3 reads * 1.2 = 3.6.
+        # Best: acquire spontaneously (1.0) before each read is also
+        # 3.0... and mixed plans tie at 3.0; dropping-only is 3.6.
+        schedule = Schedule.from_string("rwrwrw")
+        offline = OfflineOptimal(MessageCostModel(0.2))
+        assert offline.optimal_cost(schedule) == 3.0
+
+    def test_empty_schedule(self):
+        offline = OfflineOptimal(ConnectionCostModel())
+        assert offline.optimal_cost(Schedule()) == 0.0
+
+    def test_free_initial_choice(self):
+        schedule = Schedule.from_string("r")
+        offline = OfflineOptimal(ConnectionCostModel(), initial_scheme=None)
+        # Starting with a copy for free makes the read local.
+        assert offline.optimal_cost(schedule) == 0.0
+
+    def test_initial_two_copies(self):
+        schedule = Schedule.from_string("w")
+        offline = OfflineOptimal(
+            ConnectionCostModel(), initial_scheme=AllocationScheme.TWO_COPIES
+        )
+        # Release before the write is free.
+        assert offline.optimal_cost(schedule) == 0.0
+
+
+class TestDpAgainstBruteForce:
+    @pytest.mark.parametrize("model", [ConnectionCostModel(), MessageCostModel(0.3),
+                                       MessageCostModel(1.0)])
+    def test_exhaustive_small_schedules(self, model):
+        offline = OfflineOptimal(model)
+        for length in range(1, 9):
+            for bits in itertools.product("rw", repeat=length):
+                schedule = Schedule.from_string("".join(bits))
+                expected = brute_force_optimal(schedule, model)
+                assert offline.optimal_cost(schedule) == pytest.approx(expected), (
+                    f"schedule {schedule.to_string()}"
+                )
+
+
+class TestWitness:
+    def test_witness_has_one_scheme_per_request(self):
+        schedule = Schedule.from_string("rwrrrwww")
+        run = OfflineOptimal(ConnectionCostModel()).solve(schedule)
+        assert len(run.schemes) == len(schedule)
+
+    @staticmethod
+    def _price_trajectory(schedule, schemes, model, initial=_ONE) -> float:
+        """Re-price a scheme trajectory under the DP's charging rules."""
+        cost = 0.0
+        if schemes and schemes[0] is not initial:
+            cost += model.acquire_cost if schemes[0] is _TWO else model.release_cost
+        for index, (request, state) in enumerate(zip(schedule, schemes)):
+            if request.operation is Operation.READ:
+                if state is _ONE:
+                    cost += model.remote_read_cost
+            else:
+                if state is _TWO:
+                    cost += model.write_propagate_cost
+            if index + 1 < len(schemes) and schemes[index + 1] is not state:
+                if schemes[index + 1] is _TWO:
+                    piggyback = (
+                        request.operation is Operation.READ and state is _ONE
+                    )
+                    if not piggyback:
+                        cost += model.acquire_cost
+                else:
+                    cost += model.release_cost
+        return cost
+
+    @pytest.mark.parametrize(
+        "model", [ConnectionCostModel(), MessageCostModel(0.5)]
+    )
+    def test_witness_cost_matches_total(self, model):
+        """Re-pricing the witness trajectory reproduces the DP value."""
+        offline = OfflineOptimal(model)
+        schedule = Schedule.from_string("rrwwrwrrrwwrrwwwrrrw")
+        run = offline.solve(schedule)
+        repriced = self._price_trajectory(schedule, run.schemes, model)
+        assert repriced == pytest.approx(run.total_cost)
+
+    def test_witness_no_worse_than_any_trajectory(self):
+        """The witness beats every explicitly enumerated trajectory."""
+        model = MessageCostModel(0.3)
+        offline = OfflineOptimal(model)
+        schedule = Schedule.from_string("rwwrrwr")
+        run = offline.solve(schedule)
+        for states in itertools.product((_ONE, _TWO), repeat=len(schedule)):
+            alternative = self._price_trajectory(schedule, list(states), model)
+            assert run.total_cost <= alternative + 1e-9
+
+
+class TestOfflineNeverExceedsOnline:
+    def test_offline_lower_bounds_every_algorithm(self, algorithm_name):
+        # Free initial choice: ST2 and T2m start with a replica.
+        model = ConnectionCostModel()
+        offline = OfflineOptimal(model, initial_scheme=None)
+        schedule = Schedule.from_string("rwrrwwrrrwwwrrrrwwww" * 3)
+        online = replay(make_algorithm(algorithm_name), schedule, model)
+        assert offline.optimal_cost(schedule) <= online.total_cost + 1e-9

@@ -1,0 +1,148 @@
+"""Unit tests for the algorithm registry and the replay engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    SlidingWindow,
+    SlidingWindowOne,
+    StaticOneCopy,
+    StaticTwoCopies,
+    ThresholdOneCopy,
+    ThresholdTwoCopies,
+    available_algorithms,
+    make_algorithm,
+    replay,
+    replay_many,
+)
+from repro.costmodels import ConnectionCostModel, CostEventKind, MessageCostModel
+from repro.exceptions import InvalidParameterError, UnknownAlgorithmError
+from repro.types import AllocationScheme, Schedule
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("st1", StaticOneCopy),
+            ("st2", StaticTwoCopies),
+            ("sw1", SlidingWindowOne),
+            ("sw1-unoptimized", SlidingWindow),
+            ("sw9", SlidingWindow),
+            ("t1_15", ThresholdOneCopy),
+            ("t2_7", ThresholdTwoCopies),
+        ],
+    )
+    def test_construction(self, name, expected_type):
+        assert isinstance(make_algorithm(name), expected_type)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert isinstance(make_algorithm("  ST1 "), StaticOneCopy)
+        assert isinstance(make_algorithm("SW9"), SlidingWindow)
+
+    def test_window_size_parsed(self):
+        assert make_algorithm("sw15").k == 15
+
+    def test_threshold_parsed(self):
+        assert make_algorithm("t1_4").m == 4
+
+    def test_even_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_algorithm("sw4")
+
+    @pytest.mark.parametrize("bad", ["", "sw", "t1_", "foo", "st3", "sw-3"])
+    def test_unknown_names_rejected(self, bad):
+        with pytest.raises(UnknownAlgorithmError):
+            make_algorithm(bad)
+
+    def test_available_algorithms_lists_families(self):
+        names = available_algorithms()
+        assert "st1" in names
+        assert "st2" in names
+        assert any(name.startswith("sw") for name in names)
+
+    def test_every_variant_constructible(self, algorithm_name):
+        algorithm = make_algorithm(algorithm_name)
+        assert algorithm.scheme in (
+            AllocationScheme.ONE_COPY,
+            AllocationScheme.TWO_COPIES,
+        )
+
+
+class TestReplay:
+    def test_total_is_sum_of_events(self):
+        schedule = Schedule.from_string("rwrw")
+        result = replay(make_algorithm("st1"), schedule, ConnectionCostModel())
+        assert result.total_cost == sum(e.cost for e in result.events)
+
+    def test_event_per_request(self):
+        schedule = Schedule.from_string("rwrwrw")
+        result = replay(make_algorithm("sw3"), schedule, ConnectionCostModel())
+        assert len(result.events) == len(schedule)
+        assert len(result.schemes) == len(schedule)
+
+    def test_mean_cost(self):
+        schedule = Schedule.from_string("rrrr")
+        result = replay(make_algorithm("st1"), schedule, ConnectionCostModel())
+        assert result.mean_cost == 1.0
+
+    def test_mean_cost_empty(self):
+        result = replay(make_algorithm("st1"), Schedule(), ConnectionCostModel())
+        assert result.mean_cost == 0.0
+        assert result.total_cost == 0.0
+
+    def test_event_counts(self):
+        schedule = Schedule.from_string("rrww")
+        result = replay(make_algorithm("st1"), schedule, ConnectionCostModel())
+        counts = result.event_counts()
+        assert counts[CostEventKind.REMOTE_READ] == 2
+        assert counts[CostEventKind.WRITE_NO_COPY] == 2
+
+    def test_allocation_changes(self):
+        schedule = Schedule.from_string("rwrw")
+        result = replay(make_algorithm("sw1"), schedule, ConnectionCostModel())
+        # r (allocate), w (drop), r (allocate), w (drop) -> 3 changes
+        # between consecutive post-request schemes.
+        assert result.allocation_changes() == 3
+
+    def test_fresh_replay_is_idempotent(self):
+        algorithm = make_algorithm("sw5")
+        schedule = Schedule.from_string("rrrrwwrw")
+        first = replay(algorithm, schedule, ConnectionCostModel())
+        second = replay(algorithm, schedule, ConnectionCostModel())
+        assert first.total_cost == second.total_cost
+        assert first.schemes == second.schemes
+
+    def test_continuation_with_fresh_false(self):
+        algorithm = make_algorithm("sw3")
+        model = ConnectionCostModel()
+        part1 = Schedule.from_string("rr")
+        part2 = Schedule.from_string("r")
+        replay(algorithm, part1, model, fresh=False)
+        result = replay(algorithm, part2, model, fresh=False)
+        # After rr the window majority is reads, so the third read is local.
+        assert result.events[0].kind is CostEventKind.LOCAL_READ
+
+    def test_split_replay_equals_whole(self):
+        """Replaying in segments with fresh=False equals one replay."""
+        whole = Schedule.from_string("rwrrwwrrrwwwrw")
+        model = MessageCostModel(0.4)
+        one_shot = replay(make_algorithm("sw5"), whole, model)
+        algorithm = make_algorithm("sw5")
+        algorithm.reset()
+        total = 0.0
+        for cut in (whole[:5], whole[5:9], whole[9:]):
+            total += replay(algorithm, cut, model, fresh=False).total_cost
+        assert total == pytest.approx(one_shot.total_cost)
+
+    def test_replay_many(self):
+        schedule = Schedule.from_string("rwrw")
+        results = replay_many(
+            [make_algorithm("st1"), make_algorithm("st2")],
+            schedule,
+            ConnectionCostModel(),
+        )
+        assert set(results) == {"st1", "st2"}
+        assert results["st1"].total_cost == 2.0  # two reads
+        assert results["st2"].total_cost == 2.0  # two writes

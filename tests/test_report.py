@@ -1,0 +1,79 @@
+"""Tests for the Markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.harness import Check, ExperimentResult
+from repro.experiments.report import _markdown_table, render_markdown
+
+
+def sample_result(passed=True) -> ExperimentResult:
+    result = ExperimentResult("fig-test", "A Title", "a claim")
+    result.rows.append({"theta": 0.5, "cost": 0.25})
+    result.checks.append(Check("the check", passed, "details"))
+    result.figures.append("ascii\nfigure")
+    result.elapsed_seconds = 1.25
+    return result
+
+
+class TestMarkdownTable:
+    def test_shapes_columns_from_first_seen(self):
+        table = _markdown_table([{"b": 1}, {"a": 2, "b": 3}])
+        header = table.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_escapes_pipes(self):
+        table = _markdown_table([{"x": "a|b"}])
+        assert "a\\|b" in table
+
+    def test_empty(self):
+        assert "no rows" in _markdown_table([])
+
+    def test_floats_formatted(self):
+        assert "0.2500" in _markdown_table([{"x": 0.25}])
+
+
+class TestRenderMarkdown:
+    def test_summary_counts(self):
+        text = render_markdown([sample_result(), sample_result()])
+        assert "**2/2 checks passed** across 2 experiments" in text
+
+    def test_sections_and_figures(self):
+        text = render_markdown([sample_result()])
+        assert "## `fig-test` — A Title" in text
+        assert "> a claim" in text
+        assert "ascii\nfigure" in text
+        assert "- [x] the check — details" in text
+
+    def test_failures_marked(self):
+        text = render_markdown([sample_result(passed=False)])
+        assert "❌" in text
+        assert "- [ ] the check" in text
+
+
+class TestCliReport:
+    def test_report_command_writes_file(self, tmp_path, capsys, monkeypatch):
+        # Stub run_all so the test does not execute the whole suite.
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module, "run_all", lambda quick=False: [sample_result()]
+        )
+        target = tmp_path / "report.md"
+        assert main(["report", "--out", str(target), "--quick"]) == 0
+        content = target.read_text()
+        assert "Reproduction report" in content
+        assert "wrote" in capsys.readouterr().out
+
+    def test_report_fails_on_failed_experiment(self, tmp_path, monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module,
+            "run_all",
+            lambda quick=False: [sample_result(passed=False)],
+        )
+        target = tmp_path / "report.md"
+        assert main(["report", "--out", str(target)]) == 1

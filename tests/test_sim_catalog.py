@@ -1,0 +1,115 @@
+"""Integration tests for the multi-item catalog protocol runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_algorithm, replay
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import InvalidParameterError
+from repro.sim import simulate_catalog_protocol
+from repro.types import Operation, Request, Schedule
+from repro.workload import CatalogWorkload, ItemRates
+
+MODEL = ConnectionCostModel()
+
+
+def catalog_schedule(seed: int, length: int) -> Schedule:
+    workload = CatalogWorkload(
+        {
+            "quotes": ItemRates(read_rate=2.0, write_rate=8.0),
+            "weather": ItemRates(read_rate=8.0, write_rate=2.0),
+            "traffic": ItemRates(read_rate=5.0, write_rate=5.0),
+        },
+        seed=seed,
+    )
+    return workload.generate(length)
+
+
+ASSIGNMENT = {"quotes": "sw5", "weather": "st2", "traffic": "sw1"}
+
+
+class TestCatalogMatchesPerItemReplay:
+    def test_event_kinds_per_item(self):
+        schedule = catalog_schedule(seed=1, length=900)
+        run = simulate_catalog_protocol(ASSIGNMENT, schedule)
+        assert len(run.event_kinds) == len(schedule)
+        # Split the simulated event kinds by item and compare with the
+        # abstract replay of each item's subsequence.
+        for item, algorithm_name in ASSIGNMENT.items():
+            indices = [
+                i for i, r in enumerate(schedule) if r.objects == (item,)
+            ]
+            subsequence = Schedule(schedule[i] for i in indices)
+            expected = replay(
+                make_algorithm(algorithm_name), subsequence, MODEL
+            )
+            simulated = [run.event_kinds[i] for i in indices]
+            assert simulated == [e.kind for e in expected.events], item
+
+    def test_total_cost_in_both_models(self):
+        schedule = catalog_schedule(seed=2, length=600)
+        run = simulate_catalog_protocol(ASSIGNMENT, schedule)
+        for model in (ConnectionCostModel(), MessageCostModel(0.3)):
+            expected = 0.0
+            for item, algorithm_name in ASSIGNMENT.items():
+                subsequence = Schedule(
+                    r for r in schedule if r.objects == (item,)
+                )
+                expected += replay(
+                    make_algorithm(algorithm_name), subsequence, model
+                ).total_cost
+            assert run.total_cost(model) == pytest.approx(expected)
+
+    def test_mixed_thresholds_and_statics(self):
+        assignment = {"quotes": "t2_3", "weather": "t1_4", "traffic": "st1"}
+        schedule = catalog_schedule(seed=3, length=600)
+        run = simulate_catalog_protocol(assignment, schedule)
+        for item, algorithm_name in assignment.items():
+            subsequence = Schedule(r for r in schedule if r.objects == (item,))
+            expected = replay(make_algorithm(algorithm_name), subsequence, MODEL)
+            indices = [i for i, r in enumerate(schedule) if r.objects == (item,)]
+            assert [run.event_kinds[i] for i in indices] == [
+                e.kind for e in expected.events
+            ]
+
+
+class TestConsistencyAndAccounting:
+    def test_reads_fresh_per_item(self):
+        schedule = catalog_schedule(seed=4, length=500)
+        run = simulate_catalog_protocol(ASSIGNMENT, schedule)
+        run.verify_consistency(schedule)  # raises on staleness
+
+    def test_final_versions_count_writes(self):
+        schedule = catalog_schedule(seed=5, length=400)
+        run = simulate_catalog_protocol(ASSIGNMENT, schedule)
+        for item in ASSIGNMENT:
+            writes = sum(
+                1 for r in schedule if r.objects == (item,) and r.is_write
+            )
+            assert run.final_versions[item] == writes
+
+    def test_ledger_attributes_all_requests(self):
+        schedule = catalog_schedule(seed=6, length=300)
+        run = simulate_catalog_protocol(ASSIGNMENT, schedule)
+        assert run.ledger.request_count() == len(schedule)
+
+
+class TestValidation:
+    def test_rejects_empty_catalog(self):
+        with pytest.raises(InvalidParameterError):
+            simulate_catalog_protocol({}, Schedule())
+
+    def test_rejects_unknown_item(self):
+        schedule = Schedule([Request(Operation.READ, objects=("mystery",))])
+        with pytest.raises(InvalidParameterError):
+            simulate_catalog_protocol({"quotes": "st1"}, schedule)
+
+    def test_rejects_item_less_requests(self):
+        schedule = Schedule([Request(Operation.READ)])
+        with pytest.raises(InvalidParameterError):
+            simulate_catalog_protocol({"quotes": "st1"}, schedule)
+
+    def test_empty_schedule(self):
+        run = simulate_catalog_protocol({"quotes": "sw3"}, Schedule())
+        assert run.event_kinds == ()

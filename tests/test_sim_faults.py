@@ -1,0 +1,199 @@
+"""Fault injection for the protocol simulator.
+
+The paper assumes a reliable, serialized channel (availability is
+handled inside the stationary system, section 8.1).  The simulator
+must therefore *detect* — not silently mis-account — violations of
+those assumptions: dropped messages must surface as deadlocks, and
+protocol-state corruption as ProtocolError, never as a wrong ledger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.sim.kernel import EventKernel
+from repro.sim.ledger import TrafficLedger
+from repro.sim.messages import DeleteRequest, ReadReply, ReadRequest, WritePropagation
+from repro.sim.network import PointToPointNetwork
+from repro.sim.nodes import MobileComputer, StationaryComputer
+from repro.sim.policies import make_deciders
+from repro.types import Operation, Schedule
+
+
+class DroppingNetwork(PointToPointNetwork):
+    """Drops the n-th transmission (after charging it, like a real
+    lossy link: the sender still paid for the airtime)."""
+
+    def __init__(self, kernel, ledger, drop_nth: int, latency: float = 0.0):
+        super().__init__(kernel, ledger, latency)
+        self._remaining = drop_nth
+        self.dropped = 0
+
+    def send(self, destination, message):
+        self._remaining -= 1
+        if self._remaining == 0:
+            # Charge but never deliver.
+            self._ledger.record(message)
+            self.dropped += 1
+            return
+        super().send(destination, message)
+
+
+def run_with_drop(algorithm_name: str, text: str, drop_nth: int):
+    kernel = EventKernel()
+    ledger = TrafficLedger()
+    network = DroppingNetwork(kernel, ledger, drop_nth)
+    deciders = make_deciders(algorithm_name)
+    completed = []
+
+    schedule = Schedule.from_string(text)
+    requests = list(schedule)
+    next_index = [0]
+
+    def on_complete(index):
+        completed.append(index)
+        dispatch()
+
+    mobile = MobileComputer(
+        network,
+        deciders.mobile,
+        on_complete,
+        initially_has_copy=deciders.initial_mobile_has_copy,
+    )
+    stationary = StationaryComputer(
+        network,
+        deciders.stationary,
+        on_complete,
+        mc_initially_subscribed=deciders.initial_mobile_has_copy,
+    )
+
+    def dispatch():
+        index = next_index[0]
+        if index >= len(requests):
+            return
+        next_index[0] += 1
+        request = requests[index]
+
+        def fire():
+            ledger.note_request(index, request.operation)
+            if request.operation is Operation.READ:
+                mobile.issue_read(index)
+            else:
+                stationary.issue_write(index, value=f"v{index}")
+
+        kernel.schedule_at(kernel.now, fire)
+
+    dispatch()
+    kernel.run()
+    return completed, network, len(requests)
+
+
+class TestMessageLoss:
+    def test_lost_read_request_stalls_the_run(self):
+        completed, network, total = run_with_drop("st1", "rrr", drop_nth=1)
+        assert network.dropped == 1
+        # The first read's request vanished: nothing completes after it.
+        assert len(completed) < total
+
+    def test_lost_reply_stalls_the_run(self):
+        completed, network, total = run_with_drop("st1", "rr", drop_nth=2)
+        assert network.dropped == 1
+        assert len(completed) < total
+
+    def test_lost_propagation_stalls_sw_protocol(self):
+        completed, network, total = run_with_drop("sw3", "rrw", drop_nth=4)
+        # Messages: read-request, reply, read-request, reply... the 4th
+        # transmission is the second read's reply or the propagation —
+        # either way the run cannot finish.
+        assert network.dropped == 1
+        assert len(completed) < total
+
+    def test_without_drops_everything_completes(self):
+        completed, network, total = run_with_drop("sw3", "rrwrw", drop_nth=10**9)
+        assert network.dropped == 0
+        assert len(completed) == total
+
+
+class TestStateCorruption:
+    def test_unsolicited_delete_request_rejected(self):
+        kernel = EventKernel()
+        ledger = TrafficLedger()
+        network = PointToPointNetwork(kernel, ledger)
+        deciders = make_deciders("st1")
+        mobile = MobileComputer(
+            network, deciders.mobile, lambda i: None, initially_has_copy=False
+        )
+        ledger.note_request(0, Operation.WRITE)
+        network.send("mc", DeleteRequest(request_index=0))
+        with pytest.raises(ProtocolError):
+            kernel.run()
+
+    def test_unsolicited_propagation_rejected(self):
+        kernel = EventKernel()
+        ledger = TrafficLedger()
+        network = PointToPointNetwork(kernel, ledger)
+        deciders = make_deciders("st1")
+        mobile = MobileComputer(
+            network, deciders.mobile, lambda i: None, initially_has_copy=False
+        )
+        ledger.note_request(0, Operation.WRITE)
+        network.send("mc", WritePropagation(request_index=0, value="v", version=1))
+        with pytest.raises(ProtocolError):
+            kernel.run()
+
+    def test_remote_read_while_subscribed_rejected(self):
+        kernel = EventKernel()
+        ledger = TrafficLedger()
+        network = PointToPointNetwork(kernel, ledger)
+        deciders = make_deciders("st2")
+        stationary = StationaryComputer(
+            network,
+            deciders.stationary,
+            lambda i: None,
+            mc_initially_subscribed=True,
+        )
+        network.attach("mc", lambda m: None)
+        ledger.note_request(0, Operation.READ)
+        network.send("sc", ReadRequest(request_index=0))
+        with pytest.raises(ProtocolError):
+            kernel.run()
+
+    def test_double_allocation_rejected(self):
+        kernel = EventKernel()
+        ledger = TrafficLedger()
+        network = PointToPointNetwork(kernel, ledger)
+        deciders = make_deciders("st2")
+        mobile = MobileComputer(
+            network, deciders.mobile, lambda i: None, initially_has_copy=True
+        )
+        ledger.note_request(0, Operation.READ)
+        network.send(
+            "mc",
+            ReadReply(request_index=0, in_reply_to=1, value="v", version=1,
+                      allocate=True),
+        )
+        with pytest.raises(ProtocolError):
+            kernel.run()
+
+    def test_runner_reports_deadlock(self):
+        """The high-level runner converts a stall into ProtocolError."""
+        import repro.sim.runner as runner_module
+        from repro.sim.runner import simulate_protocol
+
+        original = PointToPointNetwork.send
+        counter = {"n": 0}
+
+        def lossy_send(self, destination, message):
+            counter["n"] += 1
+            if counter["n"] == 2:
+                self._ledger.record(message)
+                return
+            original(self, destination, message)
+
+        PointToPointNetwork.send = lossy_send
+        try:
+            with pytest.raises(ProtocolError, match="never completed"):
+                simulate_protocol("st1", Schedule.from_string("rr"))
+        finally:
+            PointToPointNetwork.send = original

@@ -1,0 +1,188 @@
+"""Unit tests for the discrete-event kernel, network and ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodels import ConnectionCostModel, CostEventKind
+from repro.exceptions import ProtocolError, SimulationError
+from repro.sim.kernel import EventKernel
+from repro.sim.ledger import TrafficLedger
+from repro.sim.messages import (
+    DeleteRequest,
+    ReadReply,
+    ReadRequest,
+    WritePropagation,
+)
+from repro.sim.network import PointToPointNetwork
+from repro.types import Operation
+
+
+class TestEventKernel:
+    def test_events_fire_in_time_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_at(2.0, lambda: fired.append("b"))
+        kernel.schedule_at(1.0, lambda: fired.append("a"))
+        kernel.schedule_at(3.0, lambda: fired.append("c"))
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_at(1.0, lambda: fired.append(1))
+        kernel.schedule_at(1.0, lambda: fired.append(2))
+        kernel.run()
+        assert fired == [1, 2]
+
+    def test_clock_advances(self):
+        kernel = EventKernel()
+        kernel.schedule_at(5.0, lambda: None)
+        assert kernel.run() == 5.0
+        assert kernel.now == 5.0
+
+    def test_schedule_after(self):
+        kernel = EventKernel()
+        times = []
+        kernel.schedule_at(1.0, lambda: kernel.schedule_after(2.0, lambda: times.append(kernel.now)))
+        kernel.run()
+        assert times == [3.0]
+
+    def test_run_until_stops_early(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_at(1.0, lambda: fired.append(1))
+        kernel.schedule_at(10.0, lambda: fired.append(2))
+        kernel.run(until=5.0)
+        assert fired == [1]
+        assert kernel.now == 5.0
+        assert kernel.pending_events == 1
+
+    def test_rejects_past_events(self):
+        kernel = EventKernel()
+        kernel.schedule_at(2.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(1.0, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            EventKernel().schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        kernel = EventKernel()
+        fired = []
+
+        def chain():
+            fired.append(kernel.now)
+            if len(fired) < 3:
+                kernel.schedule_after(1.0, chain)
+
+        kernel.schedule_at(0.0, chain)
+        kernel.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+
+class TestNetwork:
+    def _setup(self, latency=0.5):
+        kernel = EventKernel()
+        ledger = TrafficLedger()
+        network = PointToPointNetwork(kernel, ledger, latency=latency)
+        return kernel, ledger, network
+
+    def test_delivers_after_latency(self):
+        kernel, ledger, network = self._setup(latency=0.5)
+        received = []
+        network.attach("mc", received.append)
+        ledger.note_request(0, Operation.READ)
+        network.send("mc", ReadReply(request_index=0, in_reply_to=1))
+        kernel.run()
+        assert len(received) == 1
+        assert kernel.now == 0.5
+
+    def test_rejects_unknown_endpoint(self):
+        _kernel, ledger, network = self._setup()
+        ledger.note_request(0, Operation.READ)
+        with pytest.raises(SimulationError):
+            network.send("satellite", ReadRequest(request_index=0))
+
+    def test_rejects_double_attach(self):
+        _kernel, _ledger, network = self._setup()
+        network.attach("mc", lambda m: None)
+        with pytest.raises(SimulationError):
+            network.attach("mc", lambda m: None)
+
+    def test_rejects_negative_latency(self):
+        kernel = EventKernel()
+        with pytest.raises(SimulationError):
+            PointToPointNetwork(kernel, TrafficLedger(), latency=-1.0)
+
+
+class TestLedgerClassification:
+    def test_remote_read(self):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.READ)
+        request = ReadRequest(request_index=0)
+        ledger.record(request)
+        ledger.record(ReadReply(request_index=0, in_reply_to=request.message_id))
+        assert ledger.classify(0) is CostEventKind.REMOTE_READ
+        breakdown = ledger.breakdown(0)
+        assert (breakdown.connections, breakdown.data_messages,
+                breakdown.control_messages) == (1, 1, 1)
+
+    def test_local_read(self):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.READ)
+        assert ledger.classify(0) is CostEventKind.LOCAL_READ
+
+    def test_write_propagated(self):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.WRITE)
+        ledger.record(WritePropagation(request_index=0))
+        assert ledger.classify(0) is CostEventKind.WRITE_PROPAGATED
+
+    def test_delete_request(self):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.WRITE)
+        ledger.record(DeleteRequest(request_index=0))
+        assert ledger.classify(0) is CostEventKind.WRITE_DELETE_REQUEST
+
+    def test_unregistered_request_rejected(self):
+        ledger = TrafficLedger()
+        with pytest.raises(ProtocolError):
+            ledger.record(ReadRequest(request_index=7))
+
+    def test_double_registration_rejected(self):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.READ)
+        with pytest.raises(ProtocolError):
+            ledger.note_request(0, Operation.READ)
+
+    def test_unclassifiable_traffic_rejected(self):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.READ)
+        # A read producing two data messages matches no protocol shape.
+        ledger.record(ReadReply(request_index=0, in_reply_to=1))
+        ledger.record(ReadReply(request_index=0, in_reply_to=2))
+        with pytest.raises(ProtocolError):
+            ledger.classify(0)
+
+    def test_priced_total(self, connection_model):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.READ)
+        request = ReadRequest(request_index=0)
+        ledger.record(request)
+        ledger.record(ReadReply(request_index=0, in_reply_to=request.message_id))
+        ledger.note_request(1, Operation.WRITE)
+        assert ledger.priced_total(connection_model) == 1.0
+
+    def test_total_breakdown(self):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.WRITE)
+        ledger.record(WritePropagation(request_index=0))
+        ledger.note_request(1, Operation.WRITE)
+        ledger.record(DeleteRequest(request_index=1))
+        total = ledger.total_breakdown()
+        assert (total.connections, total.data_messages,
+                total.control_messages) == (2, 1, 1)

@@ -1,0 +1,132 @@
+"""Integration tests: the distributed protocol vs the abstract model.
+
+The central reproduction claim for the simulator: running the actual
+two-node protocol (ownership handoff, piggybacked windows, propagation
+and delete-requests over a latency-laden link) produces the *identical*
+per-request cost-event classification as the abstract algorithm replay,
+and keeps the replica consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm, replay
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import ProtocolError
+from repro.sim import simulate_protocol
+from repro.sim.policies import make_deciders
+from repro.types import Schedule
+from repro.workload import bernoulli_schedule, swk_tight_schedule
+
+
+class TestProtocolMatchesAbstractModel:
+    @pytest.mark.parametrize("theta", [0.2, 0.5, 0.8])
+    def test_event_kinds_identical(self, algorithm_name, theta):
+        rng = np.random.default_rng(hash((algorithm_name, theta)) % 2**32)
+        schedule = bernoulli_schedule(theta, 400, rng=rng)
+        protocol = simulate_protocol(algorithm_name, schedule)
+        abstract = replay(
+            make_algorithm(algorithm_name), schedule, ConnectionCostModel()
+        )
+        assert protocol.event_kinds == tuple(e.kind for e in abstract.events)
+
+    def test_costs_identical_in_both_models(self, algorithm_name):
+        schedule = bernoulli_schedule(
+            0.5, 500, rng=np.random.default_rng(7)
+        )
+        protocol = simulate_protocol(algorithm_name, schedule)
+        for model in (ConnectionCostModel(), MessageCostModel(0.35)):
+            abstract = replay(make_algorithm(algorithm_name), schedule, model)
+            assert protocol.total_cost(model) == pytest.approx(
+                abstract.total_cost
+            )
+
+    def test_tight_adversary_through_protocol(self):
+        """The worst-case family drives the full protocol too."""
+        schedule = swk_tight_schedule(5, 50)
+        protocol = simulate_protocol("sw5", schedule)
+        abstract = replay(make_algorithm("sw5"), schedule, ConnectionCostModel())
+        assert protocol.total_cost(ConnectionCostModel()) == abstract.total_cost
+
+
+class TestReplicaConsistency:
+    def test_reads_observe_latest_version(self, algorithm_name):
+        schedule = bernoulli_schedule(0.5, 300, rng=np.random.default_rng(3))
+        result = simulate_protocol(algorithm_name, schedule)
+        # verify_consistency ran inside simulate_protocol; re-run
+        # explicitly for the assertion surface.
+        result.verify_consistency(schedule)
+
+    def test_final_version_counts_writes(self):
+        schedule = Schedule.from_string("wwrww")
+        result = simulate_protocol("st1", schedule)
+        assert result.final_version == 4
+
+    def test_every_read_observed(self):
+        schedule = Schedule.from_string("rrwrr")
+        result = simulate_protocol("st2", schedule)
+        assert len(result.read_observations) == 4
+
+
+class TestTimingAndSerialization:
+    def test_honours_arrival_timestamps(self):
+        schedule = Schedule.from_string("rr").with_timestamps([1.0, 10.0])
+        result = simulate_protocol("st1", schedule, latency=0.1)
+        # Second read dispatched at its arrival, exchange adds 2 hops.
+        assert result.final_time == pytest.approx(10.2)
+
+    def test_serializes_bursty_arrivals(self):
+        # Both requests arrive at t=0; the second must wait for the
+        # first exchange (0.2) to finish.
+        schedule = Schedule.from_string("rr").with_timestamps([0.0, 0.0])
+        result = simulate_protocol("st1", schedule, latency=0.1)
+        assert result.final_time == pytest.approx(0.4)
+
+    def test_zero_latency_supported(self):
+        schedule = Schedule.from_string("rwrw")
+        result = simulate_protocol("sw3", schedule, latency=0.0)
+        assert result.final_time == 0.0
+
+    def test_empty_schedule(self):
+        result = simulate_protocol("sw3", Schedule())
+        assert result.event_kinds == ()
+        assert result.final_time == 0.0
+
+
+class TestDeciderFactory:
+    def test_unknown_algorithm_rejected(self):
+        from repro.exceptions import UnknownAlgorithmError
+
+        with pytest.raises(UnknownAlgorithmError):
+            make_deciders("gossip-9000")
+
+    def test_initial_copy_placement(self):
+        assert make_deciders("st2").initial_mobile_has_copy
+        assert make_deciders("t2_3").initial_mobile_has_copy
+        assert not make_deciders("st1").initial_mobile_has_copy
+        assert not make_deciders("sw9").initial_mobile_has_copy
+
+    def test_st1_stationary_rejects_subscribed_write(self):
+        deciders = make_deciders("st1")
+        with pytest.raises(ProtocolError):
+            deciders.stationary.on_write(mc_subscribed=True)
+
+    def test_st2_stationary_rejects_remote_read(self):
+        deciders = make_deciders("st2")
+        with pytest.raises(ProtocolError):
+            deciders.stationary.on_read_request()
+
+    def test_swk_window_handoff_guard(self):
+        deciders = make_deciders("sw3")
+        # SC holds the window initially; adopting another is an error.
+        with pytest.raises(ProtocolError):
+            deciders.stationary.adopt_window(
+                tuple(Schedule.from_string("rrr").operations())
+            )
+
+    def test_swk_mobile_needs_window(self):
+        deciders = make_deciders("sw3")
+        with pytest.raises(ProtocolError):
+            deciders.mobile.on_propagation()

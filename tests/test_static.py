@@ -1,0 +1,79 @@
+"""Unit tests for the static methods ST1 and ST2 (section 5.1)."""
+
+from __future__ import annotations
+
+from repro.core import StaticOneCopy, StaticTwoCopies, replay
+from repro.costmodels import ConnectionCostModel, CostEventKind, MessageCostModel
+from repro.types import READ, WRITE, AllocationScheme, Schedule
+
+
+class TestStaticOneCopy:
+    def test_never_holds_copy(self):
+        algorithm = StaticOneCopy()
+        for op in (READ, WRITE, READ, READ, WRITE):
+            algorithm.process(op)
+            assert algorithm.scheme is AllocationScheme.ONE_COPY
+
+    def test_reads_always_remote(self):
+        algorithm = StaticOneCopy()
+        assert algorithm.process(READ) is CostEventKind.REMOTE_READ
+
+    def test_writes_free(self):
+        algorithm = StaticOneCopy()
+        assert algorithm.process(WRITE) is CostEventKind.WRITE_NO_COPY
+
+    def test_connection_cost_counts_reads(self):
+        schedule = Schedule.from_string("rrwwrw")
+        result = replay(StaticOneCopy(), schedule, ConnectionCostModel())
+        assert result.total_cost == schedule.read_count
+
+    def test_message_cost_counts_reads_with_omega(self):
+        schedule = Schedule.from_string("rrwwrw")
+        result = replay(StaticOneCopy(), schedule, MessageCostModel(0.5))
+        assert result.total_cost == schedule.read_count * 1.5
+
+    def test_no_allocation_changes(self):
+        schedule = Schedule.from_string("rwrwrwrw")
+        result = replay(StaticOneCopy(), schedule, ConnectionCostModel())
+        assert result.allocation_changes() == 0
+
+
+class TestStaticTwoCopies:
+    def test_always_holds_copy(self):
+        algorithm = StaticTwoCopies()
+        for op in (WRITE, READ, WRITE, WRITE):
+            algorithm.process(op)
+            assert algorithm.scheme is AllocationScheme.TWO_COPIES
+
+    def test_reads_local(self):
+        algorithm = StaticTwoCopies()
+        assert algorithm.process(READ) is CostEventKind.LOCAL_READ
+
+    def test_writes_propagated(self):
+        algorithm = StaticTwoCopies()
+        assert algorithm.process(WRITE) is CostEventKind.WRITE_PROPAGATED
+
+    def test_connection_cost_counts_writes(self):
+        schedule = Schedule.from_string("rrwwrw")
+        result = replay(StaticTwoCopies(), schedule, ConnectionCostModel())
+        assert result.total_cost == schedule.write_count
+
+    def test_message_cost_is_one_data_message_per_write(self):
+        schedule = Schedule.from_string("rrwwrw")
+        result = replay(StaticTwoCopies(), schedule, MessageCostModel(0.9))
+        assert result.total_cost == schedule.write_count * 1.0
+
+
+class TestStaticDuality:
+    def test_costs_swap_under_operation_flip(self):
+        """ST1 on sigma costs (in connections) what ST2 costs on the
+        read/write-flipped sigma."""
+        schedule = Schedule.from_string("rrwrwwrrrw")
+        flipped = Schedule.from_string(
+            "".join("r" if c == "w" else "w" for c in schedule.to_string())
+        )
+        model = ConnectionCostModel()
+        assert (
+            replay(StaticOneCopy(), schedule, model).total_cost
+            == replay(StaticTwoCopies(), flipped, model).total_cost
+        )

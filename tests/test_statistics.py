@@ -1,0 +1,89 @@
+"""Unit tests for the Monte-Carlo statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    batch_means_interval,
+    mean_confidence_interval,
+    required_sample_size,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestMeanConfidenceInterval:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            samples = rng.normal(loc=0.4, scale=0.1, size=50)
+            if mean_confidence_interval(samples, 0.95).contains(0.4):
+                hits += 1
+        # Coverage should be ~95%; allow generous slack.
+        assert hits / trials > 0.88
+
+    def test_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(2)
+        small = mean_confidence_interval(rng.normal(size=20))
+        large = mean_confidence_interval(rng.normal(size=2_000))
+        assert large.half_width < small.half_width
+
+    def test_degenerate_samples_give_zero_width(self):
+        interval = mean_confidence_interval([1.0, 1.0, 1.0, 1.0])
+        assert interval.mean == 1.0
+        assert interval.half_width == 0.0
+
+    def test_str(self):
+        text = str(mean_confidence_interval([1.0, 2.0, 3.0]))
+        assert "95%" in text
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([1.0])
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+class TestBatchMeans:
+    def test_covers_analytic_expected_cost(self):
+        """Batch means over a real SW9 run cover the closed form."""
+        from repro.analysis import connection as ca
+        from repro.core import make_algorithm, replay
+        from repro.costmodels import ConnectionCostModel
+        from repro.workload import bernoulli_schedule
+
+        theta = 0.35
+        schedule = bernoulli_schedule(
+            theta, 60_000, rng=np.random.default_rng(3)
+        )
+        result = replay(make_algorithm("sw9"), schedule, ConnectionCostModel())
+        costs = [event.cost for event in result.events[1_000:]]
+        interval = batch_means_interval(costs, batch_size=500, confidence=0.99)
+        assert interval.contains(ca.expected_cost_swk(theta, 9))
+
+    def test_needs_two_batches(self):
+        with pytest.raises(InvalidParameterError):
+            batch_means_interval([1.0] * 10, batch_size=10)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            batch_means_interval([1.0, 2.0], batch_size=0)
+
+
+class TestRequiredSampleSize:
+    def test_matches_hand_computation(self):
+        # z(95%) ~ 1.96; n >= (1.96 * 1 / 0.01)^2 ~ 38416.
+        n = required_sample_size(1.0, 0.01, 0.95)
+        assert 38_000 < n < 39_000
+
+    def test_monotone_in_half_width(self):
+        assert required_sample_size(1.0, 0.001) > required_sample_size(1.0, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            required_sample_size(0.0, 0.01)
+        with pytest.raises(InvalidParameterError):
+            required_sample_size(1.0, 0.01, confidence=0.0)

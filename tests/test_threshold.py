@@ -1,0 +1,120 @@
+"""Unit tests for the modified static methods T1m / T2m (section 7.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ThresholdOneCopy, ThresholdTwoCopies, replay
+from repro.costmodels import ConnectionCostModel, CostEventKind
+from repro.exceptions import InvalidParameterError
+from repro.types import READ, WRITE, AllocationScheme, Schedule
+
+
+class TestThresholdOneCopy:
+    def test_starts_one_copy(self):
+        assert ThresholdOneCopy(3).scheme is AllocationScheme.ONE_COPY
+
+    def test_allocates_after_m_consecutive_reads(self):
+        algorithm = ThresholdOneCopy(3)
+        assert algorithm.process(READ) is CostEventKind.REMOTE_READ
+        assert algorithm.process(READ) is CostEventKind.REMOTE_READ
+        assert not algorithm.mobile_has_copy
+        # The third consecutive read piggybacks the copy.
+        assert algorithm.process(READ) is CostEventKind.REMOTE_READ
+        assert algorithm.mobile_has_copy
+        assert algorithm.process(READ) is CostEventKind.LOCAL_READ
+
+    def test_write_breaks_the_run(self):
+        algorithm = ThresholdOneCopy(3)
+        algorithm.process(READ)
+        algorithm.process(READ)
+        algorithm.process(WRITE)  # resets the counter
+        algorithm.process(READ)
+        algorithm.process(READ)
+        assert not algorithm.mobile_has_copy
+        algorithm.process(READ)
+        assert algorithm.mobile_has_copy
+
+    def test_first_write_after_burst_deallocates(self):
+        algorithm = ThresholdOneCopy(2)
+        algorithm.process(READ)
+        algorithm.process(READ)
+        assert algorithm.mobile_has_copy
+        kind = algorithm.process(WRITE)
+        assert kind is CostEventKind.WRITE_DELETE_REQUEST
+        assert not algorithm.mobile_has_copy
+
+    def test_writes_free_in_one_copy_state(self):
+        algorithm = ThresholdOneCopy(2)
+        assert algorithm.process(WRITE) is CostEventKind.WRITE_NO_COPY
+
+    def test_m_one_behaves_like_sw1(self):
+        """T1 with m=1 allocates on every remote read, drops on every
+        write — the same scheme trajectory as SW1."""
+        algorithm = ThresholdOneCopy(1)
+        schedule = Schedule.from_string("rwrrwwr")
+        expected_copy = [True, False, True, True, False, False, True]
+        for request, expected in zip(schedule, expected_copy):
+            algorithm.process(request.operation)
+            assert algorithm.mobile_has_copy == expected
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(InvalidParameterError):
+            ThresholdOneCopy(0)
+        with pytest.raises(InvalidParameterError):
+            ThresholdOneCopy(-2)
+
+    def test_reset(self):
+        algorithm = ThresholdOneCopy(2)
+        algorithm.process(READ)
+        algorithm.process(READ)
+        algorithm.reset()
+        assert not algorithm.mobile_has_copy
+        algorithm.process(READ)
+        assert not algorithm.mobile_has_copy  # counter restarted
+
+
+class TestThresholdTwoCopies:
+    def test_starts_two_copies(self):
+        assert ThresholdTwoCopies(3).scheme is AllocationScheme.TWO_COPIES
+
+    def test_deallocates_after_m_consecutive_writes(self):
+        algorithm = ThresholdTwoCopies(3)
+        assert algorithm.process(WRITE) is CostEventKind.WRITE_PROPAGATED
+        assert algorithm.process(WRITE) is CostEventKind.WRITE_PROPAGATED
+        kind = algorithm.process(WRITE)
+        assert kind is CostEventKind.WRITE_PROPAGATED_DEALLOCATE
+        assert not algorithm.mobile_has_copy
+
+    def test_read_breaks_the_run(self):
+        algorithm = ThresholdTwoCopies(2)
+        algorithm.process(WRITE)
+        algorithm.process(READ)  # local read resets the counter
+        algorithm.process(WRITE)
+        assert algorithm.mobile_has_copy
+
+    def test_reallocates_on_first_read(self):
+        algorithm = ThresholdTwoCopies(1)
+        algorithm.process(WRITE)
+        assert not algorithm.mobile_has_copy
+        assert algorithm.process(READ) is CostEventKind.REMOTE_READ
+        assert algorithm.mobile_has_copy
+
+    def test_writes_free_in_one_copy_state(self):
+        algorithm = ThresholdTwoCopies(1)
+        algorithm.process(WRITE)
+        assert algorithm.process(WRITE) is CostEventKind.WRITE_NO_COPY
+
+
+class TestThresholdDuality:
+    def test_mirror_cost_in_connection_model(self):
+        """T2m on sigma costs what T1m costs on the flipped sigma."""
+        schedule = Schedule.from_string("wwrrwrwwwrwrrrw")
+        flipped = Schedule.from_string(
+            "".join("r" if c == "w" else "w" for c in schedule.to_string())
+        )
+        model = ConnectionCostModel()
+        for m in (1, 2, 4):
+            cost_t2 = replay(ThresholdTwoCopies(m), schedule, model).total_cost
+            cost_t1 = replay(ThresholdOneCopy(m), flipped, model).total_cost
+            assert cost_t2 == cost_t1

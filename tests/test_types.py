@@ -1,0 +1,190 @@
+"""Unit tests for the domain types (repro.types)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, InvalidScheduleError
+from repro.types import (
+    READ,
+    WRITE,
+    AllocationScheme,
+    Operation,
+    Origin,
+    Request,
+    Schedule,
+    ensure_odd_window,
+    ensure_probability,
+)
+
+
+class TestOperation:
+    def test_symbols(self):
+        assert Operation.READ.symbol == "r"
+        assert Operation.WRITE.symbol == "w"
+
+    def test_from_symbol_round_trip(self):
+        for op in Operation:
+            assert Operation.from_symbol(op.symbol) is op
+
+    def test_from_symbol_case_insensitive(self):
+        assert Operation.from_symbol("R") is READ
+        assert Operation.from_symbol("W") is WRITE
+
+    def test_from_symbol_rejects_unknown(self):
+        with pytest.raises(InvalidScheduleError):
+            Operation.from_symbol("x")
+
+    def test_str(self):
+        assert str(READ) == "r"
+        assert str(WRITE) == "w"
+
+
+class TestRequest:
+    def test_read_properties(self):
+        request = Request(READ)
+        assert request.is_read
+        assert not request.is_write
+        assert request.origin is Origin.MOBILE
+
+    def test_write_properties(self):
+        request = Request(WRITE)
+        assert request.is_write
+        assert request.origin is Origin.STATIONARY
+
+    def test_default_fields(self):
+        request = Request(READ)
+        assert request.timestamp == 0.0
+        assert request.objects == ()
+
+    def test_frozen(self):
+        request = Request(READ)
+        with pytest.raises(AttributeError):
+            request.operation = WRITE
+
+    def test_str_is_symbol(self):
+        assert str(Request(WRITE)) == "w"
+
+
+class TestScheduleConstruction:
+    def test_from_string_paper_example(self):
+        # The example schedule of section 3: w, r, r, r, w, r, w.
+        schedule = Schedule.from_string("wrrrwrw")
+        assert schedule.to_string() == "wrrrwrw"
+        assert len(schedule) == 7
+        assert schedule.read_count == 4
+        assert schedule.write_count == 3
+
+    def test_from_string_ignores_separators(self):
+        assert Schedule.from_string("w; r, r\tr w").to_string() == "wrrrw"
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_string("wxr")
+
+    def test_from_operations(self):
+        schedule = Schedule.from_operations([READ, WRITE, READ])
+        assert schedule.to_string() == "rwr"
+
+    def test_rejects_non_request_elements(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(["r"])  # type: ignore[list-item]
+
+    def test_empty_schedule(self):
+        schedule = Schedule()
+        assert len(schedule) == 0
+        assert schedule.to_string() == ""
+
+
+class TestScheduleSequenceProtocol:
+    def test_indexing(self):
+        schedule = Schedule.from_string("rw")
+        assert schedule[0].is_read
+        assert schedule[1].is_write
+        assert schedule[-1].is_write
+
+    def test_slicing_returns_schedule(self):
+        schedule = Schedule.from_string("rwrwr")
+        sliced = schedule[1:4]
+        assert isinstance(sliced, Schedule)
+        assert sliced.to_string() == "wrw"
+
+    def test_concatenation(self):
+        combined = Schedule.from_string("rr") + Schedule.from_string("ww")
+        assert combined.to_string() == "rrww"
+
+    def test_repetition(self):
+        assert (Schedule.from_string("rw") * 3).to_string() == "rwrwrw"
+        assert (2 * Schedule.from_string("r")).to_string() == "rr"
+
+    def test_negative_repetition_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_string("r") * -1
+
+    def test_equality_and_hash(self):
+        a = Schedule.from_string("rwr")
+        b = Schedule.from_string("rwr")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Schedule.from_string("rrw")
+
+    def test_iteration(self):
+        ops = [r.operation for r in Schedule.from_string("wr")]
+        assert ops == [WRITE, READ]
+
+
+class TestScheduleStatistics:
+    def test_write_fraction(self):
+        assert Schedule.from_string("wwrr").write_fraction == 0.5
+        assert Schedule.from_string("w").write_fraction == 1.0
+
+    def test_write_fraction_empty_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule().write_fraction
+
+
+class TestScheduleTimestamps:
+    def test_with_timestamps(self):
+        schedule = Schedule.from_string("rw").with_timestamps([1.0, 2.5])
+        assert schedule[0].timestamp == 1.0
+        assert schedule[1].timestamp == 2.5
+
+    def test_with_timestamps_wrong_length(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_string("rw").with_timestamps([1.0])
+
+    def test_with_timestamps_must_be_monotone(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_string("rw").with_timestamps([2.0, 1.0])
+
+
+class TestAllocationScheme:
+    def test_mobile_has_copy(self):
+        assert AllocationScheme.TWO_COPIES.mobile_has_copy
+        assert not AllocationScheme.ONE_COPY.mobile_has_copy
+
+
+class TestValidators:
+    @pytest.mark.parametrize("k", [1, 3, 5, 99])
+    def test_ensure_odd_window_accepts_odd(self, k):
+        assert ensure_odd_window(k) == k
+
+    @pytest.mark.parametrize("k", [0, 2, 4, -1, -3])
+    def test_ensure_odd_window_rejects(self, k):
+        with pytest.raises(InvalidParameterError):
+            ensure_odd_window(k)
+
+    def test_ensure_odd_window_rejects_bool_and_float(self):
+        with pytest.raises(InvalidParameterError):
+            ensure_odd_window(True)
+        with pytest.raises(InvalidParameterError):
+            ensure_odd_window(3.0)  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_ensure_probability_accepts(self, value):
+        assert ensure_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.001, 1.001, 2.0])
+    def test_ensure_probability_rejects(self, value):
+        with pytest.raises(InvalidParameterError):
+            ensure_probability(value)

@@ -1,0 +1,84 @@
+"""Tests for the vectorized replay fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_algorithm, replay
+from repro.core.vectorized import fast_event_kinds, fast_total_cost, supports
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import UnknownAlgorithmError
+from repro.types import Schedule
+from repro.workload import bernoulli_schedule
+
+NAMES = ("st1", "st2", "sw1", "sw3", "sw9", "sw15")
+
+
+class TestSupports:
+    def test_supported(self):
+        for name in NAMES:
+            assert supports(name)
+
+    def test_unsupported(self):
+        assert not supports("t1_5")
+        assert not supports("ewma_20")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownAlgorithmError):
+            fast_total_cost("t1_5", Schedule.from_string("rw"), ConnectionCostModel())
+
+
+class TestExactEquality:
+    @pytest.mark.parametrize("name", NAMES)
+    @pytest.mark.parametrize("theta", [0.1, 0.5, 0.9])
+    def test_event_kinds_match_reference(self, name, theta):
+        rng = np.random.default_rng(hash((name, theta)) % 2**32)
+        schedule = bernoulli_schedule(theta, 3_000, rng=rng)
+        reference = replay(make_algorithm(name), schedule, ConnectionCostModel())
+        assert fast_event_kinds(name, schedule) == tuple(
+            event.kind for event in reference.events
+        )
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_costs_match_in_both_models(self, name):
+        schedule = bernoulli_schedule(
+            0.45, 2_000, rng=np.random.default_rng(9)
+        )
+        for model in (ConnectionCostModel(), MessageCostModel(0.35)):
+            reference = replay(make_algorithm(name), schedule, model)
+            assert fast_total_cost(name, schedule, model) == pytest.approx(
+                reference.total_cost
+            )
+
+    def test_empty_schedule(self):
+        assert fast_total_cost("sw9", Schedule(), ConnectionCostModel()) == 0.0
+        assert fast_event_kinds("sw9", Schedule()) == ()
+
+    def test_single_request(self):
+        schedule = Schedule.from_string("r")
+        reference = replay(make_algorithm("sw3"), schedule, ConnectionCostModel())
+        assert fast_event_kinds("sw3", schedule) == tuple(
+            event.kind for event in reference.events
+        )
+
+    @given(text=st.text(alphabet="rw", min_size=0, max_size=200),
+           k=st.integers(min_value=1, max_value=7).map(lambda n: 2 * n + 1))
+    @settings(max_examples=150, deadline=None)
+    def test_hypothesis_equivalence_swk(self, text, k):
+        schedule = Schedule.from_string(text)
+        name = f"sw{k}"
+        reference = replay(make_algorithm(name), schedule, ConnectionCostModel())
+        fast = fast_event_kinds(name, schedule)
+        assert fast == tuple(event.kind for event in reference.events)
+
+    @given(text=st.text(alphabet="rw", min_size=0, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_hypothesis_equivalence_sw1(self, text):
+        schedule = Schedule.from_string(text)
+        reference = replay(make_algorithm("sw1"), schedule, ConnectionCostModel())
+        assert fast_event_kinds("sw1", schedule) == tuple(
+            event.kind for event in reference.events
+        )

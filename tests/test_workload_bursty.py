@@ -1,0 +1,73 @@
+"""Unit tests for the Markov-modulated bursty workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.workload import BurstyWorkload
+
+
+class TestBurstyWorkload:
+    def test_stationary_theta(self):
+        workload = BurstyWorkload(0.1, 0.9, mean_sojourn=100, seed=1)
+        assert workload.stationary_theta == pytest.approx(0.5)
+        schedule = workload.generate(100_000)
+        assert schedule.write_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_piecewise_static_optimum(self):
+        workload = BurstyWorkload(0.1, 0.9, mean_sojourn=10, seed=2)
+        assert workload.piecewise_static_optimum == pytest.approx(0.1)
+        asymmetric = BurstyWorkload(0.2, 0.6, mean_sojourn=10, seed=3)
+        assert asymmetric.piecewise_static_optimum == pytest.approx(
+            (0.2 + 0.4) / 2
+        )
+
+    def test_long_sojourns_produce_long_phases(self):
+        """With S=1000 the autocorrelation of the write indicator at
+        lag 10 is strongly positive; with S=1 it vanishes."""
+
+        def lag_autocorr(schedule, lag=10):
+            bits = np.array([1.0 if r.is_write else 0.0 for r in schedule])
+            a, b = bits[:-lag], bits[lag:]
+            return float(np.corrcoef(a, b)[0, 1])
+
+        bursty = BurstyWorkload(0.05, 0.95, mean_sojourn=1_000, seed=4)
+        # mean_sojourn=2 -> switch probability 1/2 -> the phase after
+        # each request is uniform regardless of the current one, so the
+        # phases (and the operations) are i.i.d.
+        smooth = BurstyWorkload(0.05, 0.95, mean_sojourn=2, seed=5)
+        assert lag_autocorr(bursty.generate(50_000)) > 0.5
+        assert abs(lag_autocorr(smooth.generate(50_000))) < 0.05
+
+    def test_identical_thetas_degenerate_to_bernoulli(self):
+        workload = BurstyWorkload(0.3, 0.3, mean_sojourn=50, seed=6)
+        schedule = workload.generate(50_000)
+        assert schedule.write_fraction == pytest.approx(0.3, abs=0.01)
+
+    def test_reproducible(self):
+        a = BurstyWorkload(0.2, 0.8, 20, seed=7).generate(500)
+        b = BurstyWorkload(0.2, 0.8, 20, seed=7).generate(500)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BurstyWorkload(1.2, 0.5, 10)
+        with pytest.raises(InvalidParameterError):
+            BurstyWorkload(0.5, 0.5, 0.5)
+        with pytest.raises(InvalidParameterError):
+            BurstyWorkload(0.2, 0.8, 10, seed=1).generate(-1)
+
+    def test_sliding_window_exploits_burstiness(self):
+        """The headline behaviour behind experiment t-bursty."""
+        from repro.core import make_algorithm, replay
+        from repro.costmodels import ConnectionCostModel
+
+        model = ConnectionCostModel()
+        schedule = BurstyWorkload(0.1, 0.9, 1_000, seed=8).generate(60_000)
+        sw9 = replay(make_algorithm("sw9"), schedule, model).mean_cost
+        st1 = replay(make_algorithm("st1"), schedule, model).mean_cost
+        st2 = replay(make_algorithm("st2"), schedule, model).mean_cost
+        assert sw9 < 0.15
+        assert min(st1, st2) > 0.4

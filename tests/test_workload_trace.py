@@ -1,0 +1,127 @@
+"""Unit tests for trace I/O and trace profiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidScheduleError
+from repro.types import Operation, Request, Schedule
+from repro.workload import BurstyWorkload, bernoulli_schedule
+from repro.workload.trace import (
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    profile_trace,
+    save_trace,
+)
+
+
+class TestParsing:
+    def test_bare_operations(self):
+        schedule = loads_trace("r\nw\nr\n")
+        assert schedule.to_string() == "rwr"
+
+    def test_comments_and_blanks(self):
+        schedule = loads_trace("# header\n\nr  # inline\nw\n")
+        assert schedule.to_string() == "rw"
+
+    def test_timestamps(self):
+        schedule = loads_trace("r 1.5\nw 2.25\n")
+        assert schedule[0].timestamp == 1.5
+        assert schedule[1].timestamp == 2.25
+
+    def test_items(self):
+        schedule = loads_trace("r 1.0 quotes\nw 2.0 weather\n")
+        assert schedule[0].objects == ("quotes",)
+        assert schedule[1].objects == ("weather",)
+
+    def test_rejects_bad_operation(self):
+        with pytest.raises(InvalidScheduleError, match="line 2"):
+            loads_trace("r\nx\n")
+
+    def test_rejects_bad_timestamp(self):
+        with pytest.raises(InvalidScheduleError, match="line 1"):
+            loads_trace("r then\n")
+
+    def test_rejects_extra_fields(self):
+        with pytest.raises(InvalidScheduleError):
+            loads_trace("r 1.0 item extra\n")
+
+    def test_rejects_time_travel(self):
+        with pytest.raises(InvalidScheduleError, match="non-decreasing"):
+            loads_trace("r 5.0\nw 1.0\n")
+
+    def test_empty_trace(self):
+        assert len(loads_trace("# nothing here\n")) == 0
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        original = Schedule(
+            [
+                Request(Operation.READ, 0.5, ("a",)),
+                Request(Operation.WRITE, 1.25),
+            ]
+        )
+        assert loads_trace(dumps_trace(original)) == original
+        restored = loads_trace(dumps_trace(original))
+        assert restored[0].objects == ("a",)
+        assert restored[1].timestamp == 1.25
+
+    def test_file_round_trip(self, tmp_path):
+        original = bernoulli_schedule(0.4, 200, rng=np.random.default_rng(1))
+        path = tmp_path / "trace.txt"
+        save_trace(original, path)
+        assert load_trace(path) == original
+
+    def test_plain_format_without_timestamps(self):
+        schedule = Schedule.from_string("rwr")
+        assert dumps_trace(schedule, include_timestamps=False) == "r\nw\nr\n"
+
+    def test_empty_dumps(self):
+        assert dumps_trace(Schedule()) == ""
+
+    def test_rejects_multi_object_rows(self):
+        schedule = Schedule([Request(Operation.READ, objects=("a", "b"))])
+        with pytest.raises(InvalidScheduleError):
+            dumps_trace(schedule)
+
+
+class TestProfiling:
+    def test_stationary_trace(self):
+        schedule = bernoulli_schedule(0.3, 20_000, rng=np.random.default_rng(2))
+        profile = profile_trace(schedule, window=200)
+        assert profile.write_fraction == pytest.approx(0.3, abs=0.02)
+        assert profile.looks_stationary
+        assert profile.theta_drift < 0.06
+
+    def test_bursty_trace_shows_drift_and_phases(self):
+        schedule = BurstyWorkload(0.05, 0.95, 2_000, seed=3).generate(40_000)
+        profile = profile_trace(schedule, window=200)
+        assert not profile.looks_stationary
+        assert profile.theta_drift > 0.2
+        # Phases of the thresholded rolling theta reflect the sojourns.
+        assert profile.mean_phase_length > 500
+
+    def test_rolling_length(self):
+        schedule = bernoulli_schedule(0.5, 500, rng=np.random.default_rng(4))
+        profile = profile_trace(schedule, window=100)
+        assert len(profile.rolling_theta) == 401
+
+    def test_validation(self):
+        schedule = bernoulli_schedule(0.5, 50, rng=np.random.default_rng(5))
+        with pytest.raises(InvalidScheduleError):
+            profile_trace(schedule, window=100)
+        with pytest.raises(InvalidScheduleError):
+            profile_trace(schedule, window=0)
+
+    def test_profile_guides_method_choice(self):
+        """End-to-end: the profile separates the workloads that need a
+        dynamic method from those that don't."""
+        stationary = bernoulli_schedule(
+            0.2, 20_000, rng=np.random.default_rng(6)
+        )
+        drifting = BurstyWorkload(0.05, 0.95, 1_000, seed=7).generate(20_000)
+        assert profile_trace(stationary).looks_stationary
+        assert not profile_trace(drifting).looks_stationary
