@@ -1,0 +1,66 @@
+"""Engine dispatch overhead and backend speedups.
+
+Quantifies what the unified engine costs and buys: auto-dispatch
+(vectorized kernels where they apply) against the forced reference
+replay, across the algorithm families, plus the streaming path on a
+million-request schedule — the acceptance scenario for the engine's
+10x speedup claim.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only``;
+each benchmark asserts cross-backend agreement, so the suite doubles
+as an equivalence check at benchmark sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costmodels import ConnectionCostModel
+from repro.engine import run
+from repro.workload import bernoulli_schedule
+
+MODEL = ConnectionCostModel()
+SCHEDULE = bernoulli_schedule(0.45, 20_000, rng=np.random.default_rng(7))
+
+
+@pytest.mark.parametrize("name", ["st1", "sw9", "t1_4", "t2_3"])
+def test_engine_auto_dispatch(benchmark, name):
+    result = benchmark(lambda: run(name, SCHEDULE, MODEL, stream=True))
+    assert result.backend_name == "vectorized"
+    assert result.total_cost > 0
+
+
+@pytest.mark.parametrize("name", ["st1", "sw9", "t1_4", "t2_3"])
+def test_engine_forced_reference(benchmark, name):
+    result = benchmark(
+        lambda: run(name, SCHEDULE, MODEL, backend="reference", stream=True)
+    )
+    assert result.backend_name == "reference"
+    assert result.total_cost > 0
+
+
+def test_engine_auto_million_requests(benchmark):
+    """The acceptance scenario: 1M-request Bernoulli schedule, sw9."""
+    schedule = bernoulli_schedule(0.45, 1_000_000, rng=np.random.default_rng(9))
+    result = benchmark.pedantic(
+        lambda: run("sw9", schedule, MODEL, stream=True), rounds=3, iterations=1
+    )
+    assert result.backend_name == "vectorized"
+    assert result.requests == 1_000_000
+
+
+def test_engine_dispatch_overhead_small_schedule(benchmark):
+    """Dispatch + result assembly on a tiny run (overhead floor)."""
+    schedule = SCHEDULE[:16]
+    result = benchmark(lambda: run("sw9", schedule, MODEL, stream=True))
+    assert result.requests == 16
+
+
+def test_engine_auto_vs_reference_agree():
+    """Not a timing: the benchmark schedule exercises the invariant."""
+    for name in ("st1", "st2", "sw9", "t1_4", "t2_3"):
+        auto = run(name, SCHEDULE, MODEL, stream=True)
+        reference = run(name, SCHEDULE, MODEL, backend="reference", stream=True)
+        assert auto.total_cost == reference.total_cost
+        assert auto.event_counts == reference.event_counts

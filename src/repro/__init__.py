@@ -11,13 +11,18 @@ claim of the paper.
 
 Quickstart::
 
-    from repro import make_algorithm, ConnectionCostModel, replay
+    from repro import ConnectionCostModel, run
     from repro.workload import bernoulli_schedule
 
-    algorithm = make_algorithm("sw9")
     schedule = bernoulli_schedule(theta=0.3, length=10_000)
-    result = replay(algorithm, schedule, ConnectionCostModel())
-    print(result.mean_cost)   # ~ EXP_SW9(0.3)
+    result = run("sw9", schedule, ConnectionCostModel())
+    print(result.mean_cost)      # ~ EXP_SW9(0.3)
+    print(result.backend_name)   # "vectorized" (auto-dispatched)
+
+:func:`repro.engine.run` is the one execution path: it dispatches to
+the numpy kernels when they cover the algorithm and falls back to the
+reference replay otherwise; ``backend="protocol"`` runs the same
+schedule through the two-node wire simulator.
 
 See ``examples/`` for realistic scenarios and ``DESIGN.md`` /
 ``EXPERIMENTS.md`` for the reproduction inventory.
@@ -39,6 +44,7 @@ from .core import (
     replay_many,
 )
 from .costmodels import ConnectionCostModel, MessageCostModel
+from .engine import EngineResult, run
 from .types import (
     READ,
     WRITE,
@@ -61,6 +67,8 @@ __all__ = [
     "OfflineOptimal",
     "make_algorithm",
     # execution
+    "run",
+    "EngineResult",
     "replay",
     "replay_many",
     "ReplayResult",

@@ -18,8 +18,8 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..core.base import AllocationAlgorithm
 from ..core.offline import OfflineOptimal
-from ..core.replay import replay
 from ..costmodels.base import CostModel
+from ..engine import run as engine_run
 from ..exceptions import InvalidParameterError
 from ..types import Schedule
 
@@ -62,7 +62,7 @@ def measure_competitive_ratio(
     offline: Optional[OfflineOptimal] = None,
 ) -> CompetitiveMeasurement:
     """Run A and M on the same schedule and report both costs."""
-    online = replay(algorithm, schedule, cost_model)
+    online = engine_run(algorithm, schedule, cost_model, stream=True)
     if offline is None:
         offline = OfflineOptimal(cost_model)
     optimal_cost = offline.optimal_cost(schedule)

@@ -15,10 +15,9 @@ import numpy as np
 from scipy import integrate
 
 from ..core.base import AllocationAlgorithm
-from ..core.replay import replay
 from ..costmodels.base import CostModel
+from ..engine import run as engine_run
 from ..exceptions import InvalidParameterError
-from ..types import Schedule
 from ..workload.poisson import bernoulli_schedule
 
 __all__ = [
@@ -57,17 +56,14 @@ def monte_carlo_expected_cost(
     rng = np.random.default_rng(seed)
     schedule = bernoulli_schedule(theta, warmup + length, rng=rng)
 
-    # The vectorized path is reference-exact (tests/test_vectorized.py)
-    # and ~10x faster; sequential-state algorithms fall back to the
-    # object replay.
-    from ..core.vectorized import fast_cost_array, supports
-
-    if supports(algorithm.name):
-        costs = fast_cost_array(algorithm.name, schedule, cost_model)
-        return float(costs[warmup:].mean())
-    result = replay(algorithm, schedule, cost_model)
-    costs = [event.cost for event in result.events[warmup:]]
-    return float(np.mean(costs))
+    # The engine auto-dispatches to the reference-exact vectorized
+    # kernels where they exist; streaming mode keeps long sweeps from
+    # materializing a CostEvent per request.
+    result = engine_run(
+        algorithm, schedule, cost_model, backend="auto",
+        stream=True, warmup=warmup,
+    )
+    return result.mean_cost
 
 
 def monte_carlo_average_cost(

@@ -19,9 +19,9 @@ from typing import List, Optional
 from ._version import __version__
 from .analysis.window_choice import recommend_window
 from .core.registry import make_algorithm
-from .core.replay import replay
 from .costmodels.connection import ConnectionCostModel
 from .costmodels.message import MessageCostModel
+from .engine import run as engine_run
 from .experiments import all_experiment_ids, get_experiment, run_all
 from .workload.poisson import bernoulli_schedule
 
@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--omega", type=float, default=0.5,
                           help="control/data ratio for the message model")
     simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument("--backend",
+                          choices=("auto", "reference", "vectorized",
+                                   "protocol"),
+                          default="auto",
+                          help="execution backend (default: auto-dispatch)")
 
     advise = commands.add_parser(
         "advise", help="window-size advisor (conclusion section)"
@@ -156,15 +161,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     rng = np.random.default_rng(args.seed)
     schedule = bernoulli_schedule(args.theta, args.length, rng=rng)
-    result = replay(make_algorithm(args.algorithm), schedule, model)
+    result = engine_run(
+        make_algorithm(args.algorithm), schedule, model,
+        backend=args.backend, stream=True,
+    )
     print(f"algorithm      : {result.algorithm_name}")
     print(f"cost model     : {model.name}")
+    print(f"backend        : {result.backend_name} "
+          f"({result.dispatch_reason})")
     print(f"requests       : {len(schedule)} "
           f"({schedule.read_count} reads / {schedule.write_count} writes)")
     print(f"total cost     : {result.total_cost:.2f}")
     print(f"mean cost/req  : {result.mean_cost:.4f}")
-    print(f"scheme changes : {result.allocation_changes()}")
-    for kind, count in sorted(result.event_counts().items(), key=lambda kv: kv[0].value):
+    changes = ("n/a (wire run)" if result.scheme_changes is None
+               else result.scheme_changes)
+    print(f"scheme changes : {changes}")
+    for kind, count in sorted(result.event_counts.items(), key=lambda kv: kv[0].value):
         print(f"  {kind.value:28} x{count}")
     return 0
 

@@ -5,14 +5,18 @@ reference implementation; Monte-Carlo sweeps over millions of requests
 want something faster.  Because SWk's scheme is a pure function of the
 last k requests (see docs/derivations.md §1), its whole cost sequence
 falls out of a rolling write-count — pure numpy, no Python-level loop.
+The threshold methods T1m/T2m depend only on the length of the current
+read run (T1m) or write run (T2m), which a ``maximum.accumulate`` over
+the opposite operation's indices recovers without a loop either.
 
-Supported algorithms: ``st1``, ``st2``, ``sw1`` and ``swK``.  The
-threshold and estimator methods carry genuinely sequential state and
-stay on the reference path.
+Supported algorithms: ``st1``, ``st2``, ``sw1``, ``swK``, ``t1_M`` and
+``t2_M``.  The estimator methods (EWMA, hysteresis windows) carry
+genuinely sequential state and stay on the reference path.
 
 The contract — verified by tests and by the throughput benchmark —
 is exact equality with :func:`repro.core.replay.replay`, event kind by
-event kind.
+event kind.  :mod:`repro.engine` routes through this module whenever
+:func:`supports` holds.
 """
 
 from __future__ import annotations
@@ -26,12 +30,23 @@ from ..costmodels.base import CostEventKind, CostModel
 from ..exceptions import InvalidParameterError, UnknownAlgorithmError
 from ..types import Schedule, ensure_odd_window
 
-__all__ = ["fast_event_kinds", "fast_total_cost", "supports"]
+__all__ = [
+    "EVENT_KIND_ORDER",
+    "fast_cost_array",
+    "fast_event_kinds",
+    "fast_run_arrays",
+    "fast_total_cost",
+    "supports",
+]
 
 _SW_PATTERN = re.compile(r"^sw(\d+)$")
+_T1_PATTERN = re.compile(r"^t1_(\d+)$")
+_T2_PATTERN = re.compile(r"^t2_(\d+)$")
 
-#: Integer codes for the event kinds, indexable by numpy.
-_KINDS = (
+#: Integer codes for the event kinds, indexable by numpy.  The engine's
+#: vectorized backend aggregates per-kind counts by ``bincount`` over
+#: codes in this order.
+EVENT_KIND_ORDER: Tuple[CostEventKind, ...] = (
     CostEventKind.LOCAL_READ,
     CostEventKind.REMOTE_READ,
     CostEventKind.WRITE_NO_COPY,
@@ -39,6 +54,7 @@ _KINDS = (
     CostEventKind.WRITE_PROPAGATED_DEALLOCATE,
     CostEventKind.WRITE_DELETE_REQUEST,
 )
+_KINDS = EVENT_KIND_ORDER
 _LOCAL_READ, _REMOTE_READ, _WRITE_NO_COPY = 0, 1, 2
 _WRITE_PROPAGATED, _WRITE_PROPAGATED_DEALLOCATE, _WRITE_DELETE_REQUEST = 3, 4, 5
 
@@ -46,10 +62,18 @@ _WRITE_PROPAGATED, _WRITE_PROPAGATED_DEALLOCATE, _WRITE_DELETE_REQUEST = 3, 4, 5
 def supports(algorithm_name: str) -> bool:
     """Whether the vectorized path handles this algorithm."""
     lowered = algorithm_name.strip().lower()
-    return lowered in ("st1", "st2", "sw1") or bool(_SW_PATTERN.match(lowered))
+    if lowered in ("st1", "st2", "sw1"):
+        return True
+    return bool(
+        _SW_PATTERN.match(lowered)
+        or _T1_PATTERN.match(lowered)
+        or _T2_PATTERN.match(lowered)
+    )
 
 
 def _write_bits(schedule: Schedule) -> np.ndarray:
+    if isinstance(schedule, Schedule):
+        return schedule.write_mask()
     return np.fromiter(
         (request.is_write for request in schedule),
         dtype=bool,
@@ -57,21 +81,23 @@ def _write_bits(schedule: Schedule) -> np.ndarray:
     )
 
 
-def _codes_static_one(writes: np.ndarray) -> np.ndarray:
-    return np.where(writes, _WRITE_NO_COPY, _REMOTE_READ)
+def _codes_static_one(writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    codes = np.where(writes, _WRITE_NO_COPY, _REMOTE_READ)
+    return codes, np.zeros(writes.size, dtype=bool)
 
 
-def _codes_static_two(writes: np.ndarray) -> np.ndarray:
-    return np.where(writes, _WRITE_PROPAGATED, _LOCAL_READ)
+def _codes_static_two(writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    codes = np.where(writes, _WRITE_PROPAGATED, _LOCAL_READ)
+    return codes, np.ones(writes.size, dtype=bool)
 
 
-def _codes_sw1(writes: np.ndarray) -> np.ndarray:
+def _codes_sw1(writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     # The MC holds a copy iff the previous request was a read; the
     # initial state is no-copy.
     had_copy = np.empty_like(writes)
     had_copy[0] = False
     np.logical_not(writes[:-1], out=had_copy[1:])
-    return np.select(
+    codes = np.select(
         [
             ~writes & had_copy,
             ~writes & ~had_copy,
@@ -80,32 +106,102 @@ def _codes_sw1(writes: np.ndarray) -> np.ndarray:
         [_LOCAL_READ, _REMOTE_READ, _WRITE_NO_COPY],
         default=_WRITE_DELETE_REQUEST,
     )
+    return codes, ~writes
 
 
-def _codes_swk(writes: np.ndarray, k: int) -> np.ndarray:
+def _codes_swk(writes: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
     ensure_odd_window(k)
     n = (k - 1) // 2
     length = writes.size
-    # Prepend the k-write initial window, then rolling write counts:
-    # count_after[i] = writes in the window right after request i.
-    padded = np.concatenate([np.ones(k, dtype=np.int64), writes.astype(np.int64)])
-    cumulative = np.cumsum(padded)
-    # Window after request i covers padded[i+1 .. i+k].
-    count_after = cumulative[k:] - cumulative[:length]
+    # Rolling write counts against the all-writes initial window:
+    # count_after[i] = writes in the window right after request i, i.e.
+    # writes[i-k+1 .. i] with negative indices counting as (virtual)
+    # writes.  int32 cumsum straight over the bool mask — no padded
+    # copy, no int64 temporaries (this path is the 1M-request hot loop).
+    cumulative = np.cumsum(writes, dtype=np.int32)
+    count_after = np.empty(length, dtype=np.int32)
+    count_after[k:] = cumulative[k:] - cumulative[:-k]
+    lead = min(k, length)
+    count_after[:lead] = cumulative[:lead] + np.arange(
+        k - 1, k - 1 - lead, -1, dtype=np.int32
+    )
     copy_after = count_after <= n
     had_copy = np.empty(length, dtype=bool)
     had_copy[0] = False  # initial window is all writes
     had_copy[1:] = copy_after[:-1]
-    return np.select(
-        [
-            ~writes & had_copy,
-            ~writes & ~had_copy,
-            writes & ~had_copy,
-            writes & had_copy & copy_after,
-        ],
-        [_LOCAL_READ, _REMOTE_READ, _WRITE_NO_COPY, _WRITE_PROPAGATED],
-        default=_WRITE_PROPAGATED_DEALLOCATE,
+    # Branch-free code arithmetic (cheaper than np.select at 1M+):
+    #   reads:  LOCAL_READ (0) with a copy, REMOTE_READ (1) without;
+    #   writes: WRITE_NO_COPY (2) without a copy, +1 with a copy
+    #           (WRITE_PROPAGATED), +1 more if the window majority
+    #           flipped (WRITE_PROPAGATED_DEALLOCATE).
+    had = had_copy.view(np.int8)
+    codes = np.where(
+        writes,
+        _WRITE_NO_COPY + had + (had_copy & ~copy_after),
+        _REMOTE_READ - had,
     )
+    return codes, copy_after
+
+
+def _ensure_threshold(m: int) -> int:
+    if m < 1:
+        raise InvalidParameterError(f"threshold m must be >= 1, got {m}")
+    return m
+
+
+def _read_run_positions(writes: np.ndarray) -> np.ndarray:
+    """1-based position of each request within its current read run.
+
+    ``pos[i] = i - (index of the last write at or before i)``; for a
+    read this is its position in the maximal read run containing it,
+    counted from the run's start.
+    """
+    indices = np.arange(writes.size, dtype=np.int64)
+    last_write = np.maximum.accumulate(np.where(writes, indices, -1))
+    return indices - last_write
+
+
+def _codes_t1(writes: np.ndarray, m: int) -> Tuple[np.ndarray, np.ndarray]:
+    # T1m is a pure function of the read-run position: the first m
+    # reads of a run go remote (the m-th piggybacks the copy), the rest
+    # are local; a write deallocates via delete-request iff it directly
+    # follows a read run of length >= m.  Every read run starts without
+    # a copy because every write forces the one-copy scheme.
+    _ensure_threshold(m)
+    position = _read_run_positions(writes)
+    read_codes = np.where(position <= m, _REMOTE_READ, _LOCAL_READ)
+    follows_saturated_run = np.zeros(writes.size, dtype=bool)
+    follows_saturated_run[1:] = ~writes[:-1] & (position[:-1] >= m)
+    write_codes = np.where(
+        follows_saturated_run, _WRITE_DELETE_REQUEST, _WRITE_NO_COPY
+    )
+    codes = np.where(writes, write_codes, read_codes)
+    copy_after = ~writes & (position >= m)
+    return codes, copy_after
+
+
+def _codes_t2(writes: np.ndarray, m: int) -> Tuple[np.ndarray, np.ndarray]:
+    # T2m is the symmetric function of the write-run position: every
+    # write run starts with the MC holding a copy (reads always end
+    # holding one, and the initial scheme is two-copies), so writes
+    # 1..m-1 of a run are propagated, the m-th propagates and
+    # deallocates, and later writes find no copy.  A read is remote iff
+    # the write run directly before it reached m.
+    _ensure_threshold(m)
+    indices = np.arange(writes.size, dtype=np.int64)
+    last_read = np.maximum.accumulate(np.where(writes, -1, indices))
+    position = indices - last_read
+    write_codes = np.select(
+        [position < m, position == m],
+        [_WRITE_PROPAGATED, _WRITE_PROPAGATED_DEALLOCATE],
+        default=_WRITE_NO_COPY,
+    )
+    lost_copy = np.zeros(writes.size, dtype=bool)
+    lost_copy[1:] = writes[:-1] & (position[:-1] >= m)
+    read_codes = np.where(lost_copy, _REMOTE_READ, _LOCAL_READ)
+    codes = np.where(writes, write_codes, read_codes)
+    copy_after = np.where(writes, position < m, True)
+    return codes, copy_after
 
 
 def fast_event_kinds(algorithm_name: str, schedule: Schedule) -> Tuple[CostEventKind, ...]:
@@ -114,10 +210,31 @@ def fast_event_kinds(algorithm_name: str, schedule: Schedule) -> Tuple[CostEvent
     return tuple(_KINDS[code] for code in codes)
 
 
+def fast_run_arrays(
+    algorithm_name: str, schedule: Schedule
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Event-kind codes and post-request replica flags, as arrays.
+
+    Returns ``(codes, copy_after)`` where ``codes[i]`` indexes
+    :data:`EVENT_KIND_ORDER` and ``copy_after[i]`` says whether the MC
+    holds a replica *after* serving request ``i`` (the vectorized
+    analogue of :attr:`~repro.core.replay.ReplayResult.schemes`).
+    """
+    return _fast_codes_and_copy(algorithm_name, schedule)
+
+
 def _fast_codes(algorithm_name: str, schedule: Schedule) -> np.ndarray:
+    codes, _copy_after = _fast_codes_and_copy(algorithm_name, schedule)
+    return codes
+
+
+def _fast_codes_and_copy(
+    algorithm_name: str, schedule: Schedule
+) -> Tuple[np.ndarray, np.ndarray]:
     lowered = algorithm_name.strip().lower()
     if len(schedule) == 0:
-        return np.empty(0, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=bool)
     writes = _write_bits(schedule)
     if lowered == "st1":
         return _codes_static_one(writes)
@@ -128,6 +245,12 @@ def _fast_codes(algorithm_name: str, schedule: Schedule) -> np.ndarray:
     match = _SW_PATTERN.match(lowered)
     if match:
         return _codes_swk(writes, int(match.group(1)))
+    match = _T1_PATTERN.match(lowered)
+    if match:
+        return _codes_t1(writes, int(match.group(1)))
+    match = _T2_PATTERN.match(lowered)
+    if match:
+        return _codes_t2(writes, int(match.group(1)))
     raise UnknownAlgorithmError(
         f"no vectorized path for {algorithm_name!r}; use repro.core.replay"
     )

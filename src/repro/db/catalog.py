@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Mapping, Optional
 
 from ..core.base import AllocationAlgorithm
 from ..costmodels.base import CostEventKind, CostModel
+from ..engine import run as engine_run
 from ..exceptions import InvalidParameterError
 from ..types import AllocationScheme, Request, Schedule
 from .policies import AllocationPolicy
@@ -126,8 +127,46 @@ class MobileDatabase:
         return charge
 
     def run(self, schedule: Schedule) -> float:
-        """Serve a whole schedule; returns the total charge."""
-        return sum(self.process(request) for request in schedule)
+        """Serve a whole schedule; returns the total charge.
+
+        Per-item costs are independent, so the schedule is split into
+        per-item subsequences and each is executed through the engine
+        with ``fresh=False`` (continuing the live allocator state, so
+        interleaved :meth:`process` / :meth:`run` calls compose).  The
+        whole schedule is validated before any request is applied.
+        """
+        requests = list(schedule)
+        per_item: Dict[str, List[Request]] = {}
+        for position, request in enumerate(requests):
+            if len(request.objects) != 1:
+                raise InvalidParameterError(
+                    f"catalog requests touch exactly one item, got "
+                    f"{request.objects!r} at position {position}"
+                )
+            item = request.objects[0]
+            if item not in self._items:
+                raise InvalidParameterError(f"unknown item {item!r}")
+            per_item.setdefault(item, []).append(request)
+
+        total = 0.0
+        for item, group in per_item.items():
+            state = self._items[item]
+            scheme_before = state.algorithm.scheme
+            result = engine_run(
+                state.algorithm, Schedule(group), self._cost_model,
+                fresh=False,
+            )
+            reads = sum(1 for request in group if request.is_read)
+            state.requests += result.requests
+            state.reads += reads
+            state.writes += len(group) - reads
+            state.cost += result.total_cost
+            # Match process(): the initial->first transition counts too.
+            state.scheme_changes += result.scheme_changes
+            if result.schemes and result.schemes[0] is not scheme_before:
+                state.scheme_changes += 1
+            total += result.total_cost
+        return total
 
     # -- reporting -------------------------------------------------------
 

@@ -1,0 +1,148 @@
+"""The engine dispatcher: one run path, fastest correct backend.
+
+:func:`run` is the single entry point through which schedules get
+executed.  Dispatch rules for ``backend="auto"``:
+
+1. the **vectorized** backend whenever its kernels cover the algorithm
+   (statics, SWk family, T1m/T2m) and the run starts fresh;
+2. the **reference** replay otherwise — estimator allocators carry
+   genuinely sequential state, and continued runs (``fresh=False``)
+   depend on live instance state no kernel can reconstruct.
+
+The **protocol** backend is never auto-selected (it is orders of
+magnitude slower and exists to validate the wire behaviour); request it
+explicitly with ``backend="protocol"``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from ..core.base import AllocationAlgorithm
+from ..core.registry import make_algorithm
+from ..costmodels.base import CostModel
+from ..exceptions import InvalidParameterError, UnknownAlgorithmError
+from ..types import Schedule
+from .base import EngineResult, RunSpec, get_backend
+from .instrumentation import Instrumentation
+
+__all__ = ["run", "AUTO"]
+
+#: Sentinel backend name asking the dispatcher to choose.
+AUTO = "auto"
+
+_NULL_INSTRUMENTATION = Instrumentation()
+
+
+def _resolve_algorithm(algorithm: Union[str, AllocationAlgorithm]):
+    """Normalize to a (configured instance, short name) pair."""
+    if isinstance(algorithm, AllocationAlgorithm):
+        return algorithm, algorithm.name
+    if isinstance(algorithm, str):
+        name = algorithm.strip().lower()
+        return make_algorithm(name), name
+    raise InvalidParameterError(
+        f"algorithm must be a short name or an AllocationAlgorithm, "
+        f"got {algorithm!r}"
+    )
+
+
+def run(
+    algorithm: Union[str, AllocationAlgorithm],
+    schedule: Schedule,
+    cost_model: CostModel,
+    *,
+    backend: str = AUTO,
+    stream: bool = False,
+    warmup: int = 0,
+    fresh: bool = True,
+    instrumentation: Optional[Instrumentation] = None,
+    latency: float = 0.05,
+) -> EngineResult:
+    """Execute ``schedule`` against ``algorithm`` under ``cost_model``.
+
+    Parameters
+    ----------
+    algorithm:
+        A short name (``"sw9"``, ``"t1_15"``, ...) or a configured
+        :class:`~repro.core.base.AllocationAlgorithm` instance.
+    backend:
+        ``"auto"`` (default) picks the fastest correct backend;
+        ``"reference"``, ``"vectorized"`` or ``"protocol"`` force one.
+    stream:
+        When true, only aggregates are produced — no per-request
+        ``CostEvent`` tuple is materialized, which is what keeps
+        million-request Monte-Carlo sweeps in constant memory.
+    warmup:
+        Number of leading requests excluded from the aggregates
+        (burn-in for steady-state estimates).  The requests are still
+        executed and traced.
+    fresh:
+        Reset the algorithm before the run (the default).  Pass
+        ``False`` to continue from live instance state — this pins the
+        run to the reference backend.
+    instrumentation:
+        An :class:`~repro.engine.instrumentation.Instrumentation` whose
+        hooks every backend threads; ``None`` attaches a no-op.
+    latency:
+        One-way link latency, used by the protocol backend only.
+
+    Returns
+    -------
+    EngineResult
+        Uniform result: totals, per-kind counts, backend identity and
+        wall-clock time; per-request events/schemes unless streaming.
+    """
+    instance, name = _resolve_algorithm(algorithm)
+    if warmup < 0:
+        raise InvalidParameterError(f"warmup must be >= 0, got {warmup}")
+    if warmup > len(schedule):
+        raise InvalidParameterError(
+            f"warmup {warmup} exceeds the schedule length {len(schedule)}"
+        )
+
+    if backend == AUTO:
+        vectorized = get_backend("vectorized")
+        if not fresh:
+            chosen = get_backend("reference")
+            reason = "continued run needs live instance state"
+        elif vectorized.supports(name):
+            chosen = vectorized
+            reason = f"vectorized kernel covers {name!r}"
+        else:
+            chosen = get_backend("reference")
+            reason = f"no vectorized kernel for {name!r}; reference fallback"
+    else:
+        chosen = get_backend(backend)
+        reason = f"backend {backend!r} forced by caller"
+        if not fresh and chosen.name != "reference":
+            raise InvalidParameterError(
+                f"fresh=False needs live instance state, which only the "
+                f"reference backend keeps; cannot force {backend!r}"
+            )
+        if not chosen.supports(name):
+            raise UnknownAlgorithmError(
+                f"backend {chosen.name!r} cannot execute algorithm {name!r}"
+            )
+
+    spec = RunSpec(
+        algorithm=instance,
+        algorithm_name=name,
+        schedule=schedule,
+        cost_model=cost_model,
+        stream=stream,
+        warmup=warmup,
+        fresh=fresh,
+        latency=latency,
+    )
+    instruments = (
+        instrumentation if instrumentation is not None else _NULL_INSTRUMENTATION
+    )
+    instruments.on_run_start(name, chosen.name, len(schedule), reason)
+    started = time.perf_counter()
+    result = chosen.execute(spec, instruments)
+    result.elapsed_seconds = time.perf_counter() - started
+    result.dispatch_reason = reason
+    instruments.on_run_end(result)
+    return result

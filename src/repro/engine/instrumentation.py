@@ -1,0 +1,137 @@
+"""Pluggable observability for engine runs.
+
+Every backend threads the same hooks, so instrumentation written once
+works whether a run executed on the reference state machine, the numpy
+kernels or the discrete-event protocol simulator:
+
+* :meth:`Instrumentation.on_run_start` — algorithm, chosen backend and
+  why the dispatcher chose it;
+* :meth:`Instrumentation.on_request` — one call per served request with
+  its classified event kind and charge (the per-request trace);
+* :meth:`Instrumentation.on_run_end` — the finished
+  :class:`~repro.engine.base.EngineResult`, wall-clock time included.
+
+The base class is a no-op; subclass and override what you need.  The
+per-request hook is the only expensive one — the vectorized backend
+stays loop-free unless an instrument actually overrides it, which
+:func:`wants_per_request` detects.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from ..costmodels.base import CostEventKind
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .base import EngineResult
+
+__all__ = [
+    "Instrumentation",
+    "CounterInstrumentation",
+    "TraceInstrumentation",
+    "wants_per_request",
+]
+
+
+class Instrumentation:
+    """No-op instrumentation; subclass and override the hooks."""
+
+    def on_run_start(
+        self,
+        algorithm_name: str,
+        backend_name: str,
+        num_requests: int,
+        reason: str,
+    ) -> None:
+        """A run is about to execute on ``backend_name``.
+
+        ``reason`` is the dispatcher's one-line justification for the
+        backend choice (e.g. the vectorized kernel matched, or a forced
+        backend was requested).
+        """
+
+    def on_request(self, index: int, kind: CostEventKind, cost: float) -> None:
+        """One request was served and priced (the per-request trace)."""
+
+    def on_run_end(self, result: "EngineResult") -> None:
+        """The run finished; ``result.elapsed_seconds`` is filled in."""
+
+
+def wants_per_request(instrumentation: Instrumentation) -> bool:
+    """Whether the instrument overrides the per-request hook.
+
+    The vectorized backend only iterates request-by-request (defeating
+    its purpose) when an instrument actually listens.
+    """
+    return type(instrumentation).on_request is not Instrumentation.on_request
+
+
+class CounterInstrumentation(Instrumentation):
+    """Aggregate counters across any number of runs.
+
+    Tracks run and request totals, per-backend run counts (the
+    backend-choice report), per-event-kind totals, accumulated cost and
+    wall-clock seconds.  Cheap enough to leave attached permanently:
+    it does not subscribe to the per-request trace.
+    """
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.requests = 0
+        self.total_cost = 0.0
+        self.wall_seconds = 0.0
+        self.backend_runs: Counter = Counter()
+        self.event_counts: Counter = Counter()
+        self.dispatch_log: List[Tuple[str, str, str]] = []
+
+    def on_run_start(
+        self,
+        algorithm_name: str,
+        backend_name: str,
+        num_requests: int,
+        reason: str,
+    ) -> None:
+        self.runs += 1
+        self.backend_runs[backend_name] += 1
+        self.dispatch_log.append((algorithm_name, backend_name, reason))
+
+    def on_run_end(self, result: "EngineResult") -> None:
+        self.requests += result.counted_requests
+        self.total_cost += result.total_cost
+        self.wall_seconds += result.elapsed_seconds
+        self.event_counts.update(result.event_counts)
+
+    def summary(self) -> Dict[str, object]:
+        """One dict for logs/reports: totals plus the backend mix."""
+        return {
+            "runs": self.runs,
+            "requests": self.requests,
+            "total_cost": self.total_cost,
+            "wall_seconds": self.wall_seconds,
+            "backend_runs": dict(self.backend_runs),
+            "event_counts": {
+                kind.value: count for kind, count in sorted(
+                    self.event_counts.items(), key=lambda kv: kv[0].value
+                )
+            },
+        }
+
+
+class TraceInstrumentation(CounterInstrumentation):
+    """Counters plus the full per-request trace.
+
+    Records one ``(index, kind, cost)`` triple per served request in
+    :attr:`records`.  This forces every backend — including the
+    vectorized one — to walk the run request-by-request, so attach it
+    for debugging and validation, not for throughput.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: List[Tuple[int, CostEventKind, float]] = []
+
+    def on_request(self, index: int, kind: CostEventKind, cost: float) -> None:
+        self.records.append((index, kind, cost))

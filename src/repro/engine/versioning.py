@@ -1,0 +1,31 @@
+"""The value/version scheme shared by every protocol execution.
+
+The protocol runners need concrete payloads for the data item: an
+initial value installed at both computers before the run, and a fresh
+value per write.  These used to be hard-coded (``"v0"`` /
+``f"v{index}"``) separately in :mod:`repro.sim.runner` and
+:mod:`repro.sim.catalog_runner`; the engine owns them now so every
+execution path — and every test asserting on observed values — agrees
+on one vocabulary.
+"""
+
+from __future__ import annotations
+
+__all__ = ["INITIAL_VALUE", "INITIAL_VERSION", "value_for_write"]
+
+#: Value every item holds before the first write of a run.
+INITIAL_VALUE = "v0"
+
+#: Version counter matching :data:`INITIAL_VALUE`; the stationary
+#: computer increments it once per write.
+INITIAL_VERSION = 0
+
+
+def value_for_write(request_index: int) -> str:
+    """The payload written by the request at ``request_index``.
+
+    Deriving the value from the schedule index keeps every write
+    globally unique, which is what lets the consistency checks equate
+    "read the latest value" with "read the latest version".
+    """
+    return f"v{request_index}"

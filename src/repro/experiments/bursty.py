@@ -19,8 +19,8 @@ geometric sojourns of mean S requests:
 from __future__ import annotations
 
 from ..core.registry import make_algorithm
-from ..core.replay import replay
 from ..costmodels.connection import ConnectionCostModel
+from ..engine import run as engine_run
 from ..workload.bursty import BurstyWorkload
 from .harness import Check, Experiment, ExperimentResult
 
@@ -50,7 +50,9 @@ class BurstinessSweep(Experiment):
             schedule = workload.generate(length)
             row = {"mean_sojourn": sojourn}
             for name in self.ALGORITHMS:
-                mean = replay(make_algorithm(name), schedule, model).mean_cost
+                mean = engine_run(
+                    make_algorithm(name), schedule, model, stream=True
+                ).mean_cost
                 costs[(sojourn, name)] = mean
                 row[name] = mean
             row["piecewise optimum"] = workload.piecewise_static_optimum

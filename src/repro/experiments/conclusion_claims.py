@@ -19,8 +19,8 @@ from ..analysis import connection as ca
 from ..analysis import message as ma
 from ..analysis.window_choice import recommend_window
 from ..core.registry import make_algorithm
-from ..core.replay import replay
 from ..costmodels.connection import ConnectionCostModel
+from ..engine import run as engine_run
 from ..workload.regimes import uniform_theta_regimes
 from .harness import Check, Experiment, ExperimentResult
 
@@ -95,7 +95,7 @@ class ConclusionClaims(Experiment):
         schedule = workload.generate()
         costs = {}
         for name in ("st1", "st2", "sw9", "sw15", "sw1"):
-            run = replay(make_algorithm(name), schedule, model)
+            run = engine_run(make_algorithm(name), schedule, model, stream=True)
             costs[name] = run.mean_cost
             result.rows.append(
                 {

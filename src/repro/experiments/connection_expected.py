@@ -14,7 +14,7 @@ from ..analysis import connection as ca
 from ..analysis.numerics import monte_carlo_expected_cost
 from ..core.registry import make_algorithm
 from ..costmodels.connection import ConnectionCostModel
-from ..sim import simulate_protocol
+from ..engine import run as engine_run
 from ..workload.poisson import bernoulli_schedule
 from .harness import Check, Experiment, ExperimentResult, approx_check
 
@@ -70,8 +70,10 @@ class ConnectionExpectedCost(Experiment):
                 )
             # Protocol simulation (one representative algorithm per row
             # keeps the runtime sane; the integration tests cover all).
-            protocol = simulate_protocol("sw9", sim_schedule)
-            row["sw9(protocol)"] = protocol.total_cost(model) / sim_length
+            protocol = engine_run(
+                "sw9", sim_schedule, model, backend="protocol", stream=True
+            )
+            row["sw9(protocol)"] = protocol.mean_cost
             result.rows.append(row)
 
         # Theorem 2 on a fine grid, for several window sizes.

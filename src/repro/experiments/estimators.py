@@ -26,8 +26,8 @@ from ..analysis.markov import exact_average_cost, exact_expected_cost
 from ..core.estimators import EwmaAllocator, HysteresisSlidingWindow
 from ..core.offline import OfflineOptimal
 from ..core.registry import make_algorithm
-from ..core.replay import replay
 from ..costmodels.connection import ConnectionCostModel
+from ..engine import run as engine_run
 from ..types import Operation, Request, Schedule
 from ..workload.regimes import uniform_theta_regimes
 from .harness import Check, Experiment, ExperimentResult
@@ -123,7 +123,9 @@ class EstimatorComparison(Experiment):
 
         schedule = bernoulli_schedule(0.5, 2_000 if quick else 20_000, rng=rng)
         changes = {
-            name: replay(make_algorithm(name), schedule, model).allocation_changes()
+            name: engine_run(
+                make_algorithm(name), schedule, model, stream=True
+            ).scheme_changes
             for name in ("sw9", "hsw9_2")
         }
         result.rows.append(

@@ -13,7 +13,7 @@ from ..analysis import message as ma
 from ..analysis.numerics import monte_carlo_expected_cost
 from ..core.registry import make_algorithm
 from ..costmodels.message import MessageCostModel
-from ..sim import simulate_protocol
+from ..engine import run as engine_run
 from ..workload.poisson import bernoulli_schedule
 from .harness import Check, Experiment, ExperimentResult, approx_check
 
@@ -74,9 +74,10 @@ class MessageExpectedCost(Experiment):
 
         # Protocol simulation spot check (sw5 at one grid point).
         schedule = bernoulli_schedule(0.5, 1_000 if quick else 5_000, rng=rng)
-        protocol = simulate_protocol("sw5", schedule)
         model = MessageCostModel(0.4)
-        protocol_mean = protocol.total_cost(model) / len(schedule)
+        protocol_mean = engine_run(
+            "sw5", schedule, model, backend="protocol", stream=True
+        ).mean_cost
         result.checks.append(
             approx_check(
                 "protocol simulation of SW5 at theta=0.5, omega=0.4",

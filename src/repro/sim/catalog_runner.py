@@ -2,10 +2,12 @@
 
 The single-item runner (:mod:`repro.sim.runner`) validates one
 algorithm at a time; a real palmtop multiplexes *all* of its items over
-the same wireless link.  This runner composes one protocol-decider pair
-per item into a single mobile node and a single stationary node, routes
-messages by item name, and keeps the paper's serialization assumption
-across the merged stream.
+the same wireless link.  This runner composes one per-item protocol
+core (:class:`~repro.sim.nodes.MobileItemCore` /
+:class:`~repro.sim.nodes.StationaryItemCore` — the same state machines
+the single-item nodes wrap) per catalog entry into a single mobile node
+and a single stationary node, routes messages by item name, and keeps
+the paper's serialization assumption across the merged stream.
 
 The integration contract mirrors the single-item case: per-request cost
 events must equal, item by item, the abstract replay of that item's
@@ -15,203 +17,92 @@ subsequence — per-item independence made observable at the wire level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..costmodels.base import CostEventKind, CostModel
+from ..engine.versioning import value_for_write
 from ..exceptions import InvalidParameterError, ProtocolError
-from ..types import Operation, Schedule
+from ..types import Operation, Request, Schedule
 from .kernel import EventKernel
 from .ledger import TrafficLedger
-from .messages import (
-    DeallocationNotice,
-    DeleteRequest,
-    Message,
-    ReadReply,
-    ReadRequest,
-    WritePropagation,
-)
 from .network import PointToPointNetwork
+from .nodes import MobileItemCore, StationaryItemCore
 from .policies import DeciderPair, make_deciders
+from .runner import SerializedDispatcher
 
 __all__ = ["CatalogRunResult", "simulate_catalog_protocol"]
 
 
-@dataclass
-class _MobileItemState:
-    decider: object
-    cache: Optional[Tuple[object, int]]
-
-
-@dataclass
-class _StationaryItemState:
-    decider: object
-    value: object
-    version: int
-    mc_subscribed: bool
-
-
 class _CatalogMobile:
-    """Mobile node multiplexing every item's protocol state."""
+    """Mobile node multiplexing every item's protocol core."""
 
     def __init__(self, network, deciders: Mapping[str, DeciderPair], complete):
-        self._network = network
-        self._complete = complete
-        self._items: Dict[str, _MobileItemState] = {
-            item: _MobileItemState(
-                decider=pair.mobile,
-                cache=("v0", 0) if pair.initial_mobile_has_copy else None,
+        self.observations: List[Tuple[int, str, object, int]] = []
+        self._items: Dict[str, MobileItemCore] = {
+            item: MobileItemCore(
+                item,
+                pair.mobile,
+                send=lambda message: network.send("sc", message),
+                complete=complete,
+                observe=self._observer(item),
+                initially_has_copy=pair.initial_mobile_has_copy,
             )
             for item, pair in deciders.items()
         }
-        self.observations: List[Tuple[int, str, object, int]] = []
         network.attach("mc", self.handle)
 
-    def _state(self, item: str) -> _MobileItemState:
-        state = self._items.get(item)
-        if state is None:
+    def _observer(self, item: str):
+        def observe(index: int, value: object, version: int) -> None:
+            self.observations.append((index, item, value, version))
+
+        return observe
+
+    def _core(self, item: str) -> MobileItemCore:
+        core = self._items.get(item)
+        if core is None:
             raise ProtocolError(f"MC has no state for item {item!r}")
-        return state
+        return core
 
     def has_copy(self, item: str) -> bool:
-        return self._state(item).cache is not None
+        return self._core(item).has_copy
 
     def issue_read(self, index: int, item: str) -> None:
-        state = self._state(item)
-        if state.cache is not None:
-            value, version = state.cache
-            state.decider.on_local_read()
-            self.observations.append((index, item, value, version))
-            self._complete(index)
-            return
-        self._network.send("sc", ReadRequest(request_index=index, item=item))
+        self._core(item).issue_read(index)
 
-    def handle(self, message: Message) -> None:
-        state = self._state(message.item)
-        if isinstance(message, ReadReply):
-            self.observations.append(
-                (message.request_index, message.item, message.value, message.version)
-            )
-            if message.allocate:
-                if state.cache is not None:
-                    raise ProtocolError(
-                        f"allocating reply for {message.item!r} but the MC "
-                        "already has a copy"
-                    )
-                state.cache = (message.value, message.version)
-                state.decider.adopt_window(message.window)
-            self._complete(message.request_index)
-        elif isinstance(message, WritePropagation):
-            if state.cache is None:
-                raise ProtocolError(
-                    f"write propagated for {message.item!r} without a replica"
-                )
-            state.cache = (message.value, message.version)
-            if state.decider.on_propagation():
-                window = state.decider.release_window()
-                state.cache = None
-                self._network.send(
-                    "sc",
-                    DeallocationNotice(
-                        request_index=message.request_index,
-                        in_reply_to=message.message_id,
-                        item=message.item,
-                        window=window,
-                    ),
-                )
-            else:
-                self._complete(message.request_index)
-        elif isinstance(message, DeleteRequest):
-            if state.cache is None:
-                raise ProtocolError(
-                    f"delete-request for {message.item!r} without a replica"
-                )
-            state.cache = None
-            self._complete(message.request_index)
-        else:
-            raise ProtocolError(f"the MC cannot handle {type(message).__name__}")
+    def handle(self, message) -> None:
+        self._core(message.item).handle(message)
 
 
 class _CatalogStationary:
     """Stationary node holding the whole online database."""
 
     def __init__(self, network, deciders: Mapping[str, DeciderPair], complete):
-        self._network = network
-        self._complete = complete
-        self._items: Dict[str, _StationaryItemState] = {
-            item: _StationaryItemState(
-                decider=pair.stationary,
-                value="v0",
-                version=0,
-                mc_subscribed=pair.initial_mobile_has_copy,
+        self._items: Dict[str, StationaryItemCore] = {
+            item: StationaryItemCore(
+                item,
+                pair.stationary,
+                send=lambda message: network.send("mc", message),
+                complete=complete,
+                mc_initially_subscribed=pair.initial_mobile_has_copy,
             )
             for item, pair in deciders.items()
         }
         network.attach("sc", self.handle)
 
-    def _state(self, item: str) -> _StationaryItemState:
-        state = self._items.get(item)
-        if state is None:
+    def _core(self, item: str) -> StationaryItemCore:
+        core = self._items.get(item)
+        if core is None:
             raise ProtocolError(f"SC has no state for item {item!r}")
-        return state
+        return core
 
     def version(self, item: str) -> int:
-        return self._state(item).version
+        return self._core(item).version
 
     def issue_write(self, index: int, item: str, value: object) -> None:
-        state = self._state(item)
-        state.version += 1
-        state.value = value
-        action = state.decider.on_write(state.mc_subscribed)
-        if action.propagate:
-            self._network.send(
-                "mc",
-                WritePropagation(
-                    request_index=index,
-                    item=item,
-                    value=value,
-                    version=state.version,
-                ),
-            )
-        elif action.delete_request:
-            state.mc_subscribed = False
-            self._network.send(
-                "mc", DeleteRequest(request_index=index, item=item)
-            )
-        else:
-            self._complete(index)
+        self._core(item).issue_write(index, value)
 
-    def handle(self, message: Message) -> None:
-        state = self._state(message.item)
-        if isinstance(message, ReadRequest):
-            if state.mc_subscribed:
-                raise ProtocolError(
-                    f"remote read of {message.item!r} while the MC holds it"
-                )
-            allocate, window = state.decider.on_read_request()
-            if allocate:
-                state.mc_subscribed = True
-            self._network.send(
-                "mc",
-                ReadReply(
-                    request_index=message.request_index,
-                    in_reply_to=message.message_id,
-                    item=message.item,
-                    value=state.value,
-                    version=state.version,
-                    allocate=allocate,
-                    window=window,
-                ),
-            )
-        elif isinstance(message, DeallocationNotice):
-            if not state.mc_subscribed:
-                raise ProtocolError(
-                    f"deallocation notice for unsubscribed {message.item!r}"
-                )
-            state.mc_subscribed = False
-            state.decider.adopt_window(message.window)
-            self._complete(message.request_index)
-        else:
-            raise ProtocolError(f"the SC cannot handle {type(message).__name__}")
+    def handle(self, message) -> None:
+        self._core(message.item).handle(message)
 
 
 @dataclass(frozen=True)
@@ -276,15 +167,6 @@ def simulate_catalog_protocol(
     ledger = TrafficLedger()
     network = PointToPointNetwork(kernel, ledger, latency=latency)
 
-    completed: List[int] = []
-
-    def on_complete(index: int) -> None:
-        completed.append(index)
-        _dispatch_next()
-
-    mobile = _CatalogMobile(network, deciders, on_complete)
-    stationary = _CatalogStationary(network, deciders, on_complete)
-
     requests = list(schedule)
     for index, request in enumerate(requests):
         if len(request.objects) != 1:
@@ -297,34 +179,19 @@ def simulate_catalog_protocol(
                 f"request {index} names unknown item {request.objects[0]!r}"
             )
 
-    next_to_dispatch = [0]
+    dispatcher = SerializedDispatcher(kernel, ledger, requests)
+    mobile = _CatalogMobile(network, deciders, dispatcher.on_complete)
+    stationary = _CatalogStationary(network, deciders, dispatcher.on_complete)
 
-    def _dispatch_next() -> None:
-        index = next_to_dispatch[0]
-        if index >= len(requests):
-            return
-        next_to_dispatch[0] += 1
-        request = requests[index]
-        dispatch_time = max(kernel.now, request.timestamp)
+    def issue(index: int, request: Request) -> None:
+        item = request.objects[0]
+        if request.operation is Operation.READ:
+            mobile.issue_read(index, item)
+        else:
+            stationary.issue_write(index, item, value=value_for_write(index))
 
-        def fire() -> None:
-            ledger.note_request(index, request.operation)
-            item = request.objects[0]
-            if request.operation is Operation.READ:
-                mobile.issue_read(index, item)
-            else:
-                stationary.issue_write(index, item, value=f"v{index}")
-
-        kernel.schedule_at(dispatch_time, fire)
-
-    if requests:
-        _dispatch_next()
-    kernel.run()
-
-    if len(completed) != len(requests):
-        raise ProtocolError(
-            f"{len(requests) - len(completed)} requests never completed"
-        )
+    dispatcher.bind(issue)
+    dispatcher.run()
 
     result = CatalogRunResult(
         ledger=ledger,

@@ -4,17 +4,28 @@ The nodes implement the generic protocol mechanics — request/reply
 plumbing, replica caching, versioned data — and delegate the allocation
 decisions to the deciders of :mod:`repro.sim.policies`.
 
+The mechanics live in two *per-item cores* (:class:`MobileItemCore`,
+:class:`StationaryItemCore`): one item's complete protocol state
+machine, parameterized only by how to send, complete and observe.  The
+single-item nodes below wrap one core each; the catalog nodes of
+:mod:`repro.sim.catalog_runner` hold one core per item and route
+messages by item name.  Either way there is exactly one implementation
+of the wire behaviour.
+
 Versioning: the SC increments a version counter on every write, and
-every data message carries (value, version).  The runner uses the
-versions returned by reads to assert replica consistency: under the
-serialized execution the paper assumes, a read must observe the version
-of the latest preceding write.
+every data message carries (value, version).  The initial value and
+version come from :mod:`repro.engine.versioning`, the one place the
+value vocabulary is defined.  The runner uses the versions returned by
+reads to assert replica consistency: under the serialized execution the
+paper assumes, a read must observe the version of the latest preceding
+write.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from ..engine.versioning import INITIAL_VALUE, INITIAL_VERSION
 from ..exceptions import ProtocolError
 from ..types import Operation
 from .messages import (
@@ -28,52 +39,67 @@ from .messages import (
 from .network import PointToPointNetwork
 from .policies import MobileDecider, StationaryDecider
 
-__all__ = ["MobileComputer", "StationaryComputer", "ReadObservation"]
+__all__ = [
+    "MobileComputer",
+    "StationaryComputer",
+    "MobileItemCore",
+    "StationaryItemCore",
+    "ReadObservation",
+]
 
 #: (request_index, value, version) triple recorded for each read.
 ReadObservation = Tuple[int, object, int]
 
 
-class MobileComputer:
-    """The MC: issues reads, optionally caches a replica of the item."""
+class MobileItemCore:
+    """One item's MC-side protocol state machine.
+
+    Parameters
+    ----------
+    item:
+        Item name stamped on outgoing messages.
+    send:
+        Callable delivering a message to the stationary computer.
+    complete:
+        Callback fired with the request index when its exchange ends.
+    observe:
+        Callback fired with ``(request_index, value, version)`` for
+        every served read.
+    """
 
     def __init__(
         self,
-        network: PointToPointNetwork,
+        item: str,
         decider: MobileDecider,
-        on_request_complete: Callable[[int], None],
+        send: Callable[[Message], None],
+        complete: Callable[[int], None],
+        observe: Callable[[int, object, int], None],
+        *,
         initially_has_copy: bool,
-        initial_value: object = None,
+        initial_value: object = INITIAL_VALUE,
     ):
-        self._network = network
+        self.item = item
         self._decider = decider
-        self._complete = on_request_complete
-        self._cache: Optional[Tuple[object, int]] = (
-            (initial_value, 0) if initially_has_copy else None
+        self._send = send
+        self._complete = complete
+        self._observe = observe
+        self.cache: Optional[Tuple[object, int]] = (
+            (initial_value, INITIAL_VERSION) if initially_has_copy else None
         )
-        self._observations: List[ReadObservation] = []
-        network.attach("mc", self.handle)
 
     @property
     def has_copy(self) -> bool:
-        return self._cache is not None
-
-    @property
-    def observations(self) -> List[ReadObservation]:
-        """Every read's (request index, value, version), in issue order."""
-        return list(self._observations)
+        return self.cache is not None
 
     def issue_read(self, request_index: int) -> None:
         """A read issued at the mobile computer (section 3)."""
-        if self._cache is not None:
-            value, version = self._cache
+        if self.cache is not None:
+            value, version = self.cache
             self._decider.on_local_read()
-            self._observations.append((request_index, value, version))
+            self._observe(request_index, value, version)
             self._complete(request_index)
             return
-        self._network.send("sc", ReadRequest(request_index=request_index))
-
-    # -- message handling -------------------------------------------------
+        self._send(ReadRequest(request_index=request_index, item=self.item))
 
     def handle(self, message: Message) -> None:
         """Dispatch an incoming wire message."""
@@ -87,95 +113,91 @@ class MobileComputer:
             raise ProtocolError(f"the MC cannot handle {type(message).__name__}")
 
     def _on_read_reply(self, message: ReadReply) -> None:
-        self._observations.append(
-            (message.request_index, message.value, message.version)
-        )
+        self._observe(message.request_index, message.value, message.version)
         if message.allocate:
-            if self._cache is not None:
-                raise ProtocolError("allocating reply but the MC already has a copy")
-            self._cache = (message.value, message.version)
+            if self.cache is not None:
+                raise ProtocolError(
+                    f"allocating reply for {self.item!r} but the MC "
+                    "already has a copy"
+                )
+            self.cache = (message.value, message.version)
             self._decider.adopt_window(message.window)
         self._complete(message.request_index)
 
     def _on_propagation(self, message: WritePropagation) -> None:
-        if self._cache is None:
-            raise ProtocolError("write propagated to an MC without a replica")
-        self._cache = (message.value, message.version)
+        if self.cache is None:
+            raise ProtocolError(
+                f"write propagated for {self.item!r} without a replica"
+            )
+        self.cache = (message.value, message.version)
         if self._decider.on_propagation():
             # Majority flipped to writes: drop the replica and return
             # the window with the stop-propagation indication.
             window = self._decider.release_window()
-            self._cache = None
-            self._network.send(
-                "sc",
+            self.cache = None
+            self._send(
                 DeallocationNotice(
                     request_index=message.request_index,
                     in_reply_to=message.message_id,
+                    item=self.item,
                     window=window,
-                ),
+                )
             )
             return
         self._complete(message.request_index)
 
     def _on_delete_request(self, message: DeleteRequest) -> None:
-        if self._cache is None:
-            raise ProtocolError("delete-request for an MC without a replica")
-        self._cache = None
+        if self.cache is None:
+            raise ProtocolError(
+                f"delete-request for {self.item!r} without a replica"
+            )
+        self.cache = None
         self._complete(message.request_index)
 
 
-class StationaryComputer:
-    """The SC: stores the online database, issues writes."""
+class StationaryItemCore:
+    """One item's SC-side protocol state machine."""
 
     def __init__(
         self,
-        network: PointToPointNetwork,
+        item: str,
         decider: StationaryDecider,
-        on_request_complete: Callable[[int], None],
+        send: Callable[[Message], None],
+        complete: Callable[[int], None],
+        *,
         mc_initially_subscribed: bool,
-        initial_value: object = None,
+        initial_value: object = INITIAL_VALUE,
     ):
-        self._network = network
+        self.item = item
         self._decider = decider
-        self._complete = on_request_complete
-        self._value: object = initial_value
-        self._version = 0
-        self._mc_subscribed = mc_initially_subscribed
-        network.attach("sc", self.handle)
-
-    @property
-    def version(self) -> int:
-        return self._version
-
-    @property
-    def mc_subscribed(self) -> bool:
-        """Whether the SC believes the MC holds a replica to maintain."""
-        return self._mc_subscribed
+        self._send = send
+        self._complete = complete
+        self.value: object = initial_value
+        self.version = INITIAL_VERSION
+        self.mc_subscribed = mc_initially_subscribed
 
     def issue_write(self, request_index: int, value: object) -> None:
         """A write issued at the stationary computer (section 3)."""
-        self._version += 1
-        self._value = value
-        action = self._decider.on_write(self._mc_subscribed)
+        self.version += 1
+        self.value = value
+        action = self._decider.on_write(self.mc_subscribed)
         if action.propagate and action.delete_request:
             raise ProtocolError("a write cannot both propagate and delete")
         if action.propagate:
-            self._network.send(
-                "mc",
+            self._send(
                 WritePropagation(
                     request_index=request_index,
+                    item=self.item,
                     value=value,
-                    version=self._version,
-                ),
+                    version=self.version,
+                )
             )
             return
         if action.delete_request:
-            self._mc_subscribed = False
-            self._network.send("mc", DeleteRequest(request_index=request_index))
+            self.mc_subscribed = False
+            self._send(DeleteRequest(request_index=request_index, item=self.item))
             return
         self._complete(request_index)
-
-    # -- message handling -------------------------------------------------
 
     def handle(self, message: Message) -> None:
         """Dispatch an incoming wire message."""
@@ -187,26 +209,112 @@ class StationaryComputer:
             raise ProtocolError(f"the SC cannot handle {type(message).__name__}")
 
     def _on_read_request(self, message: ReadRequest) -> None:
-        if self._mc_subscribed:
-            raise ProtocolError("remote read while the MC holds a replica")
+        if self.mc_subscribed:
+            raise ProtocolError(
+                f"remote read of {self.item!r} while the MC holds a replica"
+            )
         allocate, window = self._decider.on_read_request()
         if allocate:
-            self._mc_subscribed = True
-        self._network.send(
-            "mc",
+            self.mc_subscribed = True
+        self._send(
             ReadReply(
                 request_index=message.request_index,
                 in_reply_to=message.message_id,
-                value=self._value,
-                version=self._version,
+                item=self.item,
+                value=self.value,
+                version=self.version,
                 allocate=allocate,
                 window=window,
-            ),
+            )
         )
 
     def _on_deallocation_notice(self, message: DeallocationNotice) -> None:
-        if not self._mc_subscribed:
-            raise ProtocolError("deallocation notice from an unsubscribed MC")
-        self._mc_subscribed = False
+        if not self.mc_subscribed:
+            raise ProtocolError(
+                f"deallocation notice for unsubscribed {self.item!r}"
+            )
+        self.mc_subscribed = False
         self._decider.adopt_window(message.window)
         self._complete(message.request_index)
+
+
+class MobileComputer:
+    """The MC: issues reads, optionally caches a replica of the item."""
+
+    def __init__(
+        self,
+        network: PointToPointNetwork,
+        decider: MobileDecider,
+        on_request_complete: Callable[[int], None],
+        initially_has_copy: bool,
+        initial_value: object = INITIAL_VALUE,
+    ):
+        self._observations: List[ReadObservation] = []
+        self._core = MobileItemCore(
+            "x",
+            decider,
+            send=lambda message: network.send("sc", message),
+            complete=on_request_complete,
+            observe=lambda index, value, version: self._observations.append(
+                (index, value, version)
+            ),
+            initially_has_copy=initially_has_copy,
+            initial_value=initial_value,
+        )
+        network.attach("mc", self._core.handle)
+
+    @property
+    def has_copy(self) -> bool:
+        return self._core.has_copy
+
+    @property
+    def observations(self) -> List[ReadObservation]:
+        """Every read's (request index, value, version), in issue order."""
+        return list(self._observations)
+
+    def issue_read(self, request_index: int) -> None:
+        """A read issued at the mobile computer (section 3)."""
+        self._core.issue_read(request_index)
+
+    def handle(self, message: Message) -> None:
+        """Dispatch an incoming wire message."""
+        self._core.handle(message)
+
+
+class StationaryComputer:
+    """The SC: stores the online database, issues writes."""
+
+    def __init__(
+        self,
+        network: PointToPointNetwork,
+        decider: StationaryDecider,
+        on_request_complete: Callable[[int], None],
+        mc_initially_subscribed: bool,
+        initial_value: object = INITIAL_VALUE,
+    ):
+        self._core = StationaryItemCore(
+            "x",
+            decider,
+            send=lambda message: network.send("mc", message),
+            complete=on_request_complete,
+            mc_initially_subscribed=mc_initially_subscribed,
+            initial_value=initial_value,
+        )
+        network.attach("sc", self._core.handle)
+
+    @property
+    def version(self) -> int:
+        return self._core.version
+
+    @property
+    def mc_subscribed(self) -> bool:
+        """Whether the SC believes the MC holds a replica to maintain."""
+        return self._core.mc_subscribed
+
+    def issue_write(self, request_index: int, value: object) -> None:
+        """A write issued at the stationary computer (section 3)."""
+        self._core.issue_write(request_index, value)
+
+    def handle(self, message: Message) -> None:
+        """Dispatch an incoming wire message."""
+        self._core.handle(message)

@@ -2,9 +2,11 @@
 
 Section 3 assumes relevant requests are sequential: "In practice they
 may occur concurrently, but then some concurrency control mechanism
-will serialize them, therefore our analysis still holds."  The runner
-is that mechanism: a request is dispatched at its arrival time or when
-the previous request's exchange completes, whichever is later.
+will serialize them, therefore our analysis still holds."  The
+:class:`SerializedDispatcher` is that mechanism: a request is
+dispatched at its arrival time or when the previous request's exchange
+completes, whichever is later.  Both protocol runners (this single-item
+one and :mod:`repro.sim.catalog_runner`) share it.
 
 The result carries the traffic ledger (per-request physical resources),
 the derived per-request cost-event classification, and the read
@@ -16,18 +18,82 @@ correctness check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from ..costmodels.base import CostEventKind, CostModel
+from ..engine.versioning import INITIAL_VALUE, value_for_write
 from ..exceptions import ProtocolError
-from ..types import Operation, Schedule
+from ..types import Operation, Request, Schedule
 from .kernel import EventKernel
 from .ledger import TrafficLedger
 from .network import PointToPointNetwork
 from .nodes import MobileComputer, ReadObservation, StationaryComputer
 from .policies import make_deciders
 
-__all__ = ["ProtocolRunResult", "simulate_protocol"]
+__all__ = ["ProtocolRunResult", "SerializedDispatcher", "simulate_protocol"]
+
+
+class SerializedDispatcher:
+    """Serializes a schedule's relevant requests onto the event kernel.
+
+    Construct it, build the nodes with :attr:`on_complete` as their
+    completion callback, then :meth:`bind` the per-request issue
+    function and :meth:`run`.  Raises :class:`ProtocolError` when the
+    protocol deadlocks or completes requests out of order.
+    """
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        ledger: TrafficLedger,
+        requests: Sequence[Request],
+    ):
+        self._kernel = kernel
+        self._ledger = ledger
+        self._requests = list(requests)
+        self._next_to_dispatch = 0
+        self._issue: Callable[[int, Request], None] = None  # set by bind()
+        self.completed: List[int] = []
+
+    def bind(self, issue: Callable[[int, Request], None]) -> None:
+        """Set the function that issues request ``index`` at its node."""
+        self._issue = issue
+
+    def on_complete(self, index: int) -> None:
+        """Completion callback the nodes fire; chains the next request."""
+        self.completed.append(index)
+        self._dispatch_next()
+
+    def _dispatch_next(self) -> None:
+        index = self._next_to_dispatch
+        if index >= len(self._requests):
+            return
+        self._next_to_dispatch += 1
+        request = self._requests[index]
+        dispatch_time = max(self._kernel.now, request.timestamp)
+
+        def fire() -> None:
+            self._ledger.note_request(index, request.operation)
+            self._issue(index, request)
+
+        self._kernel.schedule_at(dispatch_time, fire)
+
+    def run(self) -> None:
+        """Dispatch the whole schedule; returns when the kernel drains."""
+        if self._issue is None:
+            raise ProtocolError("bind() an issue function before run()")
+        if self._requests:
+            self._dispatch_next()
+        self._kernel.run()
+        if len(self.completed) != len(self._requests):
+            raise ProtocolError(
+                f"{len(self._requests) - len(self.completed)} requests "
+                "never completed; the protocol deadlocked"
+            )
+        if self.completed != sorted(self.completed):
+            raise ProtocolError(
+                "requests completed out of order despite serialization"
+            )
 
 
 @dataclass(frozen=True)
@@ -76,7 +142,7 @@ def simulate_protocol(
     schedule: Schedule,
     *,
     latency: float = 0.05,
-    initial_value: object = "v0",
+    initial_value: object = INITIAL_VALUE,
 ) -> ProtocolRunResult:
     """Run ``schedule`` through the distributed protocol of an algorithm.
 
@@ -97,58 +163,31 @@ def simulate_protocol(
     network = PointToPointNetwork(kernel, ledger, latency=latency)
     deciders = make_deciders(algorithm_name)
 
-    completed: List[int] = []
-
-    def on_complete(index: int) -> None:
-        completed.append(index)
-        _dispatch_next()
+    dispatcher = SerializedDispatcher(kernel, ledger, list(schedule))
 
     mobile = MobileComputer(
         network,
         deciders.mobile,
-        on_complete,
+        dispatcher.on_complete,
         initially_has_copy=deciders.initial_mobile_has_copy,
         initial_value=initial_value,
     )
     stationary = StationaryComputer(
         network,
         deciders.stationary,
-        on_complete,
+        dispatcher.on_complete,
         mc_initially_subscribed=deciders.initial_mobile_has_copy,
         initial_value=initial_value,
     )
 
-    requests = list(schedule)
-    next_to_dispatch = [0]
+    def issue(index: int, request: Request) -> None:
+        if request.operation is Operation.READ:
+            mobile.issue_read(index)
+        else:
+            stationary.issue_write(index, value=value_for_write(index))
 
-    def _dispatch_next() -> None:
-        index = next_to_dispatch[0]
-        if index >= len(requests):
-            return
-        next_to_dispatch[0] += 1
-        request = requests[index]
-        dispatch_time = max(kernel.now, request.timestamp)
-
-        def fire() -> None:
-            ledger.note_request(index, request.operation)
-            if request.operation is Operation.READ:
-                mobile.issue_read(index)
-            else:
-                stationary.issue_write(index, value=f"v{index}")
-
-        kernel.schedule_at(dispatch_time, fire)
-
-    if requests:
-        _dispatch_next()
-    kernel.run()
-
-    if len(completed) != len(requests):
-        raise ProtocolError(
-            f"{len(requests) - len(completed)} requests never completed; "
-            "the protocol deadlocked"
-        )
-    if completed != sorted(completed):
-        raise ProtocolError("requests completed out of order despite serialization")
+    dispatcher.bind(issue)
+    dispatcher.run()
 
     event_kinds = tuple(ledger.classify_all())
     result = ProtocolRunResult(

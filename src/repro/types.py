@@ -19,6 +19,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .exceptions import InvalidScheduleError
 
 __all__ = [
@@ -138,10 +140,11 @@ class Schedule(Sequence[Request]):
     schedule ``w, r, r, r, w, r, w`` from section 3.
     """
 
-    __slots__ = ("_requests",)
+    __slots__ = ("_requests", "_write_mask")
 
     def __init__(self, requests: Iterable[Request] = ()):
         self._requests: Tuple[Request, ...] = tuple(requests)
+        self._write_mask: Optional[np.ndarray] = None
         for position, request in enumerate(self._requests):
             if not isinstance(request, Request):
                 raise InvalidScheduleError(
@@ -213,6 +216,39 @@ class Schedule(Sequence[Request]):
     def operations(self) -> Tuple[Operation, ...]:
         """The bare operation sequence (no timestamps/objects)."""
         return tuple(r.operation for r in self._requests)
+
+    def write_mask(self) -> np.ndarray:
+        """Read-only boolean array, one ``True`` per write.
+
+        This is the input the vectorized kernels consume.  It is
+        computed once and cached (the schedule is immutable); the bulk
+        workload generators pre-fill it at construction, so million-
+        request sweeps never pay a per-request Python conversion loop.
+        """
+        if self._write_mask is None:
+            mask = np.fromiter(
+                (r.operation is Operation.WRITE for r in self._requests),
+                dtype=bool,
+                count=len(self._requests),
+            )
+            mask.setflags(write=False)
+            self._write_mask = mask
+        return self._write_mask
+
+    def _prefill_write_mask(self, mask: np.ndarray) -> None:
+        """Install a precomputed write mask (workload generators only).
+
+        The caller vouches that ``mask[i]`` is true iff request ``i``
+        is a write; the array is frozen to protect the cache.
+        """
+        if mask.shape != (len(self._requests),) or mask.dtype != np.bool_:
+            raise InvalidScheduleError(
+                f"write mask must be a bool array of length "
+                f"{len(self._requests)}, got {mask.dtype} {mask.shape}"
+            )
+        mask = mask.copy()
+        mask.setflags(write=False)
+        self._write_mask = mask
 
     @property
     def read_count(self) -> int:

@@ -55,10 +55,12 @@ def bernoulli_schedule(
         raise InvalidParameterError(f"length must be >= 0, got {length}")
     rng = rng if rng is not None else np.random.default_rng()
     draws = rng.random(length) < theta
-    return Schedule(
+    schedule = Schedule(
         Request(Operation.WRITE if is_write else Operation.READ)
         for is_write in draws
     )
+    schedule._prefill_write_mask(draws)
+    return schedule
 
 
 class PoissonWorkload:
@@ -105,13 +107,15 @@ class PoissonWorkload:
         gaps = self._rng.exponential(scale=1.0 / total_rate, size=length)
         times = np.cumsum(gaps)
         writes = self._rng.random(length) < self._theta
-        return Schedule(
+        schedule = Schedule(
             Request(
                 Operation.WRITE if is_write else Operation.READ,
                 timestamp=float(time),
             )
             for time, is_write in zip(times, writes)
         )
+        schedule._prefill_write_mask(writes)
+        return schedule
 
     def generate_until(self, horizon: float) -> Schedule:
         """All requests arriving in ``[0, horizon)``."""

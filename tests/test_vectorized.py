@@ -14,7 +14,7 @@ from repro.exceptions import UnknownAlgorithmError
 from repro.types import Schedule
 from repro.workload import bernoulli_schedule
 
-NAMES = ("st1", "st2", "sw1", "sw3", "sw9", "sw15")
+NAMES = ("st1", "st2", "sw1", "sw3", "sw9", "sw15", "t1_1", "t1_5", "t2_4")
 
 
 class TestSupports:
@@ -23,12 +23,12 @@ class TestSupports:
             assert supports(name)
 
     def test_unsupported(self):
-        assert not supports("t1_5")
         assert not supports("ewma_20")
+        assert not supports("hsw9_2")
 
     def test_unknown_raises(self):
         with pytest.raises(UnknownAlgorithmError):
-            fast_total_cost("t1_5", Schedule.from_string("rw"), ConnectionCostModel())
+            fast_total_cost("ewma_20", Schedule.from_string("rw"), ConnectionCostModel())
 
 
 class TestExactEquality:
@@ -82,3 +82,17 @@ class TestExactEquality:
         assert fast_event_kinds("sw1", schedule) == tuple(
             event.kind for event in reference.events
         )
+
+    @given(text=st.text(alphabet="rw", min_size=0, max_size=200),
+           m=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_hypothesis_equivalence_thresholds(self, text, m):
+        """The run-length kernels equal the reference for T1m and T2m."""
+        schedule = Schedule.from_string(text)
+        for name in (f"t1_{m}", f"t2_{m}"):
+            reference = replay(
+                make_algorithm(name), schedule, ConnectionCostModel()
+            )
+            assert fast_event_kinds(name, schedule) == tuple(
+                event.kind for event in reference.events
+            )
