@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "protocol"),
                           default="auto",
                           help="execution backend (default: auto-dispatch)")
+    simulate.add_argument("--faults", metavar="SPEC", default=None,
+                          help="chaos-run the wire protocol under a seeded "
+                               "fault schedule, e.g. "
+                               "drop=0.05,seed=7,disconnect=2:1 "
+                               "(keys: drop, dup, reorder, delay, seed, "
+                               "disconnect=START:DURATION)")
 
     advise = commands.add_parser(
         "advise", help="window-size advisor (conclusion section)"
@@ -159,11 +165,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         model = MessageCostModel(args.omega)
     import numpy as np
 
+    faults = None
+    if args.faults is not None:
+        from .sim.faults import parse_fault_spec
+
+        faults = parse_fault_spec(args.faults)
     rng = np.random.default_rng(args.seed)
     schedule = bernoulli_schedule(args.theta, args.length, rng=rng)
     result = engine_run(
         make_algorithm(args.algorithm), schedule, model,
-        backend=args.backend, stream=True,
+        backend=args.backend, stream=True, faults=faults,
     )
     print(f"algorithm      : {result.algorithm_name}")
     print(f"cost model     : {model.name}")
@@ -178,6 +189,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"scheme changes : {changes}")
     for kind, count in sorted(result.event_counts.items(), key=lambda kv: kv[0].value):
         print(f"  {kind.value:28} x{count}")
+    if result.diagnostic is not None:
+        print(f"contained fault: {result.diagnostic}")
+    if faults is not None and result.raw is not None:
+        overhead = result.raw.overhead
+        print("transport overhead (never charged to the costs above):")
+        for key, value in overhead.as_dict().items():
+            print(f"  {key:28} {value}")
+        print(f"  {'resyncs verified':28} {result.raw.resyncs_verified}")
     return 0
 
 

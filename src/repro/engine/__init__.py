@@ -22,6 +22,7 @@ classification, enforced by the cross-backend equivalence tests.
 """
 
 from .base import (
+    BackendDiagnostic,
     EngineResult,
     ExecutionBackend,
     RunSpec,
@@ -45,6 +46,7 @@ from . import backends as _backends  # noqa: F401  (import for side effect)
 __all__ = [
     "AUTO",
     "run",
+    "BackendDiagnostic",
     "EngineResult",
     "ExecutionBackend",
     "RunSpec",

@@ -161,7 +161,10 @@ class ProtocolBackend(ExecutionBackend):
         from ..sim.runner import simulate_protocol
 
         raw = simulate_protocol(
-            spec.algorithm_name, spec.schedule, latency=spec.latency
+            spec.algorithm_name,
+            spec.schedule,
+            latency=spec.latency,
+            faults=spec.faults,
         )
         kinds = raw.event_kinds
         counts: Dict[CostEventKind, int] = {}

@@ -19,6 +19,7 @@ approximately equal floating-point sums.
 from __future__ import annotations
 
 import abc
+import typing
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -28,9 +29,13 @@ from ..costmodels.base import CostEvent, CostEventKind, CostModel
 from ..exceptions import InvalidParameterError
 from ..types import AllocationScheme, Schedule
 
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..sim.faults import FaultConfig
+
 __all__ = [
     "RunSpec",
     "EngineResult",
+    "BackendDiagnostic",
     "ExecutionBackend",
     "register_backend",
     "get_backend",
@@ -78,6 +83,32 @@ class RunSpec:
     fresh: bool = True
     #: One-way link latency for the protocol backend.
     latency: float = 0.05
+    #: Fault schedule for the protocol backend (None: perfect channel).
+    faults: Optional["FaultConfig"] = None
+
+
+@dataclass(frozen=True)
+class BackendDiagnostic:
+    """Structured record of a backend failure the dispatcher contained.
+
+    Attached to :attr:`EngineResult.diagnostic` when a backend raised
+    mid-run and the dispatcher transparently re-executed the spec on
+    the reference backend instead of killing the whole sweep.
+    """
+
+    backend_name: str
+    algorithm_name: str
+    error_type: str
+    error_message: str
+    fallback_backend: str = "reference"
+
+    def __str__(self) -> str:
+        return (
+            f"backend {self.backend_name!r} failed on "
+            f"{self.algorithm_name!r} with {self.error_type}: "
+            f"{self.error_message}; fell back to "
+            f"{self.fallback_backend!r}"
+        )
 
 
 class EngineResult:
@@ -105,6 +136,7 @@ class EngineResult:
         "dispatch_reason",
         "elapsed_seconds",
         "scheme_changes",
+        "diagnostic",
         "raw",
         "_events",
         "_event_kinds",
@@ -139,6 +171,9 @@ class EngineResult:
         self.dispatch_reason = dispatch_reason
         self.elapsed_seconds = elapsed_seconds
         self.scheme_changes = scheme_changes
+        #: The contained failure when this result came from a fallback
+        #: re-execution (see :class:`BackendDiagnostic`); None normally.
+        self.diagnostic: Optional[BackendDiagnostic] = None
         #: Backend-specific result (e.g. the ProtocolRunResult), if any.
         self.raw = raw
         self._events = events

@@ -12,11 +12,19 @@ executed.  Dispatch rules for ``backend="auto"``:
 The **protocol** backend is never auto-selected (it is orders of
 magnitude slower and exists to validate the wire behaviour); request it
 explicitly with ``backend="protocol"``.
+
+Containment: when a non-reference backend raises mid-run, the
+dispatcher records a structured :class:`~repro.engine.base.BackendDiagnostic`
+and transparently re-executes the spec on the reference backend, so one
+misbehaving kernel or a chaos-run transport failure degrades a sweep's
+speed, never its completion.  Pass ``fallback=False`` to let the error
+propagate (the debugging posture).
 """
 
 from __future__ import annotations
 
 import time
+import typing
 from typing import Optional, Union
 
 from ..core.base import AllocationAlgorithm
@@ -24,8 +32,11 @@ from ..core.registry import make_algorithm
 from ..costmodels.base import CostModel
 from ..exceptions import InvalidParameterError, UnknownAlgorithmError
 from ..types import Schedule
-from .base import EngineResult, RunSpec, get_backend
+from .base import BackendDiagnostic, EngineResult, RunSpec, get_backend
 from .instrumentation import Instrumentation
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..sim.faults import FaultConfig
 
 __all__ = ["run", "AUTO"]
 
@@ -59,6 +70,8 @@ def run(
     fresh: bool = True,
     instrumentation: Optional[Instrumentation] = None,
     latency: float = 0.05,
+    faults: Optional["FaultConfig"] = None,
+    fallback: bool = True,
 ) -> EngineResult:
     """Execute ``schedule`` against ``algorithm`` under ``cost_model``.
 
@@ -87,6 +100,17 @@ def run(
         hooks every backend threads; ``None`` attaches a no-op.
     latency:
         One-way link latency, used by the protocol backend only.
+    faults:
+        A :class:`~repro.sim.faults.FaultConfig` for the protocol
+        backend: the run then exercises the reliable transport over the
+        seeded faulty medium.  Requesting faults pins the run to the
+        protocol backend (only the wire simulation has a channel to
+        break); combining it with any other forced backend is an error.
+    fallback:
+        Contain mid-run backend failures (the default): a raising
+        non-reference backend is recorded as a
+        :class:`~repro.engine.base.BackendDiagnostic` on the result of
+        a transparent reference re-execution.  ``False`` propagates.
 
     Returns
     -------
@@ -102,7 +126,24 @@ def run(
             f"warmup {warmup} exceeds the schedule length {len(schedule)}"
         )
 
-    if backend == AUTO:
+    if faults is not None:
+        if backend not in (AUTO, "protocol"):
+            raise InvalidParameterError(
+                f"fault injection runs on the wire simulation; cannot "
+                f"combine faults with backend {backend!r}"
+            )
+        if not fresh:
+            raise InvalidParameterError(
+                "fault injection needs a fresh protocol run; "
+                "fresh=False is reference-only"
+            )
+        chosen = get_backend("protocol")
+        reason = "fault injection pins the run to the protocol backend"
+        if not chosen.supports(name):
+            raise UnknownAlgorithmError(
+                f"backend {chosen.name!r} cannot execute algorithm {name!r}"
+            )
+    elif backend == AUTO:
         vectorized = get_backend("vectorized")
         if not fresh:
             chosen = get_backend("reference")
@@ -135,13 +176,33 @@ def run(
         warmup=warmup,
         fresh=fresh,
         latency=latency,
+        faults=faults,
     )
     instruments = (
         instrumentation if instrumentation is not None else _NULL_INSTRUMENTATION
     )
     instruments.on_run_start(name, chosen.name, len(schedule), reason)
     started = time.perf_counter()
-    result = chosen.execute(spec, instruments)
+    try:
+        result = chosen.execute(spec, instruments)
+    except Exception as error:
+        if not fallback or chosen.name == "reference":
+            raise
+        diagnostic = BackendDiagnostic(
+            backend_name=chosen.name,
+            algorithm_name=name,
+            error_type=type(error).__name__,
+            error_message=str(error),
+        )
+        instruments.on_backend_fallback(diagnostic)
+        reference = get_backend("reference")
+        reason = (
+            f"reference fallback after {chosen.name!r} raised "
+            f"{diagnostic.error_type}"
+        )
+        instruments.on_run_start(name, reference.name, len(schedule), reason)
+        result = reference.execute(spec, instruments)
+        result.diagnostic = diagnostic
     result.elapsed_seconds = time.perf_counter() - started
     result.dispatch_reason = reason
     instruments.on_run_end(result)

@@ -26,7 +26,7 @@ from typing import Dict, List, Tuple
 from ..costmodels.base import CostEventKind
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .base import EngineResult
+    from .base import BackendDiagnostic, EngineResult
 
 __all__ = [
     "Instrumentation",
@@ -55,6 +55,13 @@ class Instrumentation:
 
     def on_request(self, index: int, kind: CostEventKind, cost: float) -> None:
         """One request was served and priced (the per-request trace)."""
+
+    def on_backend_fallback(self, diagnostic: "BackendDiagnostic") -> None:
+        """A backend raised mid-run and the dispatcher contained it.
+
+        Fired before the reference re-execution starts; the diagnostic
+        also lands on the final result's ``diagnostic`` attribute.
+        """
 
     def on_run_end(self, result: "EngineResult") -> None:
         """The run finished; ``result.elapsed_seconds`` is filled in."""
@@ -86,6 +93,7 @@ class CounterInstrumentation(Instrumentation):
         self.backend_runs: Counter = Counter()
         self.event_counts: Counter = Counter()
         self.dispatch_log: List[Tuple[str, str, str]] = []
+        self.fallbacks: List["BackendDiagnostic"] = []
 
     def on_run_start(
         self,
@@ -97,6 +105,9 @@ class CounterInstrumentation(Instrumentation):
         self.runs += 1
         self.backend_runs[backend_name] += 1
         self.dispatch_log.append((algorithm_name, backend_name, reason))
+
+    def on_backend_fallback(self, diagnostic: "BackendDiagnostic") -> None:
+        self.fallbacks.append(diagnostic)
 
     def on_run_end(self, result: "EngineResult") -> None:
         self.requests += result.counted_requests
@@ -112,6 +123,7 @@ class CounterInstrumentation(Instrumentation):
             "total_cost": self.total_cost,
             "wall_seconds": self.wall_seconds,
             "backend_runs": dict(self.backend_runs),
+            "fallbacks": [str(diag) for diag in self.fallbacks],
             "event_counts": {
                 kind.value: count for kind, count in sorted(
                     self.event_counts.items(), key=lambda kv: kv[0].value

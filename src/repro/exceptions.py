@@ -39,6 +39,20 @@ class SimulationError(ReproError, RuntimeError):
     """The discrete-event kernel was misused (time travel, reuse, ...)."""
 
 
+class TransportError(ReproError, RuntimeError):
+    """The reliable transport gave up (retry budget exhausted, a frame
+    outlived every backoff, or the ARQ state machine was misused)."""
+
+
+class LedgerInvariantError(ProtocolError):
+    """A conservation invariant of the traffic ledger was violated.
+
+    Raised by the end-of-run invariant checker: a message charged more
+    than once logically, a request that completed twice or never, or a
+    request whose traffic cannot be classified.
+    """
+
+
 class UnknownAlgorithmError(ReproError, KeyError):
     """An algorithm name was not found in the registry."""
 

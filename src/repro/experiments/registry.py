@@ -17,6 +17,7 @@ from .exact_chain import ExactChainValidation
 from .fig1_dominance import Figure1Dominance
 from .fig2_window_threshold import Figure2WindowThreshold
 from .harness import Experiment, ExperimentResult
+from .loss_rate import FaultToleranceSweep
 from .message_average import MessageAverageCost
 from .message_competitive import MessageCompetitive
 from .message_expected import MessageExpectedCost
@@ -42,6 +43,7 @@ _EXPERIMENTS = [
     EstimatorComparison,
     BurstinessSweep,
     AdaptationProfiles,
+    FaultToleranceSweep,
 ]
 
 _BY_ID: Dict[str, type] = {cls.experiment_id: cls for cls in _EXPERIMENTS}

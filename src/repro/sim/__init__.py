@@ -21,19 +21,36 @@ protocol for real:
 * :mod:`~repro.sim.runner` — drives a timestamped schedule through the
   two nodes, serializing concurrent requests as section 3 assumes, and
   returns a per-request cost classification that integration tests
-  compare against the abstract replay.
+  compare against the abstract replay;
+* :mod:`~repro.sim.faults` — seeded fault injection (drop, duplicate,
+  reorder, delay, disconnection episodes) and the reliable ARQ
+  transport that survives all of it with byte-identical logical costs,
+  reporting retransmission overhead separately.
 """
 
 from .catalog_runner import CatalogRunResult, simulate_catalog_protocol
+from .faults import (
+    DroppingNetwork,
+    FaultConfig,
+    LossyNetwork,
+    ReliableNetwork,
+    parse_fault_spec,
+)
 from .kernel import EventKernel
-from .ledger import TrafficLedger
+from .ledger import TrafficLedger, TransportOverhead
 from .runner import ProtocolRunResult, simulate_protocol
 
 __all__ = [
     "EventKernel",
     "TrafficLedger",
+    "TransportOverhead",
     "ProtocolRunResult",
     "simulate_protocol",
     "CatalogRunResult",
     "simulate_catalog_protocol",
+    "FaultConfig",
+    "parse_fault_spec",
+    "DroppingNetwork",
+    "LossyNetwork",
+    "ReliableNetwork",
 ]

@@ -48,23 +48,38 @@ class EventKernel:
             raise SimulationError(f"delay must be >= 0, got {delay!r}")
         self.schedule_at(self._now + delay, callback)
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> float:
         """Process events in time order; returns the final clock value.
 
         Stops when the queue drains or, if ``until`` is given, when the
         next event lies beyond it (the clock then advances to ``until``).
+        ``max_events`` is a runaway guard for fault-injection runs: a
+        retry loop that schedules more than that many events aborts
+        with :class:`SimulationError` instead of spinning forever.
         """
         if self._running:
             raise SimulationError("the kernel is already running (re-entrant run())")
         self._running = True
+        processed = 0
         try:
             while self._queue:
                 time, _seq, callback = self._queue[0]
                 if until is not None and time > until:
                     self._now = until
                     return self._now
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"kernel processed {processed} events without "
+                        "draining; runaway event loop (max_events guard)"
+                    )
                 heapq.heappop(self._queue)
                 self._now = time
+                processed += 1
                 callback()
             if until is not None and until > self._now:
                 self._now = until

@@ -8,19 +8,29 @@ control messages.  From those tallies it derives the per-request
 integration tests compare one-for-one against the abstract replay —
 the end-to-end proof that the distributed protocol implements the
 analyzed algorithm at the analyzed price.
+
+Two books, one ledger.  The tallies above are the *logical* book: what
+the paper's cost models charge, exactly one entry per protocol message
+no matter how often the transport had to touch the air to deliver it.
+The *overhead* book (:class:`TransportOverhead`) counts everything the
+reliable transport of :mod:`repro.sim.faults` adds on top —
+retransmissions, acks, suppressed duplicates, handshakes.  Keeping the
+books separate is what lets a chaos run claim byte-identical logical
+totals against the fault-free run while still reporting what the lossy
+link cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..costmodels.base import CostBreakdown, CostEventKind, CostModel
-from ..exceptions import ProtocolError
+from ..exceptions import LedgerInvariantError, ProtocolError
 from ..types import Operation
 from .messages import Message, MessageKind
 
-__all__ = ["TrafficLedger"]
+__all__ = ["TrafficLedger", "TransportOverhead"]
 
 
 @dataclass
@@ -38,11 +48,52 @@ class _RequestTraffic:
         )
 
 
+@dataclass
+class TransportOverhead:
+    """Physical traffic the reliable transport added beyond the logical
+    message sequence.  All counters are frame transmissions or frame
+    events, never charged to the per-request cost books.
+    """
+
+    #: Every frame that touched the air (first sends + retransmissions
+    #: + acks + handshakes), delivered or not.
+    physical_frames: int = 0
+    #: Data-frame transmissions beyond the first attempt.
+    retransmissions: int = 0
+    #: Ack frames transmitted.
+    acks: int = 0
+    #: Frames the receiver had already seen and discarded.
+    duplicates_suppressed: int = 0
+    #: Frames the lossy link destroyed (drops + disconnection losses).
+    frames_lost: int = 0
+    #: Reconnection-handshake frames transmitted.
+    handshakes: int = 0
+
+    @property
+    def overhead_messages(self) -> int:
+        """Transmissions that exist only because the link is unreliable."""
+        return self.retransmissions + self.acks + self.handshakes
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (report/JSON friendly)."""
+        return {
+            "physical_frames": self.physical_frames,
+            "retransmissions": self.retransmissions,
+            "acks": self.acks,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "frames_lost": self.frames_lost,
+            "handshakes": self.handshakes,
+            "overhead_messages": self.overhead_messages,
+        }
+
+
 class TrafficLedger:
     """Per-request traffic tallies plus whole-run totals."""
 
     def __init__(self):
         self._per_request: Dict[int, _RequestTraffic] = {}
+        self._charged_message_ids: set = set()
+        self.overhead = TransportOverhead()
 
     # -- recording ------------------------------------------------------
 
@@ -53,7 +104,18 @@ class TrafficLedger:
         self._per_request[index] = _RequestTraffic(operation=operation)
 
     def record(self, message: Message) -> None:
-        """Observe one transmitted message."""
+        """Observe one *logically* transmitted message.
+
+        Each protocol message may be charged exactly once, however many
+        physical frames it took to deliver; a second charge for the
+        same ``message_id`` is a conservation violation.
+        """
+        if message.message_id in self._charged_message_ids:
+            raise LedgerInvariantError(
+                f"message {message!r} charged twice; retransmissions must "
+                "go to the overhead book, not the logical one"
+            )
+        self._charged_message_ids.add(message.message_id)
         traffic = self._per_request.get(message.request_index)
         if traffic is None:
             raise ProtocolError(
@@ -73,12 +135,16 @@ class TrafficLedger:
         """Number of registered relevant requests."""
         return len(self._per_request)
 
+    def logical_message_count(self) -> int:
+        """Distinct protocol messages charged to the logical book."""
+        return len(self._charged_message_ids)
+
     def breakdown(self, index: int) -> CostBreakdown:
         """Physical resources one request consumed."""
         return self._per_request[index].as_breakdown()
 
     def total_breakdown(self) -> CostBreakdown:
-        """Whole-run connection/data/control totals."""
+        """Whole-run connection/data/control totals (logical book)."""
         total = CostBreakdown()
         for traffic in self._per_request.values():
             total = total + traffic.as_breakdown()
@@ -113,8 +179,50 @@ class TrafficLedger:
         return [self.classify(index) for index in sorted(self._per_request)]
 
     def priced_total(self, cost_model: CostModel) -> float:
-        """Total cost of the run under the given model."""
+        """Total cost of the run under the given model (logical book)."""
         return sum(cost_model.price(kind) for kind in self.classify_all())
+
+    # -- invariants ------------------------------------------------------
+
+    def check_conservation(self, completed: Sequence[int]) -> None:
+        """End-of-run conservation audit (debug-mode invariant checker).
+
+        Verifies that
+
+        * every registered request completed exactly once, and nothing
+          completed that was never registered;
+        * every request's traffic classifies (each charged message is
+          attributed to exactly one request — :meth:`record` already
+          rejects double charges — and the per-request tallies form a
+          legal cost event).
+
+        Raises :class:`~repro.exceptions.LedgerInvariantError` on the
+        first violation.
+        """
+        seen: Dict[int, int] = {}
+        for index in completed:
+            seen[index] = seen.get(index, 0) + 1
+        for index, count in seen.items():
+            if index not in self._per_request:
+                raise LedgerInvariantError(
+                    f"request {index} completed but was never registered"
+                )
+            if count != 1:
+                raise LedgerInvariantError(
+                    f"request {index} completed {count} times; "
+                    "exactly-once completion violated"
+                )
+        missing = sorted(set(self._per_request) - set(seen))
+        if missing:
+            raise LedgerInvariantError(
+                f"requests {missing} were registered but never completed"
+            )
+        try:
+            self.classify_all()
+        except ProtocolError as error:
+            raise LedgerInvariantError(
+                f"conservation audit failed: {error}"
+            ) from error
 
 
 _CLASSIFICATION = {

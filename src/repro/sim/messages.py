@@ -36,6 +36,9 @@ __all__ = [
     "WritePropagation",
     "DeallocationNotice",
     "DeleteRequest",
+    "Frame",
+    "AckFrame",
+    "SyncState",
 ]
 
 _message_ids = itertools.count(1)
@@ -124,3 +127,50 @@ class DeleteRequest(Message):
     """SC → MC: drop your replica (control message; SW1/T1m writes)."""
 
     kind: MessageKind = MessageKind.CONTROL
+
+
+# ---------------------------------------------------------------------------
+# Transport-layer frames (repro.sim.faults).
+#
+# These never reach the protocol state machines and are never charged
+# to the logical ledger: the ARQ layer wraps each protocol message in a
+# sequenced Frame, acknowledges receipt with AckFrame, and exchanges
+# SyncState during the post-disconnection handshake.  They live here so
+# everything that crosses the wire is defined in one module.
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One sequenced transport frame carrying a payload.
+
+    ``payload`` is either a protocol :class:`Message` (delivered to the
+    endpoint handler, exactly once, in ``seq`` order) or a
+    :class:`SyncState` (consumed by the transport itself).
+    """
+
+    seq: int
+    payload: object
+    retransmission: bool = False
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Receiver → sender: frame ``seq`` arrived (per-frame ack)."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class SyncState:
+    """Reconnection handshake payload: one side's replica summary.
+
+    ``has_copy``/``version``/``owns_window`` summarize the sender's
+    protocol state; ``in_flight`` is the number of its unacked frames
+    at handshake time, which tells the verifier whether a strict
+    agreement check is meaningful or an exchange is still mid-air.
+    """
+
+    has_copy: bool
+    version: Optional[int]
+    owns_window: bool
+    in_flight: int = 0

@@ -5,6 +5,10 @@ with bus-based CDVM work).  The link delivers each message after a
 fixed latency and reports every transmission to the traffic ledger.
 Delivery order is FIFO per direction (latency is constant), matching
 the in-order channels the protocol implicitly assumes.
+
+Subclasses override :meth:`PointToPointNetwork._transmit` to model an
+imperfect medium; :mod:`repro.sim.faults` builds its lossy links and
+the reliable (ARQ) transport on that hook.
 """
 
 from __future__ import annotations
@@ -45,10 +49,23 @@ class PointToPointNetwork:
             raise SimulationError(f"endpoint {endpoint!r} attached twice")
         self._handlers[endpoint] = handler
 
-    def send(self, destination: str, message: Message) -> None:
-        """Transmit a message; it is charged now and delivered later."""
+    def _handler_for(self, destination: str) -> Callable[[Message], None]:
         handler = self._handlers.get(destination)
         if handler is None:
             raise SimulationError(f"no endpoint {destination!r} attached")
+        return handler
+
+    def send(self, destination: str, message: Message) -> None:
+        """Transmit a message; it is charged now and delivered later."""
+        self._handler_for(destination)  # fail fast on a detached endpoint
         self._ledger.record(message)
+        self._transmit(destination, message)
+
+    def _transmit(self, destination: str, message: Message) -> None:
+        """Put one charged message on the medium (the physical layer).
+
+        The base link is perfect: every message arrives, in order,
+        after the fixed latency.  Fault models override this.
+        """
+        handler = self._handler_for(destination)
         self._kernel.schedule_after(self._latency, lambda: handler(message))

@@ -34,6 +34,7 @@ from .messages import (
     Message,
     ReadReply,
     ReadRequest,
+    SyncState,
     WritePropagation,
 )
 from .network import PointToPointNetwork
@@ -90,6 +91,14 @@ class MobileItemCore:
     @property
     def has_copy(self) -> bool:
         return self.cache is not None
+
+    def sync_state(self) -> SyncState:
+        """Replica summary for the post-disconnection resync handshake."""
+        return SyncState(
+            has_copy=self.has_copy,
+            version=self.cache[1] if self.cache is not None else None,
+            owns_window=self._decider.owns_window(),
+        )
 
     def issue_read(self, request_index: int) -> None:
         """A read issued at the mobile computer (section 3)."""
@@ -175,6 +184,15 @@ class StationaryItemCore:
         self.value: object = initial_value
         self.version = INITIAL_VERSION
         self.mc_subscribed = mc_initially_subscribed
+
+    def sync_state(self) -> SyncState:
+        """SC-side resync summary; ``has_copy`` is its belief about
+        the MC's subscription."""
+        return SyncState(
+            has_copy=self.mc_subscribed,
+            version=self.version,
+            owns_window=self._decider.owns_window(),
+        )
 
     def issue_write(self, request_index: int, value: object) -> None:
         """A write issued at the stationary computer (section 3)."""
@@ -267,6 +285,10 @@ class MobileComputer:
     def has_copy(self) -> bool:
         return self._core.has_copy
 
+    def sync_state(self) -> SyncState:
+        """Replica summary for the reconnection handshake."""
+        return self._core.sync_state()
+
     @property
     def observations(self) -> List[ReadObservation]:
         """Every read's (request index, value, version), in issue order."""
@@ -310,6 +332,10 @@ class StationaryComputer:
     def mc_subscribed(self) -> bool:
         """Whether the SC believes the MC holds a replica to maintain."""
         return self._core.mc_subscribed
+
+    def sync_state(self) -> SyncState:
+        """SC-side summary for the reconnection handshake."""
+        return self._core.sync_state()
 
     def issue_write(self, request_index: int, value: object) -> None:
         """A write issued at the stationary computer (section 3)."""

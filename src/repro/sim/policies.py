@@ -60,6 +60,15 @@ class StationaryDecider(abc.ABC):
     def adopt_window(self, window: Optional[Tuple[Operation, ...]]) -> None:
         """Receive the window back when the MC deallocates."""
 
+    def owns_window(self) -> bool:
+        """Whether this side currently holds the request window.
+
+        Windowless algorithms never own one; the reconnection resync
+        of :mod:`repro.sim.faults` uses this to assert that at most one
+        side claims the window after an outage.
+        """
+        return False
+
 
 class MobileDecider(abc.ABC):
     """MC-side decision logic."""
@@ -80,6 +89,10 @@ class MobileDecider(abc.ABC):
 
     def adopt_window(self, window: Optional[Tuple[Operation, ...]]) -> None:
         """Receive the window piggybacked on an allocating read reply."""
+
+    def owns_window(self) -> bool:
+        """Whether this side currently holds the request window."""
+        return False
 
 
 @dataclass(frozen=True)
@@ -167,6 +180,9 @@ class _SwkStationary(StationaryDecider):
             raise ProtocolError("a deallocation notice must carry the window")
         self._window = RequestWindow(self._k, window)
 
+    def owns_window(self) -> bool:
+        return self._window is not None
+
 
 class _SwkMobile(MobileDecider):
     def __init__(self, k: int):
@@ -202,6 +218,9 @@ class _SwkMobile(MobileDecider):
         if window is None:
             raise ProtocolError("an allocating reply must carry the window")
         self._window = RequestWindow(self._k, window)
+
+    def owns_window(self) -> bool:
+        return self._window is not None
 
 
 class _Sw1Stationary(StationaryDecider):

@@ -18,14 +18,15 @@ correctness check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..costmodels.base import CostEventKind, CostModel
 from ..engine.versioning import INITIAL_VALUE, value_for_write
 from ..exceptions import ProtocolError
 from ..types import Operation, Request, Schedule
+from .faults import FaultConfig, ReliableNetwork
 from .kernel import EventKernel
-from .ledger import TrafficLedger
+from .ledger import TrafficLedger, TransportOverhead
 from .network import PointToPointNetwork
 from .nodes import MobileComputer, ReadObservation, StationaryComputer
 from .policies import make_deciders
@@ -78,13 +79,17 @@ class SerializedDispatcher:
 
         self._kernel.schedule_at(dispatch_time, fire)
 
-    def run(self) -> None:
-        """Dispatch the whole schedule; returns when the kernel drains."""
+    def run(self, *, max_events: Optional[int] = None) -> None:
+        """Dispatch the whole schedule; returns when the kernel drains.
+
+        ``max_events`` bounds the kernel (fault-injection runaway
+        guard); it is forwarded to :meth:`EventKernel.run`.
+        """
         if self._issue is None:
             raise ProtocolError("bind() an issue function before run()")
         if self._requests:
             self._dispatch_next()
-        self._kernel.run()
+        self._kernel.run(max_events=max_events)
         if len(self.completed) != len(self._requests):
             raise ProtocolError(
                 f"{len(self._requests) - len(self.completed)} requests "
@@ -107,6 +112,11 @@ class ProtocolRunResult:
     final_time: float
     #: Version counter after the run = number of writes in the schedule.
     final_version: int
+    #: Transport overhead book (retransmissions, acks, handshakes);
+    #: always the ledger's — kept here for discoverability.
+    overhead: Optional[TransportOverhead] = None
+    #: Post-disconnection handshakes that verified state agreement.
+    resyncs_verified: int = 0
 
     def total_cost(self, cost_model: CostModel) -> float:
         """Price the run's traffic under a cost model."""
@@ -143,6 +153,9 @@ def simulate_protocol(
     *,
     latency: float = 0.05,
     initial_value: object = INITIAL_VALUE,
+    faults: Optional[FaultConfig] = None,
+    check_invariants: bool = True,
+    max_events: Optional[int] = None,
 ) -> ProtocolRunResult:
     """Run ``schedule`` through the distributed protocol of an algorithm.
 
@@ -157,10 +170,28 @@ def simulate_protocol(
         dispatched back-to-back.
     latency:
         One-way message latency in simulated time units.
+    faults:
+        A :class:`~repro.sim.faults.FaultConfig`: the run then rides
+        the reliable (ARQ) transport over the seeded faulty medium,
+        with the reconnection handshake wired.  The *logical* ledger
+        totals are byte-identical to the fault-free run; the transport
+        overhead lands in ``result.overhead``.  ``None`` keeps the
+        paper's perfect channel.
+    check_invariants:
+        Run the end-of-run conservation audit (every request completes
+        exactly once, every charged message classifies).  Cheap; on by
+        default — pass ``False`` for throughput benchmarks.
+    max_events:
+        Kernel runaway guard for chaos runs; ``None`` means unbounded.
     """
     kernel = EventKernel()
     ledger = TrafficLedger()
-    network = PointToPointNetwork(kernel, ledger, latency=latency)
+    if faults is None:
+        network: PointToPointNetwork = PointToPointNetwork(
+            kernel, ledger, latency=latency
+        )
+    else:
+        network = ReliableNetwork(kernel, ledger, faults, latency=latency)
     deciders = make_deciders(algorithm_name)
 
     dispatcher = SerializedDispatcher(kernel, ledger, list(schedule))
@@ -179,6 +210,9 @@ def simulate_protocol(
         mc_initially_subscribed=deciders.initial_mobile_has_copy,
         initial_value=initial_value,
     )
+    if isinstance(network, ReliableNetwork):
+        network.register_sync_provider("mc", mobile.sync_state)
+        network.register_sync_provider("sc", stationary.sync_state)
 
     def issue(index: int, request: Request) -> None:
         if request.operation is Operation.READ:
@@ -187,7 +221,9 @@ def simulate_protocol(
             stationary.issue_write(index, value=value_for_write(index))
 
     dispatcher.bind(issue)
-    dispatcher.run()
+    dispatcher.run(max_events=max_events)
+    if check_invariants:
+        ledger.check_conservation(dispatcher.completed)
 
     event_kinds = tuple(ledger.classify_all())
     result = ProtocolRunResult(
@@ -197,6 +233,12 @@ def simulate_protocol(
         read_observations=tuple(mobile.observations),
         final_time=kernel.now,
         final_version=stationary.version,
+        overhead=ledger.overhead,
+        resyncs_verified=(
+            network.resyncs_verified
+            if isinstance(network, ReliableNetwork)
+            else 0
+        ),
     )
     result.verify_consistency(schedule)
     return result

@@ -1,118 +1,239 @@
 """Fault injection for the protocol simulator.
 
-The paper assumes a reliable, serialized channel (availability is
-handled inside the stationary system, section 8.1).  The simulator
-must therefore *detect* — not silently mis-account — violations of
-those assumptions: dropped messages must surface as deadlocks, and
-protocol-state corruption as ProtocolError, never as a wrong ledger.
+Two regimes, both exercised through the public :mod:`repro.sim.faults`
+API.  Without a recovery layer the simulator must *detect* channel
+faults — a dropped message surfaces as a deadlock and protocol-state
+corruption as ProtocolError, never as a wrong ledger.  With the
+reliable transport the same faults must be *survived*: the ARQ layer
+hides them and the logical ledger stays exactly as the paper priced it
+(the chaos equivalence suite lives in ``test_sim_chaos.py``).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import ProtocolError
+from repro.exceptions import (
+    InvalidParameterError,
+    LedgerInvariantError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.sim.faults import (
+    DroppingNetwork,
+    FaultConfig,
+    LossyNetwork,
+    ReliableNetwork,
+    parse_fault_spec,
+)
 from repro.sim.kernel import EventKernel
 from repro.sim.ledger import TrafficLedger
 from repro.sim.messages import DeleteRequest, ReadReply, ReadRequest, WritePropagation
 from repro.sim.network import PointToPointNetwork
 from repro.sim.nodes import MobileComputer, StationaryComputer
 from repro.sim.policies import make_deciders
+from repro.sim.runner import SerializedDispatcher, simulate_protocol
 from repro.types import Operation, Schedule
 
 
-class DroppingNetwork(PointToPointNetwork):
-    """Drops the n-th transmission (after charging it, like a real
-    lossy link: the sender still paid for the airtime)."""
+def run_with_network(algorithm_name: str, text: str, network_factory):
+    """Drive a schedule over a custom network; returns the dispatcher.
 
-    def __init__(self, kernel, ledger, drop_nth: int, latency: float = 0.0):
-        super().__init__(kernel, ledger, latency)
-        self._remaining = drop_nth
-        self.dropped = 0
-
-    def send(self, destination, message):
-        self._remaining -= 1
-        if self._remaining == 0:
-            # Charge but never deliver.
-            self._ledger.record(message)
-            self.dropped += 1
-            return
-        super().send(destination, message)
-
-
-def run_with_drop(algorithm_name: str, text: str, drop_nth: int):
+    ``network_factory(kernel, ledger)`` builds the link under test.
+    """
     kernel = EventKernel()
     ledger = TrafficLedger()
-    network = DroppingNetwork(kernel, ledger, drop_nth)
+    network = network_factory(kernel, ledger)
     deciders = make_deciders(algorithm_name)
-    completed = []
-
     schedule = Schedule.from_string(text)
-    requests = list(schedule)
-    next_index = [0]
-
-    def on_complete(index):
-        completed.append(index)
-        dispatch()
-
+    dispatcher = SerializedDispatcher(kernel, ledger, list(schedule))
     mobile = MobileComputer(
         network,
         deciders.mobile,
-        on_complete,
+        dispatcher.on_complete,
         initially_has_copy=deciders.initial_mobile_has_copy,
     )
     stationary = StationaryComputer(
         network,
         deciders.stationary,
-        on_complete,
+        dispatcher.on_complete,
         mc_initially_subscribed=deciders.initial_mobile_has_copy,
     )
 
-    def dispatch():
-        index = next_index[0]
-        if index >= len(requests):
-            return
-        next_index[0] += 1
-        request = requests[index]
+    def issue(index, request):
+        if request.operation is Operation.READ:
+            mobile.issue_read(index)
+        else:
+            stationary.issue_write(index, value=f"v{index}")
 
-        def fire():
-            ledger.note_request(index, request.operation)
-            if request.operation is Operation.READ:
-                mobile.issue_read(index)
-            else:
-                stationary.issue_write(index, value=f"v{index}")
+    dispatcher.bind(issue)
+    return dispatcher, network
 
-        kernel.schedule_at(kernel.now, fire)
 
-    dispatch()
-    kernel.run()
-    return completed, network, len(requests)
+def run_with_drop(algorithm_name: str, text: str, drop_nth: int):
+    return run_with_network(
+        algorithm_name,
+        text,
+        lambda kernel, ledger: DroppingNetwork(kernel, ledger, drop_nth),
+    )
 
 
 class TestMessageLoss:
     def test_lost_read_request_stalls_the_run(self):
-        completed, network, total = run_with_drop("st1", "rrr", drop_nth=1)
+        dispatcher, network = run_with_drop("st1", "rrr", drop_nth=1)
+        with pytest.raises(ProtocolError, match="never completed"):
+            dispatcher.run()
         assert network.dropped == 1
-        # The first read's request vanished: nothing completes after it.
-        assert len(completed) < total
 
     def test_lost_reply_stalls_the_run(self):
-        completed, network, total = run_with_drop("st1", "rr", drop_nth=2)
+        dispatcher, network = run_with_drop("st1", "rr", drop_nth=2)
+        with pytest.raises(ProtocolError, match="never completed"):
+            dispatcher.run()
         assert network.dropped == 1
-        assert len(completed) < total
 
     def test_lost_propagation_stalls_sw_protocol(self):
-        completed, network, total = run_with_drop("sw3", "rrw", drop_nth=4)
         # Messages: read-request, reply, read-request, reply... the 4th
         # transmission is the second read's reply or the propagation —
         # either way the run cannot finish.
+        dispatcher, network = run_with_drop("sw3", "rrw", drop_nth=4)
+        with pytest.raises(ProtocolError, match="never completed"):
+            dispatcher.run()
         assert network.dropped == 1
-        assert len(completed) < total
 
     def test_without_drops_everything_completes(self):
-        completed, network, total = run_with_drop("sw3", "rrwrw", drop_nth=10**9)
+        dispatcher, network = run_with_drop("sw3", "rrwrw", drop_nth=10**9)
+        dispatcher.run()
         assert network.dropped == 0
-        assert len(completed) == total
+        assert len(dispatcher.completed) == 5
+
+    def test_dropped_frame_lands_in_the_overhead_book(self):
+        dispatcher, _network = run_with_drop("st1", "r", drop_nth=1)
+        with pytest.raises(ProtocolError, match="never completed"):
+            dispatcher.run()
+        # The airtime was paid (logical charge) but the frame was lost.
+        assert dispatcher._ledger.overhead.frames_lost == 1
+        assert dispatcher._ledger.logical_message_count() == 1
+
+    def test_lossy_network_drops_stall_too(self):
+        faults = FaultConfig(drop=0.9, seed=1)
+        dispatcher, _network = run_with_network(
+            "st1",
+            "rrrr",
+            lambda kernel, ledger: LossyNetwork(kernel, ledger, faults),
+        )
+        with pytest.raises(ProtocolError, match="never completed"):
+            dispatcher.run()
+
+
+class TestReliableTransportSurvives:
+    """The same faults that stall the raw link are absorbed by ARQ."""
+
+    def test_heavy_loss_completes(self):
+        faults = FaultConfig(drop=0.4, seed=11)
+        result = simulate_protocol("st1", Schedule.from_string("rrr"),
+                                   faults=faults)
+        assert len(result.event_kinds) == 3
+        assert result.overhead.retransmissions > 0
+
+    def test_duplicates_are_suppressed_not_delivered(self):
+        faults = FaultConfig(duplicate=0.8, seed=5)
+        result = simulate_protocol("sw3", Schedule.from_string("rrwrw"),
+                                   faults=faults)
+        clean = simulate_protocol("sw3", Schedule.from_string("rrwrw"))
+        assert result.event_kinds == clean.event_kinds
+        assert result.overhead.duplicates_suppressed > 0
+
+    def test_logical_book_rejects_double_charges(self):
+        from repro.sim.messages import ReadRequest as RR
+
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.READ)
+        message = RR(request_index=0)
+        ledger.record(message)
+        with pytest.raises(LedgerInvariantError, match="charged twice"):
+            ledger.record(message)
+
+
+class TestFaultConfig:
+    def test_rates_validated(self):
+        with pytest.raises(InvalidParameterError):
+            FaultConfig(drop=1.0)
+        with pytest.raises(InvalidParameterError):
+            FaultConfig(duplicate=-0.1)
+        with pytest.raises(InvalidParameterError):
+            FaultConfig(delay_jitter=-1)
+        with pytest.raises(InvalidParameterError):
+            FaultConfig(episodes=((1.0, 0.0),))
+
+    def test_disconnected_window(self):
+        config = FaultConfig(episodes=((1.0, 2.0), (10.0, 1.0)))
+        assert not config.disconnected(0.5)
+        assert config.disconnected(1.0)
+        assert config.disconnected(2.9)
+        assert not config.disconnected(3.0)
+        assert config.disconnected(10.5)
+
+    def test_is_clean(self):
+        assert FaultConfig().is_clean
+        assert not FaultConfig(drop=0.1).is_clean
+        assert not FaultConfig(episodes=((0.0, 1.0),)).is_clean
+
+    def test_parse_fault_spec(self):
+        config = parse_fault_spec(
+            "drop=0.05,dup=0.02,reorder=0.1,delay=0.3,seed=7,"
+            "disconnect=2:1,disconnect=8:0.5"
+        )
+        assert config.drop == 0.05
+        assert config.duplicate == 0.02
+        assert config.reorder == 0.1
+        assert config.delay_jitter == 0.3
+        assert config.seed == 7
+        assert config.episodes == ((2.0, 1.0), (8.0, 0.5))
+
+    def test_parse_fault_spec_rejects_unknown_keys(self):
+        with pytest.raises(InvalidParameterError, match="unknown fault"):
+            parse_fault_spec("lose=0.5")
+        with pytest.raises(InvalidParameterError, match="key=value"):
+            parse_fault_spec("drop")
+        with pytest.raises(InvalidParameterError, match="START:DURATION"):
+            parse_fault_spec("disconnect=5")
+
+
+class TestInvariantChecker:
+    def test_conservation_catches_missing_completion(self):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.READ)
+        ledger.note_request(1, Operation.READ)
+        with pytest.raises(LedgerInvariantError, match="never completed"):
+            ledger.check_conservation([0])
+
+    def test_conservation_catches_double_completion(self):
+        ledger = TrafficLedger()
+        ledger.note_request(0, Operation.WRITE)
+        with pytest.raises(LedgerInvariantError, match="2 times"):
+            ledger.check_conservation([0, 0])
+
+    def test_conservation_catches_unregistered_completion(self):
+        ledger = TrafficLedger()
+        with pytest.raises(LedgerInvariantError, match="never registered"):
+            ledger.check_conservation([3])
+
+    def test_clean_run_passes_the_audit(self):
+        result = simulate_protocol("sw3", Schedule.from_string("rrwrw"))
+        # simulate_protocol already ran the audit; re-run it by hand.
+        result.ledger.check_conservation(range(5))
+
+
+class TestKernelRunawayGuard:
+    def test_max_events_aborts_runaway_loops(self):
+        kernel = EventKernel()
+
+        def reschedule():
+            kernel.schedule_after(1.0, reschedule)
+
+        kernel.schedule_after(0.0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            kernel.run(max_events=100)
 
 
 class TestStateCorruption:
@@ -178,22 +299,18 @@ class TestStateCorruption:
 
     def test_runner_reports_deadlock(self):
         """The high-level runner converts a stall into ProtocolError."""
-        import repro.sim.runner as runner_module
-        from repro.sim.runner import simulate_protocol
-
-        original = PointToPointNetwork.send
+        original = PointToPointNetwork._transmit
         counter = {"n": 0}
 
-        def lossy_send(self, destination, message):
+        def lossy_transmit(self, destination, message):
             counter["n"] += 1
             if counter["n"] == 2:
-                self._ledger.record(message)
-                return
+                return  # charged by send(), never delivered
             original(self, destination, message)
 
-        PointToPointNetwork.send = lossy_send
+        PointToPointNetwork._transmit = lossy_transmit
         try:
             with pytest.raises(ProtocolError, match="never completed"):
                 simulate_protocol("st1", Schedule.from_string("rr"))
         finally:
-            PointToPointNetwork.send = original
+            PointToPointNetwork._transmit = original
