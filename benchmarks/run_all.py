@@ -1,0 +1,180 @@
+"""Benchmark driver: serial vs parallel vs cached, as one JSON artifact.
+
+Times three things and writes ``BENCH_engine.json``:
+
+1. a synthetic engine-task sweep grid — serial against ``--jobs``
+   workers (the executor's clean fan-out scaling measurement);
+2. the experiment suite via ``run_all`` — serial against ``--jobs``
+   (capped by the longest single experiment, which is internally
+   sequential);
+3. the content-addressed result cache — the same ``run_all`` cold
+   (populating a fresh cache directory) against warm (every experiment
+   a hit).
+
+The report records ``cpu_count`` because it bounds any achievable
+speedup: on a single-core host the parallel numbers will not beat
+serial no matter what the executor does.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._version import __version__  # noqa: E402
+from repro.costmodels import ConnectionCostModel  # noqa: E402
+from repro.engine import (  # noqa: E402
+    EngineTask,
+    ResultCache,
+    ScheduleSpec,
+    SweepExecutor,
+)
+from repro.experiments import run_all  # noqa: E402
+from repro.workload import spawn_seeds  # noqa: E402
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def _sweep_grid(points: int, length: int):
+    model = ConnectionCostModel()
+    return [
+        EngineTask(
+            "sw9",
+            ScheduleSpec(0.2 + 0.6 * index / points, length, seed=seed),
+            model,
+            backend="reference",
+            warmup=200,
+            tag=index,
+        )
+        for index, seed in enumerate(spawn_seeds(2024, points))
+    ]
+
+
+def bench_sweep(jobs: int, quick: bool) -> dict:
+    """Synthetic grid: serial vs parallel, identity-checked."""
+    points = 16 if quick else 32
+    length = 10_000 if quick else 40_000
+    tasks = _sweep_grid(points, length)
+    serial, serial_seconds = _timed(lambda: SweepExecutor(jobs=1).map(tasks))
+    parallel, parallel_seconds = _timed(
+        lambda: SweepExecutor(jobs=jobs).map(tasks)
+    )
+    identical = (
+        [outcome.identity() for outcome in serial]
+        == [outcome.identity() for outcome in parallel]
+    )
+    return {
+        "points": points,
+        "length": length,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "jobs": jobs,
+        "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+        "byte_identical": identical,
+    }
+
+
+def bench_run_all(jobs: int, quick: bool) -> dict:
+    """The experiment suite: serial vs parallel (no cache)."""
+    serial, serial_seconds = _timed(lambda: run_all(quick=quick))
+    parallel, parallel_seconds = _timed(
+        lambda: run_all(quick=quick, jobs=jobs)
+    )
+
+    def strip(results):
+        return [
+            {
+                key: value
+                for key, value in result.to_dict().items()
+                if key not in ("elapsed_seconds", "from_cache")
+            }
+            for result in results
+        ]
+
+    return {
+        "experiments": len(serial),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "jobs": jobs,
+        "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+        "byte_identical": strip(serial) == strip(parallel),
+        "all_passed": all(result.passed for result in serial + parallel),
+    }
+
+
+def bench_cache(quick: bool) -> dict:
+    """run_all against a fresh cache: cold populate vs warm replay."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(root=tmp)
+        cold, cold_seconds = _timed(lambda: run_all(quick=quick, cache=cache))
+        warm, warm_seconds = _timed(lambda: run_all(quick=quick, cache=cache))
+
+    def strip(results):
+        return [
+            {
+                key: value
+                for key, value in result.to_dict().items()
+                if key not in ("elapsed_seconds", "from_cache")
+            }
+            for result in results
+        ]
+
+    return {
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "speedup": round(cold_seconds / max(warm_seconds, 1e-9), 2),
+        "warm_all_hits": all(result.from_cache for result in warm),
+        "byte_identical": strip(cold) == strip(warm),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="benchmark at quick-mode experiment sizes")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel legs")
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    report = {
+        "version": __version__,
+        "cpu_count": os.cpu_count(),
+        "quick": args.quick,
+        "engine_task_sweep": bench_sweep(args.jobs, args.quick),
+        "run_all": bench_run_all(args.jobs, args.quick),
+        "result_cache": bench_cache(args.quick),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.out}")
+
+    ok = (
+        report["engine_task_sweep"]["byte_identical"]
+        and report["run_all"]["byte_identical"]
+        and report["result_cache"]["byte_identical"]
+        and report["result_cache"]["warm_all_hits"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

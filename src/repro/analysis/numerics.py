@@ -19,6 +19,7 @@ from ..costmodels.base import CostModel
 from ..engine import run as engine_run
 from ..exceptions import InvalidParameterError
 from ..workload.poisson import bernoulli_schedule
+from ..workload.seeding import SeedLike, spawn_seeds
 
 __all__ = [
     "average_by_quadrature",
@@ -43,18 +44,18 @@ def monte_carlo_expected_cost(
     *,
     length: int = 20_000,
     warmup: int = 500,
-    seed: Optional[int] = None,
+    seed: SeedLike = None,
 ) -> float:
     """Estimate EXP(θ) by running the algorithm on a Bernoulli stream.
 
     The first ``warmup`` requests let the window reach its stationary
     distribution before costs are averaged (the closed forms describe
-    steady state).
+    steady state).  ``seed`` accepts anything the workload generators
+    do, including a spawned ``SeedSequence`` child.
     """
     if warmup < 0 or length <= 0:
         raise InvalidParameterError("length must be positive and warmup >= 0")
-    rng = np.random.default_rng(seed)
-    schedule = bernoulli_schedule(theta, warmup + length, rng=rng)
+    schedule = bernoulli_schedule(theta, warmup + length, rng=seed)
 
     # The engine auto-dispatches to the reference-exact vectorized
     # kernels where they exist; streaming mode keeps long sweeps from
@@ -73,28 +74,29 @@ def monte_carlo_average_cost(
     num_thetas: int = 200,
     length_per_theta: int = 2_000,
     warmup: int = 200,
-    seed: Optional[int] = None,
+    seed: SeedLike = None,
 ) -> float:
     """Estimate AVG by stratified sampling of θ over [0, 1].
 
     Uses midpoints of an even θ-grid (stratification kills most of the
-    outer-integral variance) and a fresh run per θ.
+    outer-integral variance) and a fresh run per θ.  Each grid point's
+    stream is seeded by a spawned ``SeedSequence`` child, so point
+    ``i`` draws the same requests no matter which order — or worker —
+    the points run on.
     """
     if num_thetas < 1:
         raise InvalidParameterError(f"num_thetas must be >= 1, got {num_thetas}")
-    rng = np.random.default_rng(seed)
     midpoints = (np.arange(num_thetas) + 0.5) / num_thetas
-    estimates = []
-    for theta in midpoints:
-        child_seed = int(rng.integers(0, 2**63 - 1))
-        estimates.append(
-            monte_carlo_expected_cost(
-                algorithm,
-                cost_model,
-                float(theta),
-                length=length_per_theta,
-                warmup=warmup,
-                seed=child_seed,
-            )
+    children = spawn_seeds(seed, num_thetas) if seed is not None else [None] * num_thetas
+    estimates = [
+        monte_carlo_expected_cost(
+            algorithm,
+            cost_model,
+            float(theta),
+            length=length_per_theta,
+            warmup=warmup,
+            seed=child,
         )
+        for theta, child in zip(midpoints, children)
+    ]
     return float(np.mean(estimates))

@@ -6,8 +6,10 @@
     repro-mobile run fig1             # one experiment, full fidelity
     repro-mobile run fig1 --quick     # fast mode (benchmark sizes)
     repro-mobile run-all [--quick]    # the whole reproduction
+    repro-mobile run-all --jobs 4     # fan experiments across workers
     repro-mobile simulate sw9 --theta 0.3 --length 10000
     repro-mobile advise --target 0.10 # window-size advisor (section 9)
+    repro-mobile cache stats          # the content-addressed result cache
 """
 
 from __future__ import annotations
@@ -18,12 +20,11 @@ from typing import List, Optional
 
 from ._version import __version__
 from .analysis.window_choice import recommend_window
-from .core.registry import make_algorithm
 from .costmodels.connection import ConnectionCostModel
 from .costmodels.message import MessageCostModel
-from .engine import run as engine_run
+from .engine.cache import ResultCache, default_cache
+from .engine.parallel import EngineTask, ScheduleSpec, SweepExecutor
 from .experiments import all_experiment_ids, get_experiment, run_all
-from .workload.poisson import bernoulli_schedule
 
 __all__ = ["main", "build_parser"]
 
@@ -45,11 +46,19 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run one experiment")
     run.add_argument("experiment_id", choices=all_experiment_ids())
     run.add_argument("--quick", action="store_true", help="small sample sizes")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for the experiment's sweeps "
+                          "(default 1 = serial; results are identical)")
     run.add_argument("--json", dest="json_path", metavar="FILE",
                      help="also write the result as JSON to FILE")
 
     run_all_cmd = commands.add_parser("run-all", help="run every experiment")
     run_all_cmd.add_argument("--quick", action="store_true")
+    run_all_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="fan experiments across N worker processes "
+                                  "(default 1 = serial; results are identical)")
+    run_all_cmd.add_argument("--no-cache", action="store_true",
+                             help="skip the content-addressed result cache")
     run_all_cmd.add_argument("--json", dest="json_path", metavar="FILE",
                              help="also write all results as a JSON array")
 
@@ -76,6 +85,19 @@ def build_parser() -> argparse.ArgumentParser:
                                "drop=0.05,seed=7,disconnect=2:1 "
                                "(keys: drop, dup, reorder, delay, seed, "
                                "disconnect=START:DURATION)")
+    simulate.add_argument("--replicates", type=int, default=1, metavar="R",
+                          help="independent replications (spawned seeds); "
+                               "with R > 1 a per-replicate table and the "
+                               "mean are printed")
+    simulate.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for the replicates")
+
+    cache_cmd = commands.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache"
+    )
+    cache_actions = cache_cmd.add_subparsers(dest="cache_action", required=True)
+    cache_actions.add_parser("stats", help="entry count, size and cap")
+    cache_actions.add_parser("clear", help="remove every cached result")
 
     advise = commands.add_parser(
         "advise", help="window-size advisor (conclusion section)"
@@ -126,27 +148,50 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str, quick: bool, json_path: Optional[str]) -> int:
-    result = get_experiment(experiment_id).run(quick=quick)
+def _cmd_run(args: argparse.Namespace) -> int:
+    executor = SweepExecutor(jobs=args.jobs) if args.jobs > 1 else None
+    result = get_experiment(args.experiment_id).run(
+        quick=args.quick, executor=executor
+    )
     print(result.render())
-    if json_path:
-        with open(json_path, "w") as handle:
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
             handle.write(result.to_json())
-        print(f"wrote {json_path}")
+        print(f"wrote {args.json_path}")
     return 0 if result.passed else 1
 
 
-def _cmd_run_all(quick: bool, json_path: Optional[str]) -> int:
-    results = run_all(quick=quick)
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    cache = None if args.no_cache else default_cache()
+    results = run_all(quick=args.quick, jobs=args.jobs, cache=cache)
     for result in results:
         print(result.render())
         print()
-    if json_path:
+    if args.json_path:
         import json as json_module
 
-        with open(json_path, "w") as handle:
+        with open(args.json_path, "w") as handle:
             json_module.dump([r.to_dict() for r in results], handle, indent=2)
-        print(f"wrote {json_path}")
+        print(f"wrote {args.json_path}")
+
+    # Summary table: wall-clock and cache provenance per experiment.
+    width = max(len(r.experiment_id) for r in results)
+    print(f"{'experiment':{width}}  {'time':>8}  {'source':6}  checks")
+    for result in results:
+        checks = f"{sum(c.passed for c in result.checks)}/{len(result.checks)}"
+        source = "cache" if result.from_cache else "run"
+        print(f"{result.experiment_id:{width}}  "
+              f"{result.elapsed_seconds:7.2f}s  {source:6}  {checks}")
+    hits = sum(r.from_cache for r in results)
+    if cache is not None:
+        print(f"cache: {hits} hits / {len(results) - hits} misses "
+              f"({cache.stats().root})")
+    executed_seconds = sum(
+        r.elapsed_seconds for r in results if not r.from_cache
+    )
+    print(f"compute: {executed_seconds:.2f}s across executed experiments "
+          f"(jobs={args.jobs})")
+
     failed = [r.experiment_id for r in results if not r.passed]
     total_checks = sum(len(r.checks) for r in results)
     passed_checks = sum(sum(c.passed for c in r.checks) for r in results)
@@ -158,45 +203,94 @@ def _cmd_run_all(quick: bool, json_path: Optional[str]) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = default_cache() or ResultCache()
+    if args.cache_action == "stats":
+        print(cache.stats().render())
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached results from {cache.stats().root}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.model == "connection":
         model = ConnectionCostModel()
     else:
         model = MessageCostModel(args.omega)
-    import numpy as np
+    if args.replicates < 1:
+        print("--replicates must be >= 1", file=sys.stderr)
+        return 2
 
     faults = None
     if args.faults is not None:
         from .sim.faults import parse_fault_spec
 
         faults = parse_fault_spec(args.faults)
-    rng = np.random.default_rng(args.seed)
-    schedule = bernoulli_schedule(args.theta, args.length, rng=rng)
-    result = engine_run(
-        make_algorithm(args.algorithm), schedule, model,
-        backend=args.backend, stream=True, faults=faults,
-    )
-    print(f"algorithm      : {result.algorithm_name}")
+
+    # One ScheduleSpec per replicate.  A single replicate uses the seed
+    # directly (byte-identical to the historical serial path); more
+    # replicates draw independent spawned children of it.
+    if args.replicates == 1:
+        seeds = [args.seed]
+    else:
+        from .workload.seeding import spawn_seeds
+
+        seeds = spawn_seeds(args.seed if args.seed is not None else 0,
+                            args.replicates)
+    tasks = [
+        EngineTask(
+            args.algorithm,
+            ScheduleSpec(args.theta, args.length, seed=seed),
+            model,
+            backend=args.backend,
+            faults=faults,
+            capture_wire=faults is not None,
+            tag=index,
+        )
+        for index, seed in enumerate(seeds)
+    ]
+    executor = SweepExecutor(jobs=args.jobs)
+    outcomes = executor.map(tasks)
+
+    first = outcomes[0]
+    print(f"algorithm      : {first.algorithm_name}")
     print(f"cost model     : {model.name}")
-    print(f"backend        : {result.backend_name} "
-          f"({result.dispatch_reason})")
-    print(f"requests       : {len(schedule)} "
-          f"({schedule.read_count} reads / {schedule.write_count} writes)")
-    print(f"total cost     : {result.total_cost:.2f}")
-    print(f"mean cost/req  : {result.mean_cost:.4f}")
-    changes = ("n/a (wire run)" if result.scheme_changes is None
-               else result.scheme_changes)
-    print(f"scheme changes : {changes}")
-    for kind, count in sorted(result.event_counts.items(), key=lambda kv: kv[0].value):
-        print(f"  {kind.value:28} x{count}")
-    if result.diagnostic is not None:
-        print(f"contained fault: {result.diagnostic}")
-    if faults is not None and result.raw is not None:
-        overhead = result.raw.overhead
-        print("transport overhead (never charged to the costs above):")
-        for key, value in overhead.as_dict().items():
-            print(f"  {key:28} {value}")
-        print(f"  {'resyncs verified':28} {result.raw.resyncs_verified}")
+    print(f"backend        : {first.backend_name} "
+          f"({first.dispatch_reason})")
+    if args.replicates == 1:
+        result = first
+        reads = result.requests - sum(
+            count for kind, count in result.event_counts.items()
+            if kind.value.startswith("write")
+        )
+        print(f"requests       : {result.requests} "
+              f"({reads} reads / {result.requests - reads} writes)")
+        print(f"total cost     : {result.total_cost:.2f}")
+        print(f"mean cost/req  : {result.mean_cost:.4f}")
+        changes = ("n/a (wire run)" if result.scheme_changes is None
+                   else result.scheme_changes)
+        print(f"scheme changes : {changes}")
+        for kind, count in sorted(result.event_counts.items(),
+                                  key=lambda kv: kv[0].value):
+            print(f"  {kind.value:28} x{count}")
+        if result.diagnostic is not None:
+            print(f"contained fault: {result.diagnostic}")
+        if result.wire is not None:
+            print("transport overhead (never charged to the costs above):")
+            for key, value in result.wire.overhead.items():
+                print(f"  {key:28} {value}")
+            print(f"  {'resyncs verified':28} {result.wire.resyncs_verified}")
+        return 0
+
+    print(f"replicates     : {args.replicates} (jobs={args.jobs})")
+    means = [outcome.mean_cost for outcome in outcomes]
+    for outcome in outcomes:
+        print(f"  replicate {outcome.tag:<3} total {outcome.total_cost:10.2f}  "
+              f"mean/req {outcome.mean_cost:.4f}")
+    grand_mean = sum(means) / len(means)
+    spread = (sum((m - grand_mean) ** 2 for m in means) / len(means)) ** 0.5
+    print(f"mean cost/req  : {grand_mean:.4f} (std {spread:.4f})")
     return 0
 
 
@@ -264,9 +358,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment_id, args.quick, args.json_path)
+        return _cmd_run(args)
     if args.command == "run-all":
-        return _cmd_run_all(args.quick, args.json_path)
+        return _cmd_run_all(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "advise":

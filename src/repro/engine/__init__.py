@@ -31,7 +31,23 @@ from .base import (
     register_backend,
     total_from_counts,
 )
+from .cache import (
+    CacheStats,
+    ResultCache,
+    default_cache,
+    default_cache_dir,
+    digest_parts,
+)
 from .dispatch import AUTO, run
+from .parallel import (
+    EngineTask,
+    FunctionTask,
+    ScheduleSpec,
+    SweepExecutor,
+    SweepOutcome,
+    WireStats,
+    serial_executor,
+)
 from .instrumentation import (
     CounterInstrumentation,
     Instrumentation,
@@ -61,4 +77,16 @@ __all__ = [
     "INITIAL_VALUE",
     "INITIAL_VERSION",
     "value_for_write",
+    "CacheStats",
+    "ResultCache",
+    "default_cache",
+    "default_cache_dir",
+    "digest_parts",
+    "EngineTask",
+    "FunctionTask",
+    "ScheduleSpec",
+    "SweepExecutor",
+    "SweepOutcome",
+    "WireStats",
+    "serial_executor",
 ]

@@ -1,0 +1,291 @@
+"""Content-addressed result cache for engine runs and experiment sweeps.
+
+Re-running ``run-all``, the loss-rate chaos sweep or any benchmark
+recomputes results that have not changed.  Because every run in this
+repository is deterministic given its inputs — schedule content,
+algorithm and parameters, cost model, fault schedule, engine version —
+a result can be addressed by the digest of those inputs and replayed
+from disk, byte-identical to a cold run.
+
+The cache is a flat directory of pickle files named by digest,
+sharded on the first two hex characters.  Writes are atomic (temp file
++ :func:`os.replace`), so concurrent sweep workers can share one cache
+directory safely; a torn or unreadable entry is treated as a miss and
+removed.  A size cap (default 512 MiB, ``REPRO_CACHE_MAX_MB``) is
+enforced after every write by evicting least-recently-used entries —
+``get`` refreshes an entry's mtime, so hot results stay resident.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR``    — cache directory (default
+  ``~/.cache/repro-mobile``);
+* ``REPRO_CACHE_MAX_MB`` — size cap in MiB;
+* ``REPRO_NO_CACHE=1``   — :func:`default_cache` returns ``None`` and
+  every sweep runs cold.
+
+The CLI exposes the cache as ``repro-mobile cache {stats,clear}``.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "ResultCache",
+    "default_cache",
+    "default_cache_dir",
+    "digest_parts",
+]
+
+#: Bumped whenever the cached payload layout changes; part of every
+#: key, so a schema change silently invalidates old entries instead of
+#: deserializing them wrongly.
+CACHE_SCHEMA = "repro-cache/1"
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_MAX_MB = "REPRO_CACHE_MAX_MB"
+_ENV_DISABLE = "REPRO_NO_CACHE"
+
+_DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-mobile``."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-mobile"
+
+
+def _encode(part: Any, out: List[bytes]) -> None:
+    """Append a canonical byte encoding of ``part`` to ``out``.
+
+    Floats encode through :func:`repr` (shortest round-tripping form),
+    enums through their qualified name, containers recursively with
+    type tags — so structurally different keys can never collide on
+    concatenation boundaries.
+    """
+    if part is None:
+        out.append(b"N;")
+    elif isinstance(part, bool):
+        out.append(b"b1;" if part else b"b0;")
+    elif isinstance(part, int):
+        out.append(b"i" + str(part).encode() + b";")
+    elif isinstance(part, float):
+        out.append(b"f" + repr(part).encode() + b";")
+    elif isinstance(part, str):
+        raw = part.encode("utf-8")
+        out.append(b"s" + str(len(raw)).encode() + b":" + raw)
+    elif isinstance(part, bytes):
+        out.append(b"y" + str(len(part)).encode() + b":" + part)
+    elif isinstance(part, enum.Enum):
+        _encode(f"{type(part).__module__}.{type(part).__qualname__}.{part.name}", out)
+    elif isinstance(part, (tuple, list)):
+        out.append(b"(")
+        for item in part:
+            _encode(item, out)
+        out.append(b")")
+    elif isinstance(part, (dict,)):
+        out.append(b"{")
+        for key in sorted(part, key=repr):
+            _encode(key, out)
+            _encode(part[key], out)
+        out.append(b"}")
+    elif is_dataclass(part) and not isinstance(part, type):
+        out.append(b"<")
+        _encode(f"{type(part).__module__}.{type(part).__qualname__}", out)
+        for field in fields(part):
+            _encode(field.name, out)
+            _encode(getattr(part, field.name), out)
+        out.append(b">")
+    elif hasattr(part, "item") and callable(part.item):
+        # numpy scalars reduce to the matching Python scalar.
+        _encode(part.item(), out)
+    else:
+        raise InvalidParameterError(
+            f"cannot canonically encode {type(part).__name__!r} into a "
+            f"cache key: {part!r}"
+        )
+
+
+def digest_parts(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    chunks: List[bytes] = []
+    _encode(tuple(parts), chunks)
+    return hashlib.sha256(b"".join(chunks)).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of the on-disk store plus session hits."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    max_bytes: int
+    hits: int
+    misses: int
+
+    def render(self) -> str:
+        """Human-readable multi-line form (the ``cache stats`` output)."""
+        lines = [
+            f"cache directory : {self.root}",
+            f"entries         : {self.entries}",
+            f"size            : {self.total_bytes / 1e6:.2f} MB "
+            f"(cap {self.max_bytes / 1e6:.0f} MB)",
+        ]
+        if self.hits or self.misses:
+            lines.append(f"this session    : {self.hits} hits / "
+                         f"{self.misses} misses")
+        return "\n".join(lines)
+
+
+class ResultCache:
+    """A content-addressed pickle store with LRU size-cap eviction.
+
+    ``get``/``put`` are keyed by the hex digests produced by
+    :func:`digest_parts`.  The payloads are arbitrary picklable
+    objects; what goes in comes back out bit-for-bit, which is what
+    lets a cache hit stand in for a cold run byte-identically.
+    """
+
+    #: Sentinel returned by :meth:`get` on a miss (``None`` is a valid
+    #: cached value).
+    MISS = object()
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        if max_bytes is None:
+            env = os.environ.get(_ENV_MAX_MB)
+            max_bytes = (
+                int(float(env) * 1024 * 1024) if env else _DEFAULT_MAX_BYTES
+            )
+        if max_bytes <= 0:
+            raise InvalidParameterError(
+                f"max_bytes must be positive, got {max_bytes}"
+            )
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+
+    # -- key/value API -------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached payload for ``key``, or :data:`MISS`."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Missing, torn, or written by an incompatible version:
+            # treat as a miss (and drop the corpse if one exists).
+            if path.exists():
+                _quiet_remove(path)
+            self.misses += 1
+            return self.MISS
+        self.hits += 1
+        _quiet_touch(path)  # refresh LRU position
+        return payload
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically, then enforce the cap."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            _quiet_remove(Path(temp_name))
+            raise
+        self._evict()
+
+    # -- maintenance ---------------------------------------------------
+
+    def _entries(self) -> List[Tuple[Path, os.stat_result]]:
+        found = []
+        for path in self.root.glob("??/*.pkl"):
+            try:
+                found.append((path, path.stat()))
+            except OSError:
+                continue
+        return found
+
+    def _evict(self) -> None:
+        entries = self._entries()
+        total = sum(stat.st_size for _path, stat in entries)
+        if total <= self.max_bytes:
+            return
+        # Oldest mtime first; gets refresh mtimes, so this is LRU.
+        entries.sort(key=lambda pair: pair[1].st_mtime)
+        for path, stat in entries:
+            if total <= self.max_bytes:
+                break
+            _quiet_remove(path)
+            total -= stat.st_size
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path, _stat in self._entries():
+            _quiet_remove(path)
+            removed += 1
+        return removed
+
+    def stats(self) -> CacheStats:
+        """A :class:`CacheStats` snapshot of the store and session counters."""
+        entries = self._entries()
+        return CacheStats(
+            root=str(self.root),
+            entries=len(entries),
+            total_bytes=sum(stat.st_size for _path, stat in entries),
+            max_bytes=self.max_bytes,
+            hits=self.hits,
+            misses=self.misses,
+        )
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r})"
+
+
+def _quiet_remove(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def _quiet_touch(path: Path) -> None:
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The process-default cache, or ``None`` when ``REPRO_NO_CACHE`` is set."""
+    if os.environ.get(_ENV_DISABLE, "").strip() not in ("", "0"):
+        return None
+    return ResultCache()

@@ -1,0 +1,796 @@
+"""The parallel sweep executor: fan a grid across processes, safely.
+
+Every claim in the paper is sweep-shaped — cost curves over
+(algorithm × k/m × ω × workload × seed) grids — and every point of
+such a grid is one independent, deterministic engine run.  The
+:class:`SweepExecutor` exploits exactly that:
+
+* **Process fan-out.**  Tasks are chunked across a
+  ``ProcessPoolExecutor``; ``jobs=1`` is the serial degenerate case
+  (no pool, no pickling) and produces *the same bytes* as any other
+  job count, which the determinism suite enforces.
+* **Shared-memory schedules.**  Concrete :class:`~repro.types.Schedule`
+  objects are deduplicated by content digest and their write masks
+  (plus timestamps, when present) are placed once in a
+  ``multiprocessing.shared_memory`` block — a million-request schedule
+  crosses the process boundary as a 128-byte reference, not a pickled
+  tuple of a million ``Request`` objects, no matter how many grid
+  points share it.
+* **Per-grid-point seeding.**  A :class:`ScheduleSpec` defers workload
+  generation to the worker; specs seeded with spawned
+  ``SeedSequence`` children (:mod:`repro.workload.seeding`) draw
+  streams that are a pure function of the grid point, so serial and
+  parallel sweeps are byte-identical.
+* **Deterministic ordered merge.**  Results come back in task order
+  regardless of completion order.
+* **Per-worker instrumentation.**  Every worker threads a
+  :class:`~repro.engine.instrumentation.CounterInstrumentation`
+  through its runs; the per-worker summaries are aggregated back into
+  one dispatch report (:meth:`SweepExecutor.report`).
+* **Content-addressed caching.**  With a
+  :class:`~repro.engine.cache.ResultCache` attached, each task is
+  keyed by the digest of (schedule content, algorithm + params, cost
+  model, fault spec, engine version); hits are returned byte-identical
+  to a cold run without touching the pool.
+
+Two task shapes cover the repository's sweeps: :class:`EngineTask`
+(one :func:`repro.engine.run` invocation, projected into a picklable
+:class:`SweepOutcome`) and :class:`FunctionTask` (any module-level
+callable — experiment bodies, offline-optimal ratio measurements,
+optimizer agreement trials).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import time
+import typing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._version import __version__
+from ..costmodels.base import CostEventKind, CostModel
+from ..exceptions import InvalidParameterError
+from ..types import Operation, Request, Schedule
+from ..workload.poisson import bernoulli_schedule
+from ..workload.seeding import SeedLike, seed_fingerprint
+from .cache import CACHE_SCHEMA, ResultCache, digest_parts
+from .dispatch import AUTO, run as engine_run
+from .instrumentation import CounterInstrumentation
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..sim.faults import FaultConfig
+
+__all__ = [
+    "EngineTask",
+    "FunctionTask",
+    "ScheduleSpec",
+    "SweepExecutor",
+    "SweepOutcome",
+    "WireStats",
+    "serial_executor",
+]
+
+
+# ---------------------------------------------------------------------------
+# Task shapes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """A workload described by parameters, generated inside the worker.
+
+    Shipping the recipe instead of the stream keeps the task payload
+    tiny and — when ``seed`` is an int or a spawned ``SeedSequence`` —
+    makes the stream a pure function of the grid point, independent of
+    which process executes it or in what order.
+    """
+
+    theta: float
+    length: int
+    seed: SeedLike = None
+    kind: str = "bernoulli"
+
+    def __post_init__(self):
+        if isinstance(self.seed, np.random.Generator):
+            raise InvalidParameterError(
+                "a ScheduleSpec must be rebuildable; seed it with an int "
+                "or a SeedSequence, not a live Generator"
+            )
+        if self.kind != "bernoulli":
+            raise InvalidParameterError(
+                f"unknown schedule spec kind {self.kind!r}"
+            )
+
+    def build(self) -> Schedule:
+        """Generate the concrete schedule (identical on every build)."""
+        return bernoulli_schedule(self.theta, self.length, rng=self.seed)
+
+    def fingerprint(self) -> Optional[Tuple]:
+        """Content-addressable form, or ``None`` when unseeded."""
+        seed_part = seed_fingerprint(self.seed)
+        if seed_part is None:
+            return None
+        return (self.kind, repr(float(self.theta)), int(self.length), seed_part)
+
+
+@dataclass(frozen=True)
+class EngineTask:
+    """One :func:`repro.engine.run` invocation, sweep-ready.
+
+    ``schedule`` is a concrete :class:`~repro.types.Schedule` (shipped
+    via shared memory) or a :class:`ScheduleSpec` (generated in the
+    worker).  ``capture_kinds``/``capture_wire`` opt into the heavier
+    projections a caller actually needs — the per-request event-kind
+    tuple and the protocol run's ledger/overhead books.  ``tag`` is an
+    opaque caller label carried onto the outcome, never part of the
+    cache key.
+    """
+
+    algorithm: str
+    schedule: Union[Schedule, ScheduleSpec]
+    cost_model: CostModel
+    backend: str = AUTO
+    stream: bool = True
+    warmup: int = 0
+    latency: float = 0.05
+    faults: Optional["FaultConfig"] = None
+    capture_kinds: bool = False
+    capture_wire: bool = False
+    tag: Any = None
+
+    def __post_init__(self):
+        if not isinstance(self.algorithm, str):
+            raise InvalidParameterError(
+                "EngineTask takes a short algorithm name (a configured "
+                "instance cannot be content-addressed or cheaply shipped "
+                f"to a worker); got {self.algorithm!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FunctionTask:
+    """An arbitrary module-level callable as a sweep task.
+
+    The function, its arguments and its return value must be picklable.
+    Caching is opt-in via ``cache_key``: the caller names the content
+    parts that determine the result (the executor adds the schema and
+    package version).  ``None`` means never cached.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    cache_key: Optional[Tuple[Any, ...]] = None
+    tag: Any = None
+
+    @classmethod
+    def call(cls, fn: Callable[..., Any], *args: Any,
+             cache_key: Optional[Tuple[Any, ...]] = None,
+             tag: Any = None, **kwargs: Any) -> "FunctionTask":
+        """Convenience constructor mirroring the call syntax."""
+        return cls(fn=fn, args=args, kwargs=tuple(sorted(kwargs.items())),
+                   cache_key=cache_key, tag=tag)
+
+
+SweepTask = Union[EngineTask, FunctionTask]
+
+
+# ---------------------------------------------------------------------------
+# Outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WireStats:
+    """Protocol-run observables projected into picklable form."""
+
+    #: (connections, data_messages, control_messages) — the logical book.
+    breakdown: Tuple[int, int, int]
+    #: The transport-overhead book (ARQ retransmissions, acks, ...).
+    overhead: Dict[str, int]
+    resyncs_verified: int
+    logical_messages: int
+    final_version: int
+
+    @property
+    def overhead_messages(self) -> int:
+        """Transmissions that exist only because the link is unreliable."""
+        if "overhead_messages" in self.overhead:
+            return self.overhead["overhead_messages"]
+        return (self.overhead.get("retransmissions", 0)
+                + self.overhead.get("acks", 0)
+                + self.overhead.get("handshakes", 0))
+
+
+@dataclass
+class SweepOutcome:
+    """The picklable projection of one engine run.
+
+    Everything except ``elapsed_seconds`` and ``from_cache`` is a pure
+    function of the task — that invariant is what "cache hits are
+    byte-identical to a cold run" and "parallel equals serial" mean,
+    and :meth:`identity` is the tuple the determinism suite compares.
+    """
+
+    algorithm_name: str
+    backend_name: str
+    requests: int
+    warmup: int
+    total_cost: float
+    event_counts: Dict[CostEventKind, int]
+    scheme_changes: Optional[int]
+    dispatch_reason: str
+    diagnostic: Optional[str] = None
+    event_kinds: Optional[Tuple[CostEventKind, ...]] = None
+    wire: Optional[WireStats] = None
+    tag: Any = None
+    elapsed_seconds: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def counted_requests(self) -> int:
+        return self.requests - self.warmup
+
+    @property
+    def mean_cost(self) -> float:
+        counted = self.counted_requests
+        return self.total_cost / counted if counted else 0.0
+
+    def identity(self) -> Tuple:
+        """Every run-determined field, for byte-identity comparisons."""
+        return (
+            self.algorithm_name,
+            self.backend_name,
+            self.requests,
+            self.warmup,
+            self.total_cost,
+            tuple(sorted(self.event_counts.items(),
+                         key=lambda kv: kv[0].value)),
+            self.scheme_changes,
+            self.dispatch_reason,
+            self.diagnostic,
+            self.event_kinds,
+            self.wire,
+            self.tag,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints / cache keys
+# ---------------------------------------------------------------------------
+
+
+def _model_fingerprint(model: CostModel) -> Tuple:
+    state = vars(model) if hasattr(model, "__dict__") else {}
+    return (
+        type(model).__module__,
+        type(model).__qualname__,
+        tuple(sorted(state.items())),
+    )
+
+
+def _task_key(task: SweepTask) -> Optional[str]:
+    """The content-addressed cache key, or ``None`` (uncacheable)."""
+    if isinstance(task, FunctionTask):
+        if task.cache_key is None:
+            return None
+        return digest_parts("function-task", CACHE_SCHEMA, __version__,
+                            task.cache_key)
+    if isinstance(task.schedule, ScheduleSpec):
+        schedule_part: Optional[Tuple] = task.schedule.fingerprint()
+        if schedule_part is None:
+            return None
+        schedule_part = ("spec",) + schedule_part
+    else:
+        schedule_part = ("content", task.schedule.content_digest())
+    return digest_parts(
+        "engine-task",
+        CACHE_SCHEMA,
+        __version__,
+        schedule_part,
+        task.algorithm,
+        _model_fingerprint(task.cost_model),
+        task.backend,
+        task.stream,
+        task.warmup,
+        repr(float(task.latency)),
+        task.faults,
+        task.capture_kinds,
+        task.capture_wire,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Task execution (shared by the serial path and the workers)
+# ---------------------------------------------------------------------------
+
+
+def _execute_engine_task(
+    task: EngineTask, schedule: Schedule, instrumentation
+) -> SweepOutcome:
+    started = time.perf_counter()
+    result = engine_run(
+        task.algorithm,
+        schedule,
+        task.cost_model,
+        backend=task.backend,
+        stream=task.stream,
+        warmup=task.warmup,
+        latency=task.latency,
+        faults=task.faults,
+        instrumentation=instrumentation,
+    )
+    kinds: Optional[Tuple[CostEventKind, ...]] = None
+    if task.capture_kinds:
+        kinds = result.event_kinds
+        if kinds is None and result.raw is not None:
+            kinds = tuple(result.raw.event_kinds)
+    wire: Optional[WireStats] = None
+    if task.capture_wire and result.raw is not None:
+        raw = result.raw
+        breakdown = raw.ledger.total_breakdown()
+        wire = WireStats(
+            breakdown=(
+                breakdown.connections,
+                breakdown.data_messages,
+                breakdown.control_messages,
+            ),
+            overhead=dict(raw.overhead.as_dict()),
+            resyncs_verified=raw.resyncs_verified,
+            logical_messages=raw.ledger.logical_message_count(),
+            final_version=raw.final_version,
+        )
+    return SweepOutcome(
+        algorithm_name=result.algorithm_name,
+        backend_name=result.backend_name,
+        requests=result.requests,
+        warmup=result.warmup,
+        total_cost=result.total_cost,
+        event_counts=dict(result.event_counts),
+        scheme_changes=result.scheme_changes,
+        dispatch_reason=result.dispatch_reason,
+        diagnostic=(str(result.diagnostic)
+                    if result.diagnostic is not None else None),
+        event_kinds=kinds,
+        wire=wire,
+        tag=task.tag,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+#: Placeholder installed in a task's ``schedule`` field before pickling
+#: so a concrete schedule never rides the task payload.
+_SHIPPED = "<schedule shipped separately>"
+
+
+def _resolve_schedule(sched_ref, shm, shm_cache):
+    kind, value = sched_ref
+    if kind == "spec":
+        return value.build()
+    if kind == "inline":
+        return value
+    if kind == "arena":
+        if value not in shm_cache:
+            shm_cache[value] = _schedule_from_arena(shm, value)
+        return shm_cache[value]
+    raise InvalidParameterError(f"unknown schedule reference {kind!r}")
+
+
+def _run_chunk(payload):
+    """Worker entry: execute one chunk, return (results, worker stats)."""
+    shm_name, entries, items = payload
+    shm = None
+    if shm_name is not None:
+        shm = _attach_shared_memory(shm_name)
+        shm.entries = entries  # stashed for _schedule_from_arena
+    counters = CounterInstrumentation()
+    started = time.perf_counter()
+    shm_cache: Dict[int, Schedule] = {}
+    results = []
+    calls = 0
+    try:
+        for index, task, sched_ref in items:
+            if isinstance(task, FunctionTask):
+                calls += 1
+                value = task.fn(*task.args, **dict(task.kwargs))
+                results.append((index, value))
+            else:
+                schedule = _resolve_schedule(sched_ref, shm, shm_cache)
+                results.append(
+                    (index, _execute_engine_task(task, schedule, counters))
+                )
+    finally:
+        if shm is not None:
+            shm.close()
+    stats = counters.summary()
+    stats["pid"] = os.getpid()
+    stats["tasks"] = len(items)
+    stats["function_calls"] = calls
+    stats["wall_seconds"] = time.perf_counter() - started
+    return results, stats
+
+
+def _attach_shared_memory(name: str):
+    """Attach to the arena without registering with the resource tracker.
+
+    On Python < 3.13 an *attach* registers the block as if this process
+    created it; with forked workers sharing the parent's tracker that
+    produces duplicate register/unregister races (KeyError tracebacks
+    in the tracker) and spurious unlinks of a block the parent owns.
+    Only the creating parent may track and unlink, so registration is
+    suppressed for the duration of the attach.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _register(res_name, rtype):  # pragma: no cover - py<3.13 path
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = _register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except ImportError:  # pragma: no cover - platform without a tracker
+        return shared_memory.SharedMemory(name=name)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory schedule arena
+# ---------------------------------------------------------------------------
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def _schedule_from_arena(shm, entry_index: int) -> Schedule:
+    length, mask_offset, ts_offset = shm.entries[entry_index]
+    mask = np.ndarray(
+        (length,), dtype=np.uint8, buffer=shm.buf, offset=mask_offset
+    ).astype(bool)
+    if ts_offset >= 0:
+        times = np.ndarray(
+            (length,), dtype=np.float64, buffer=shm.buf, offset=ts_offset
+        )
+        requests = [
+            Request(
+                Operation.WRITE if is_write else Operation.READ,
+                timestamp=float(timestamp),
+            )
+            for is_write, timestamp in zip(mask, times)
+        ]
+    else:
+        requests = [
+            Request(Operation.WRITE if is_write else Operation.READ)
+            for is_write in mask
+        ]
+    schedule = Schedule(requests)
+    schedule._prefill_write_mask(mask)
+    return schedule
+
+
+class _ScheduleArena:
+    """Distinct schedules packed once into one shared-memory block."""
+
+    def __init__(self, schedules: Sequence[Schedule]):
+        self.entries: List[Tuple[int, int, int]] = []
+        layouts = []
+        offset = 0
+        for schedule in schedules:
+            length = len(schedule)
+            timestamps = None
+            if any(request.timestamp for request in schedule):
+                timestamps = np.fromiter(
+                    (request.timestamp for request in schedule),
+                    dtype=np.float64,
+                    count=length,
+                )
+            mask_offset = offset
+            offset += length
+            ts_offset = -1
+            if timestamps is not None:
+                ts_offset = _align8(offset)
+                offset = ts_offset + 8 * length
+            else:
+                offset = _align8(offset)
+            layouts.append((schedule, timestamps, mask_offset, ts_offset))
+            self.entries.append((length, mask_offset, ts_offset))
+        self.shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for schedule, timestamps, mask_offset, ts_offset in layouts:
+            length = len(schedule)
+            mask_view = np.ndarray(
+                (length,), dtype=np.uint8, buffer=self.shm.buf,
+                offset=mask_offset,
+            )
+            mask_view[:] = schedule.write_mask()
+            if timestamps is not None:
+                ts_view = np.ndarray(
+                    (length,), dtype=np.float64, buffer=self.shm.buf,
+                    offset=ts_offset,
+                )
+                ts_view[:] = timestamps
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def destroy(self) -> None:
+        self.shm.close()
+        self.shm.unlink()
+
+
+def _shippable_via_arena(schedule: Schedule) -> bool:
+    """Whether the arena encoding is lossless for this schedule.
+
+    The arena carries operations + timestamps; a schedule whose
+    requests name objects (the multi-object model) must travel inline.
+    """
+    return not any(request.objects for request in schedule)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class SweepExecutor:
+    """Deterministic parallel map over sweep tasks, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs everything in
+        process — the serial degenerate case every parallel run must
+        match byte-for-byte.
+    cache:
+        A :class:`~repro.engine.cache.ResultCache`, or ``None`` to run
+        every task cold.
+    chunk_size:
+        Tasks per worker chunk; default balances ~4 chunks per worker.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        if jobs < 1:
+            raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.jobs = jobs
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self.tasks = 0
+        self.executed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.workers: Dict[int, Dict[str, Any]] = {}
+        #: Per-index cache flags of the most recent :meth:`map` call.
+        self.last_map_cached: List[bool] = []
+
+    # -- public API ----------------------------------------------------
+
+    def map(
+        self,
+        tasks: Sequence[SweepTask],
+        chunk_size: Optional[int] = None,
+    ) -> List[Any]:
+        """Execute ``tasks``; results in task order.
+
+        :class:`EngineTask` items yield :class:`SweepOutcome`;
+        :class:`FunctionTask` items yield their return value.  A task
+        failure raises (after in-flight chunks drain) — a sweep is a
+        reproduction artifact, and a silently missing grid point would
+        corrupt it.
+        """
+        tasks = list(tasks)
+        results: List[Any] = [None] * len(tasks)
+        cached = [False] * len(tasks)
+        keys: List[Optional[str]] = [None] * len(tasks)
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            key = _task_key(task) if self.cache is not None else None
+            keys[index] = key
+            if key is not None:
+                hit = self.cache.get(key)
+                if hit is not ResultCache.MISS:
+                    results[index] = _revive(task, hit)
+                    cached[index] = True
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._execute_serial(tasks, pending, results)
+            else:
+                self._execute_parallel(tasks, pending, results, chunk_size)
+            if self.cache is not None:
+                for index in pending:
+                    if keys[index] is not None:
+                        self.cache.put(keys[index],
+                                       _strip_for_cache(results[index]))
+
+        self.tasks += len(tasks)
+        self.executed += len(pending)
+        hits = sum(cached)
+        self.cache_hits += hits
+        self.cache_misses += sum(
+            1 for index in pending if keys[index] is not None
+        )
+        self.last_map_cached = cached
+        return results
+
+    def report(self) -> Dict[str, Any]:
+        """Executor totals plus the aggregated per-worker dispatch report."""
+        merged = _merge_summaries(self.workers.values())
+        return {
+            "jobs": self.jobs,
+            "tasks": self.tasks,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "dispatch": merged,
+            "workers": {pid: dict(stats)
+                        for pid, stats in sorted(self.workers.items())},
+        }
+
+    # -- execution paths -----------------------------------------------
+
+    def _execute_serial(self, tasks, pending, results) -> None:
+        counters = CounterInstrumentation()
+        started = time.perf_counter()
+        calls = 0
+        for index in pending:
+            task = tasks[index]
+            if isinstance(task, FunctionTask):
+                calls += 1
+                results[index] = task.fn(*task.args, **dict(task.kwargs))
+            else:
+                schedule = task.schedule
+                if isinstance(schedule, ScheduleSpec):
+                    schedule = schedule.build()
+                results[index] = _execute_engine_task(task, schedule, counters)
+        stats = counters.summary()
+        stats["pid"] = os.getpid()
+        stats["tasks"] = len(pending)
+        stats["function_calls"] = calls
+        stats["wall_seconds"] = time.perf_counter() - started
+        self._absorb_worker(stats)
+
+    def _execute_parallel(self, tasks, pending, results, chunk_size) -> None:
+        arena, items = self._pack(tasks, pending)
+        size = chunk_size or self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(items) / (self.jobs * 4)))
+        chunks = [items[start:start + size]
+                  for start in range(0, len(items), size)]
+        shm_name = arena.name if arena is not None else None
+        entries = arena.entries if arena is not None else []
+        workers = min(self.jobs, len(chunks))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_chunk, (shm_name, entries, chunk))
+                    for chunk in chunks
+                ]
+                outstanding = set(futures)
+                failure: Optional[BaseException] = None
+                while outstanding:
+                    done, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        try:
+                            chunk_results, stats = future.result()
+                        except BaseException as error:
+                            failure = failure or error
+                            continue
+                        for index, outcome in chunk_results:
+                            results[index] = outcome
+                        self._absorb_worker(stats)
+                if failure is not None:
+                    raise failure
+        finally:
+            if arena is not None:
+                arena.destroy()
+
+    def _pack(self, tasks, pending):
+        """Build the shared-memory arena and the per-task payloads."""
+        arena_index: Dict[str, int] = {}
+        arena_schedules: List[Schedule] = []
+        items = []
+        for index in pending:
+            task = tasks[index]
+            if isinstance(task, FunctionTask):
+                items.append((index, task, None))
+                continue
+            schedule = task.schedule
+            if isinstance(schedule, ScheduleSpec):
+                sched_ref = ("spec", schedule)
+            elif not _shippable_via_arena(schedule):
+                sched_ref = ("inline", schedule)
+            else:
+                digest = schedule.content_digest()
+                if digest not in arena_index:
+                    arena_index[digest] = len(arena_schedules)
+                    arena_schedules.append(schedule)
+                sched_ref = ("arena", arena_index[digest])
+            items.append(
+                (index, dataclasses.replace(task, schedule=_SHIPPED),
+                 sched_ref)
+            )
+        arena = _ScheduleArena(arena_schedules) if arena_schedules else None
+        return arena, items
+
+    def _absorb_worker(self, stats: Dict[str, Any]) -> None:
+        pid = stats.get("pid", 0)
+        known = self.workers.get(pid)
+        if known is None:
+            self.workers[pid] = dict(stats)
+        else:
+            self.workers[pid] = _merge_summaries([known, stats], pid=pid)
+
+
+def _revive(task: SweepTask, payload: Any) -> Any:
+    """A cache hit, re-labeled for the requesting task."""
+    if isinstance(payload, SweepOutcome):
+        tag = task.tag if isinstance(task, EngineTask) else None
+        return dataclasses.replace(payload, tag=tag, from_cache=True)
+    return payload
+
+
+def _strip_for_cache(payload: Any) -> Any:
+    """Drop per-call labels before storing (tags are not content)."""
+    if isinstance(payload, SweepOutcome):
+        return dataclasses.replace(payload, tag=None, from_cache=False)
+    return payload
+
+
+_COUNTER_KEYS = ("runs", "requests", "total_cost", "wall_seconds",
+                 "tasks", "function_calls")
+
+
+def _merge_summaries(summaries, pid: Optional[int] = None) -> Dict[str, Any]:
+    """Sum instrumentation summaries (counters add, mappings merge)."""
+    merged: Dict[str, Any] = {
+        key: 0 for key in _COUNTER_KEYS
+    }
+    merged["backend_runs"] = {}
+    merged["event_counts"] = {}
+    merged["fallbacks"] = []
+    for summary in summaries:
+        for key in _COUNTER_KEYS:
+            merged[key] += summary.get(key, 0)
+        for backend, count in summary.get("backend_runs", {}).items():
+            merged["backend_runs"][backend] = (
+                merged["backend_runs"].get(backend, 0) + count
+            )
+        for kind, count in summary.get("event_counts", {}).items():
+            merged["event_counts"][kind] = (
+                merged["event_counts"].get(kind, 0) + count
+            )
+        merged["fallbacks"].extend(summary.get("fallbacks", ()))
+    if pid is not None:
+        merged["pid"] = pid
+    return merged
+
+
+def serial_executor() -> SweepExecutor:
+    """A fresh uncached serial executor (the ``jobs=1`` degenerate case)."""
+    return SweepExecutor(jobs=1, cache=None)

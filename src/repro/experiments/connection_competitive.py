@@ -23,6 +23,7 @@ from ..analysis.competitive import (
 from ..core.offline import OfflineOptimal
 from ..core.registry import make_algorithm
 from ..costmodels.connection import ConnectionCostModel
+from ..engine.parallel import FunctionTask
 from ..workload.adversary import (
     GreedyAdversary,
     all_reads,
@@ -33,6 +34,25 @@ from ..workload.poisson import bernoulli_schedule
 from .harness import Check, Experiment, ExperimentResult
 
 __all__ = ["ConnectionCompetitive"]
+
+
+def _measured_ratio(name, schedule):
+    """One online-vs-offline measurement (module-level: picklable)."""
+    model = ConnectionCostModel()
+    return measure_competitive_ratio(
+        make_algorithm(name), schedule, model, OfflineOptimal(model)
+    )
+
+
+def _family_measurements(name, schedules, greedy_seed, length):
+    """Ratios over fixed schedules plus a fresh greedy-adversarial one."""
+    model = ConnectionCostModel()
+    algorithm = make_algorithm(name)
+    family = list(schedules)
+    family.append(
+        GreedyAdversary(algorithm, model, seed=greedy_seed).generate(length)
+    )
+    return ratio_over_family(algorithm, family, model), len(family)
 
 
 class ConnectionCompetitive(Experiment):
@@ -47,18 +67,39 @@ class ConnectionCompetitive(Experiment):
 
     def _execute(self, quick: bool) -> ExperimentResult:
         result = self._new_result()
-        model = ConnectionCostModel()
-        offline = OfflineOptimal(model)
+        cycles = 50 if quick else 400
+        num_random = 10 if quick else 60
+        length = 300 if quick else 1_500
+        lengths = (10, 100, 1_000)
+
+        # Build the whole measurement grid, fan it across the executor,
+        # then consume the outcomes in the same order.
+        tasks = []
+        for name, family in (("st1", all_reads), ("st2", all_writes)):
+            for n in lengths:
+                tasks.append(FunctionTask.call(_measured_ratio, name, family(n)))
+        for k in self.WINDOW_SIZES:
+            tasks.append(
+                FunctionTask.call(
+                    _measured_ratio, f"sw{k}", swk_tight_schedule(k, cycles)
+                )
+            )
+        rng = np.random.default_rng(31337)
+        for k in self.WINDOW_SIZES:
+            schedules = tuple(
+                bernoulli_schedule(float(theta), length, rng=rng)
+                for theta in rng.random(num_random)
+            )
+            tasks.append(
+                FunctionTask.call(
+                    _family_measurements, f"sw{k}", schedules, 5, length
+                )
+            )
+        outcomes = iter(self.executor.map(tasks))
 
         # Statics: the ratio diverges with schedule length.
-        lengths = (10, 100, 1_000)
         for name, family in (("st1", all_reads), ("st2", all_writes)):
-            measurements = [
-                measure_competitive_ratio(
-                    make_algorithm(name), family(n), model, offline
-                )
-                for n in lengths
-            ]
+            measurements = [next(outcomes) for _ in lengths]
             result.rows.append(
                 {
                     "algorithm": name,
@@ -89,12 +130,8 @@ class ConnectionCompetitive(Experiment):
             )
 
         # SWk: the tight family realizes exactly k+1.
-        cycles = 50 if quick else 400
         for k in self.WINDOW_SIZES:
-            schedule = swk_tight_schedule(k, cycles)
-            measurement = measure_competitive_ratio(
-                make_algorithm(f"sw{k}"), schedule, model, offline
-            )
+            measurement = next(outcomes)
             result.rows.append(
                 {
                     "algorithm": f"sw{k}",
@@ -114,25 +151,14 @@ class ConnectionCompetitive(Experiment):
             )
 
         # Upper bound on random + greedy-adversarial schedules.
-        rng = np.random.default_rng(31337)
-        num_random = 10 if quick else 60
-        length = 300 if quick else 1_500
         for k in self.WINDOW_SIZES:
-            algorithm = make_algorithm(f"sw{k}")
-            schedules = [
-                bernoulli_schedule(float(theta), length, rng=rng)
-                for theta in rng.random(num_random)
-            ]
-            schedules.append(
-                GreedyAdversary(algorithm, model, seed=5).generate(length)
-            )
-            measurements = ratio_over_family(algorithm, schedules, model)
+            measurements, family_size = next(outcomes)
             violations = exceeds_bound(measurements, factor=k + 1, additive=k + 1)
             worst = max(m.ratio_with_additive(k + 1) for m in measurements)
             result.checks.append(
                 Check(
                     f"SW{k} cost <= (k+1)*OPT + (k+1) on "
-                    f"{len(schedules)} random/greedy schedules",
+                    f"{family_size} random/greedy schedules",
                     not violations,
                     f"worst net ratio {worst:.3f} vs bound {k + 1}",
                 )

@@ -15,9 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import dominance
-from ..analysis.numerics import monte_carlo_expected_cost
-from ..core.registry import make_algorithm
 from ..costmodels.message import MessageCostModel
+from ..engine.parallel import EngineTask, ScheduleSpec
 from .harness import Check, Experiment, ExperimentResult
 from .tables import format_region_map
 
@@ -79,14 +78,24 @@ class Figure1Dominance(Experiment):
             (0.55, 0.40, "sw1"),
         ]
         length = 4_000 if quick else 40_000
+        warmup = 500
+        tasks = [
+            EngineTask(
+                name,
+                ScheduleSpec(theta, warmup + length, seed=1234),
+                MessageCostModel(omega),
+                warmup=warmup,
+                tag=(theta, omega, name),
+            )
+            for theta, omega, _expected in probe_points
+            for name in ("st1", "st2", "sw1")
+        ]
+        outcomes = iter(self.executor.map(tasks))
         rows = []
         for theta, omega, expected_winner in probe_points:
-            model = MessageCostModel(omega)
-            estimates = {}
-            for name in ("st1", "st2", "sw1"):
-                estimates[name] = monte_carlo_expected_cost(
-                    make_algorithm(name), model, theta, length=length, seed=1234
-                )
+            estimates = {
+                name: next(outcomes).mean_cost for name in ("st1", "st2", "sw1")
+            }
             simulated_winner = min(estimates, key=estimates.get)
             rows.append(
                 {

@@ -5,10 +5,14 @@ from __future__ import annotations
 import abc
 import json
 import time
+import typing
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from .tables import format_table
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..engine.parallel import SweepExecutor
 
 __all__ = ["Check", "ExperimentResult", "Experiment"]
 
@@ -52,6 +56,10 @@ class ExperimentResult:
     #: Pre-rendered ASCII artifacts (region maps, staircases, ...).
     figures: List[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: True when this result was served from the content-addressed
+    #: result cache instead of executed (``elapsed_seconds`` then
+    #: reports the original cold run).
+    from_cache: bool = False
 
     @property
     def passed(self) -> bool:
@@ -69,6 +77,7 @@ class ExperimentResult:
             "paper_claim": self.paper_claim,
             "passed": self.passed,
             "elapsed_seconds": self.elapsed_seconds,
+            "from_cache": self.from_cache,
             "rows": [
                 {key: _jsonable(value) for key, value in row.items()}
                 for row in self.rows
@@ -118,13 +127,37 @@ class Experiment(abc.ABC):
     #: The paper statement being reproduced, quoted or paraphrased.
     paper_claim: str = ""
 
-    def run(self, quick: bool = False) -> ExperimentResult:
+    _executor: Optional["SweepExecutor"] = None
+
+    @property
+    def executor(self) -> "SweepExecutor":
+        """The sweep executor this run fans grids onto.
+
+        Defaults to a fresh serial executor, so an experiment body can
+        unconditionally write ``self.executor.map(tasks)`` and behave
+        identically whether it was invoked standalone or under
+        ``run(..., executor=...)`` with workers and a cache attached.
+        """
+        if self._executor is None:
+            from ..engine.parallel import serial_executor
+
+            self._executor = serial_executor()
+        return self._executor
+
+    def run(
+        self,
+        quick: bool = False,
+        executor: Optional["SweepExecutor"] = None,
+    ) -> ExperimentResult:
         """Execute the experiment.
 
         ``quick`` shrinks Monte-Carlo sample sizes so benchmarks finish
         fast; the checks still run, with correspondingly looser
-        tolerances chosen by each experiment.
+        tolerances chosen by each experiment.  ``executor`` lets the
+        caller supply a parallel/cached :class:`SweepExecutor`; sweeps
+        produce identical bytes either way.
         """
+        self._executor = executor
         started = time.perf_counter()
         result = self._execute(quick=quick)
         result.elapsed_seconds = time.perf_counter() - started

@@ -18,7 +18,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..costmodels.connection import ConnectionCostModel
-from ..engine import run as engine_run
+from ..engine.parallel import EngineTask
 from ..sim.faults import FaultConfig
 from ..workload.poisson import bernoulli_schedule
 from .harness import Check, Experiment, ExperimentResult
@@ -59,52 +59,78 @@ class FaultToleranceSweep(Experiment):
         resyncs_ok = True
         mismatches = []
 
+        # One grid: per algorithm a fault-free baseline, a jitter-only
+        # calm run, and one chaos run per loss rate — all independent
+        # engine runs, fanned across the sweep executor.
+        tasks = []
         for name in self.ALGORITHMS:
-            baseline = engine_run(name, schedule, model, backend="protocol")
-            base_kinds = baseline.raw.event_kinds
-            base_breakdown = baseline.raw.ledger.total_breakdown()
+            tasks.append(
+                EngineTask(
+                    name, schedule, model, backend="protocol",
+                    capture_kinds=True, capture_wire=True,
+                    tag=(name, "baseline"),
+                )
+            )
+            tasks.append(
+                EngineTask(
+                    name, schedule, model,
+                    faults=FaultConfig(
+                        delay_jitter=0.02,
+                        seed=self.ALGORITHMS.index(name),
+                    ),
+                    capture_wire=True,
+                    tag=(name, "calm"),
+                )
+            )
+            for rate in self.LOSS_RATES:
+                tasks.append(
+                    EngineTask(
+                        name, schedule, model,
+                        faults=FaultConfig(
+                            drop=rate,
+                            duplicate=rate / 2,
+                            reorder=rate,
+                            delay_jitter=0.02,
+                            seed=self.ALGORITHMS.index(name) * 1009
+                            + int(rate * 1000),
+                            episodes=(episode,),
+                        ),
+                        capture_kinds=True,
+                        capture_wire=True,
+                        tag=(name, rate),
+                    )
+                )
+        outcomes = iter(self.executor.map(tasks))
+
+        for name in self.ALGORITHMS:
+            baseline = next(outcomes)
+            base_kinds = baseline.event_kinds
+            base_breakdown = baseline.wire.breakdown
             # A jitter-only transport (no losses, no outage): the ARQ
             # machinery idles — acks flow, but the RTO never fires.
-            calm = engine_run(
-                name,
-                schedule,
-                model,
-                faults=FaultConfig(
-                    delay_jitter=0.02,
-                    seed=self.ALGORITHMS.index(name),
-                ),
-            )
-            if calm.raw.overhead.retransmissions != 0:
+            calm = next(outcomes)
+            if calm.wire.overhead["retransmissions"] != 0:
                 zero_loss_clean = False
             row: Dict[str, object] = {"algorithm": name}
             for rate in self.LOSS_RATES:
-                faults = FaultConfig(
-                    drop=rate,
-                    duplicate=rate / 2,
-                    reorder=rate,
-                    delay_jitter=0.02,
-                    seed=self.ALGORITHMS.index(name) * 1009
-                    + int(rate * 1000),
-                    episodes=(episode,),
-                )
-                chaos = engine_run(name, schedule, model, faults=faults)
-                raw = chaos.raw
+                chaos = next(outcomes)
                 equivalent = (
-                    raw.event_kinds == base_kinds
-                    and raw.ledger.total_breakdown() == base_breakdown
+                    chaos.event_kinds == base_kinds
+                    and chaos.wire.breakdown == base_breakdown
                     and chaos.total_cost == baseline.total_cost
                 )
                 if not equivalent:
                     all_equivalent = False
                     mismatches.append(f"{name}@{rate}")
-                overhead = raw.overhead
-                logical = raw.ledger.logical_message_count()
+                logical = chaos.wire.logical_messages
                 per_message = (
-                    overhead.overhead_messages / logical if logical else 0.0
+                    chaos.wire.overhead_messages / logical if logical else 0.0
                 )
                 overhead_per_message[(name, rate)] = per_message
-                retransmissions[(name, rate)] = overhead.retransmissions
-                if raw.resyncs_verified < 1:
+                retransmissions[(name, rate)] = (
+                    chaos.wire.overhead["retransmissions"]
+                )
+                if chaos.wire.resyncs_verified < 1:
                     resyncs_ok = False
                 row[f"ovh@{rate:g}"] = round(per_message, 3)
             result.rows.append(row)

@@ -22,6 +22,7 @@ from ..analysis.competitive import (
 from ..core.offline import OfflineOptimal
 from ..core.registry import make_algorithm
 from ..costmodels.message import MessageCostModel
+from ..engine.parallel import FunctionTask
 from ..workload.adversary import (
     GreedyAdversary,
     all_reads,
@@ -33,6 +34,25 @@ from ..workload.poisson import bernoulli_schedule
 from .harness import Check, Experiment, ExperimentResult
 
 __all__ = ["MessageCompetitive"]
+
+
+def _measured_ratio(name, schedule, omega):
+    """One online-vs-offline measurement (module-level: picklable)."""
+    model = MessageCostModel(omega)
+    return measure_competitive_ratio(
+        make_algorithm(name), schedule, model, OfflineOptimal(model)
+    )
+
+
+def _family_measurements(name, schedules, omega, greedy_seed, length):
+    """Ratios over fixed schedules plus a fresh greedy-adversarial one."""
+    model = MessageCostModel(omega)
+    algorithm = make_algorithm(name)
+    family = list(schedules)
+    family.append(
+        GreedyAdversary(algorithm, model, seed=greedy_seed).generate(length)
+    )
+    return ratio_over_family(algorithm, family, model), len(family)
 
 
 class MessageCompetitive(Experiment):
@@ -49,15 +69,52 @@ class MessageCompetitive(Experiment):
     def _execute(self, quick: bool) -> ExperimentResult:
         result = self._new_result()
         cycles = 50 if quick else 400
+        num_random = 8 if quick else 40
+        length = 300 if quick else 1_200
+
+        # Build the whole grid of measurements first, fan it across the
+        # executor, then consume the outcomes in the same order.
+        tasks = []
+        for omega in self.OMEGAS:
+            tasks.append(
+                FunctionTask.call(_measured_ratio, "st1", all_reads(1_000), omega)
+            )
+            tasks.append(
+                FunctionTask.call(_measured_ratio, "st2", all_writes(1_000), omega)
+            )
+            tasks.append(
+                FunctionTask.call(
+                    _measured_ratio, "sw1", sw1_tight_schedule(cycles), omega
+                )
+            )
+            for k in self.WINDOW_SIZES:
+                tasks.append(
+                    FunctionTask.call(
+                        _measured_ratio,
+                        f"sw{k}",
+                        swk_tight_schedule(k, cycles),
+                        omega,
+                    )
+                )
+            # Random schedules draw from one sequential generator (the
+            # historical stream); the adaptive greedy schedule is grown
+            # inside the worker from its pinned seed.
+            rng = np.random.default_rng(12345)
+            for name in ["sw1", *[f"sw{k}" for k in self.WINDOW_SIZES]]:
+                schedules = tuple(
+                    bernoulli_schedule(float(theta), length, rng=rng)
+                    for theta in rng.random(num_random)
+                )
+                tasks.append(
+                    FunctionTask.call(
+                        _family_measurements, name, schedules, omega, 6, length
+                    )
+                )
+        outcomes = iter(self.executor.map(tasks))
 
         for omega in self.OMEGAS:
-            model = MessageCostModel(omega)
-            offline = OfflineOptimal(model)
-
             # Statics: not competitive.
-            divergence = measure_competitive_ratio(
-                make_algorithm("st1"), all_reads(1_000), model, offline
-            )
+            divergence = next(outcomes)
             result.checks.append(
                 Check(
                     f"ST1 not competitive at omega={omega}",
@@ -65,9 +122,7 @@ class MessageCompetitive(Experiment):
                     f"ratio {divergence.ratio:.1f} on 1000 reads",
                 )
             )
-            divergence = measure_competitive_ratio(
-                make_algorithm("st2"), all_writes(1_000), model, offline
-            )
+            divergence = next(outcomes)
             result.checks.append(
                 Check(
                     f"ST2 not competitive at omega={omega}",
@@ -78,9 +133,7 @@ class MessageCompetitive(Experiment):
 
             # SW1 tight family.
             claimed_sw1 = ma.competitive_factor_sw1(omega)
-            measurement = measure_competitive_ratio(
-                make_algorithm("sw1"), sw1_tight_schedule(cycles), model, offline
-            )
+            measurement = next(outcomes)
             result.rows.append(
                 {
                     "omega": omega,
@@ -100,12 +153,7 @@ class MessageCompetitive(Experiment):
             # SWk tight family.
             for k in self.WINDOW_SIZES:
                 claimed = ma.competitive_factor_swk(k, omega)
-                measurement = measure_competitive_ratio(
-                    make_algorithm(f"sw{k}"),
-                    swk_tight_schedule(k, cycles),
-                    model,
-                    offline,
-                )
+                measurement = next(outcomes)
                 result.rows.append(
                     {
                         "omega": omega,
@@ -124,9 +172,6 @@ class MessageCompetitive(Experiment):
                 )
 
             # Upper bounds on random + greedy schedules.
-            rng = np.random.default_rng(12345)
-            num_random = 8 if quick else 40
-            length = 300 if quick else 1_200
             for name, factor in [
                 ("sw1", claimed_sw1),
                 *[
@@ -134,22 +179,14 @@ class MessageCompetitive(Experiment):
                     for k in self.WINDOW_SIZES
                 ],
             ]:
-                algorithm = make_algorithm(name)
-                schedules = [
-                    bernoulli_schedule(float(theta), length, rng=rng)
-                    for theta in rng.random(num_random)
-                ]
-                schedules.append(
-                    GreedyAdversary(algorithm, model, seed=6).generate(length)
-                )
-                measurements = ratio_over_family(algorithm, schedules, model)
+                measurements, family_size = next(outcomes)
                 additive = factor  # start-up allowance
                 violations = exceeds_bound(measurements, factor, additive)
                 result.checks.append(
                     Check(
                         f"{name} bound holds on random/greedy at omega={omega}",
                         not violations,
-                        f"factor {factor:.3f}, {len(schedules)} schedules",
+                        f"factor {factor:.3f}, {family_size} schedules",
                     )
                 )
         return result

@@ -24,11 +24,42 @@ from ..core.multi_object import (
     expected_cost,
 )
 from ..costmodels.connection import ConnectionCostModel
+from ..engine.parallel import FunctionTask
 from ..types import AllocationScheme
 from ..workload.multi_object import MultiObjectWorkload
+from ..workload.seeding import resolve_rng, spawn_seeds
 from .harness import Check, Experiment, ExperimentResult
 
 __all__ = ["MultiObjectAllocation"]
+
+
+def _agreement_trial(child_seed) -> bool:
+    """One randomized min-cut-vs-exhaustive trial; True iff they agree.
+
+    Seeded by a spawned ``SeedSequence`` child, so trial ``i`` samples
+    the same spec whether the sweep runs serially or fanned across
+    workers.
+    """
+    rng = resolve_rng(child_seed)
+    model = ConnectionCostModel()
+    num_objects = int(rng.integers(2, 7))
+    names = [f"o{i}" for i in range(num_objects)]
+    frequencies = {}
+    for _op in range(int(rng.integers(3, 10))):
+        size = int(rng.integers(1, min(3, num_objects) + 1))
+        subset = rng.choice(names, size=size, replace=False)
+        op_class = (
+            OperationClass.read(*subset)
+            if rng.random() < 0.5
+            else OperationClass.write(*subset)
+        )
+        frequencies[op_class] = frequencies.get(op_class, 0.0) + float(
+            rng.uniform(0.1, 10.0)
+        )
+    random_spec = MultiObjectWorkloadSpec(frequencies)
+    _, cost_a = ExhaustiveStaticOptimizer(model).optimize(random_spec)
+    _, cost_b = MinCutStaticOptimizer(model).optimize(random_spec)
+    return abs(cost_a - cost_b) <= 1e-9
 
 _ONE = AllocationScheme.ONE_COPY
 _TWO = AllocationScheme.TWO_COPIES
@@ -128,30 +159,16 @@ class MultiObjectAllocation(Experiment):
         )
 
         # Randomized agreement sweep (objects up to 6, joint ops up to
-        # 3 objects — beyond the paper's sketch).
-        rng = np.random.default_rng(4321)
+        # 3 objects — beyond the paper's sketch).  One task per trial,
+        # each seeded by its own spawned child.
         trials = 10 if quick else 60
-        disagreements = 0
-        for _trial in range(trials):
-            num_objects = int(rng.integers(2, 7))
-            names = [f"o{i}" for i in range(num_objects)]
-            frequencies = {}
-            for _op in range(int(rng.integers(3, 10))):
-                size = int(rng.integers(1, min(3, num_objects) + 1))
-                subset = rng.choice(names, size=size, replace=False)
-                op_class = (
-                    OperationClass.read(*subset)
-                    if rng.random() < 0.5
-                    else OperationClass.write(*subset)
-                )
-                frequencies[op_class] = frequencies.get(op_class, 0.0) + float(
-                    rng.uniform(0.1, 10.0)
-                )
-            random_spec = MultiObjectWorkloadSpec(frequencies)
-            _, cost_a = ExhaustiveStaticOptimizer(model).optimize(random_spec)
-            _, cost_b = MinCutStaticOptimizer(model).optimize(random_spec)
-            if abs(cost_a - cost_b) > 1e-9:
-                disagreements += 1
+        agreements = self.executor.map(
+            [
+                FunctionTask.call(_agreement_trial, child)
+                for child in spawn_seeds(4321, trials)
+            ]
+        )
+        disagreements = sum(1 for agreed in agreements if not agreed)
         result.checks.append(
             Check(
                 "min-cut == exhaustive on randomized specs",

@@ -1,10 +1,17 @@
-"""Experiment lookup: id → experiment instance."""
+"""Experiment lookup: id → experiment instance, and the run-all driver."""
 
 from __future__ import annotations
 
-from typing import Dict, List
+import hashlib
+import importlib
+import typing
+from typing import Dict, List, Optional, Sequence
 
+from .._version import __version__
 from ..exceptions import UnknownExperimentError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..engine.cache import ResultCache
 from .ablations import Ablations
 from .adaptation import AdaptationProfiles
 from .bursty import BurstinessSweep
@@ -65,6 +72,94 @@ def get_experiment(experiment_id: str) -> Experiment:
     return cls()
 
 
-def run_all(quick: bool = False) -> List[ExperimentResult]:
-    """Run every experiment; returns the results in index order."""
-    return [get_experiment(eid).run(quick=quick) for eid in all_experiment_ids()]
+#: Rough relative wall-clock weights (full-fidelity runs), used only to
+#: order experiments longest-first when fanning across workers so the
+#: heavy ones do not land last and serialize the tail.
+_RUNTIME_WEIGHTS = {
+    "t-adaptation": 78,
+    "t-estimators": 64,
+    "t-msg-avg": 12,
+    "t-bursty": 8,
+    "t-loss-rate": 6,
+    "t-exact-chain": 5,
+    "t-conn-avg": 4,
+    "t-multi-object": 3,
+    "t-ablations": 3,
+}
+
+
+def _module_fingerprint(module_name: str) -> str:
+    """SHA-256 of a module's source (cache keys must see code edits)."""
+    module = importlib.import_module(module_name)
+    path = getattr(module, "__file__", None)
+    if path is None:
+        return module_name
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+def _run_experiment(experiment_id: str, quick: bool) -> ExperimentResult:
+    """Module-level experiment runner (picklable for worker processes)."""
+    return get_experiment(experiment_id).run(quick=quick)
+
+
+def run_all(
+    quick: bool = False,
+    jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+    only: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Run experiments; returns the results in index order.
+
+    ``jobs`` fans whole experiments across worker processes (each
+    experiment's internal sweeps then run serially inside its worker);
+    ``jobs=1`` is the serial degenerate case and produces identical
+    results.  With a ``cache``, an experiment whose id, quick flag,
+    package version and module source all match a previous run is
+    served from disk and flagged ``from_cache``.  ``only`` restricts to
+    the given ids (validated), keeping index order.
+    """
+    from ..engine.parallel import FunctionTask, SweepExecutor
+
+    if only is None:
+        ids = all_experiment_ids()
+    else:
+        ids = [eid for eid in all_experiment_ids() if eid in set(only)]
+        unknown = set(only) - set(ids)
+        if unknown:
+            raise UnknownExperimentError(
+                f"unknown experiment ids {sorted(unknown)}; "
+                f"available: {all_experiment_ids()}"
+            )
+
+    tasks = [
+        FunctionTask.call(
+            _run_experiment,
+            eid,
+            quick,
+            cache_key=(
+                "experiment",
+                eid,
+                bool(quick),
+                __version__,
+                _module_fingerprint(_BY_ID[eid].__module__),
+            ),
+            tag=eid,
+        )
+        for eid in ids
+    ]
+    # Longest-first submission keeps the heavy experiments off the tail
+    # of the schedule; results are re-ordered back to index order below.
+    order = sorted(
+        range(len(ids)),
+        key=lambda i: -_RUNTIME_WEIGHTS.get(ids[i], 1),
+    )
+    executor = SweepExecutor(jobs=jobs, cache=cache, chunk_size=1)
+    mapped = executor.map([tasks[i] for i in order])
+    results: List[Optional[ExperimentResult]] = [None] * len(ids)
+    for position, index in enumerate(order):
+        result = mapped[position]
+        if executor.last_map_cached[position]:
+            result.from_cache = True
+        results[index] = result
+    return results  # type: ignore[return-value]

@@ -140,11 +140,12 @@ class Schedule(Sequence[Request]):
     schedule ``w, r, r, r, w, r, w`` from section 3.
     """
 
-    __slots__ = ("_requests", "_write_mask")
+    __slots__ = ("_requests", "_write_mask", "_content_digest")
 
     def __init__(self, requests: Iterable[Request] = ()):
         self._requests: Tuple[Request, ...] = tuple(requests)
         self._write_mask: Optional[np.ndarray] = None
+        self._content_digest: Optional[str] = None
         for position, request in enumerate(self._requests):
             if not isinstance(request, Request):
                 raise InvalidScheduleError(
@@ -249,6 +250,38 @@ class Schedule(Sequence[Request]):
         mask = mask.copy()
         mask.setflags(write=False)
         self._write_mask = mask
+
+    def content_digest(self) -> str:
+        """SHA-256 over the schedule's content; cached (immutability).
+
+        Covers the operation sequence (bit-packed write mask), the
+        timestamps when any are non-zero, and the object sets when any
+        request names objects — everything an execution backend can
+        observe.  This is the schedule half of the content-addressed
+        result-cache key.
+        """
+        if self._content_digest is None:
+            import hashlib
+
+            digest = hashlib.sha256(b"repro-schedule/1")
+            digest.update(str(len(self._requests)).encode())
+            digest.update(b";")
+            digest.update(np.packbits(self.write_mask()).tobytes())
+            if any(r.timestamp for r in self._requests):
+                digest.update(b"|ts|")
+                times = np.fromiter(
+                    (r.timestamp for r in self._requests),
+                    dtype=np.float64,
+                    count=len(self._requests),
+                )
+                digest.update(times.tobytes())
+            if any(r.objects for r in self._requests):
+                digest.update(b"|obj|")
+                digest.update(
+                    repr(tuple(r.objects for r in self._requests)).encode()
+                )
+            self._content_digest = digest.hexdigest()
+        return self._content_digest
 
     @property
     def read_count(self) -> int:

@@ -30,6 +30,7 @@ from .catalog import CatalogWorkload, ItemRates
 from .multi_object import MultiObjectWorkload
 from .poisson import PoissonWorkload, bernoulli_schedule, theta_from_rates
 from .regimes import RegimePeriod, RegimeWorkload, uniform_theta_regimes
+from .seeding import SeedLike, resolve_rng, seed_fingerprint, spawn_seeds
 from .trace import (
     TraceProfile,
     dumps_trace,
@@ -57,6 +58,10 @@ __all__ = [
     "RegimePeriod",
     "RegimeWorkload",
     "uniform_theta_regimes",
+    "SeedLike",
+    "resolve_rng",
+    "seed_fingerprint",
+    "spawn_seeds",
     "TraceProfile",
     "load_trace",
     "loads_trace",

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..types import Operation, Request, Schedule, ensure_probability
+from .seeding import SeedLike, resolve_rng
 
 __all__ = ["theta_from_rates", "bernoulli_schedule", "PoissonWorkload"]
 
@@ -42,18 +43,20 @@ def theta_from_rates(read_rate: float, write_rate: float) -> float:
 def bernoulli_schedule(
     theta: float,
     length: int,
-    rng: Optional[np.random.Generator] = None,
+    rng: SeedLike = None,
 ) -> Schedule:
     """``length`` i.i.d. requests, each a write with probability θ.
 
     This is distributionally identical to observing ``length`` relevant
     requests of the merged Poisson stream, which is all the cost
-    analysis needs.
+    analysis needs.  ``rng`` accepts a ready ``Generator``, an int
+    seed, a spawned ``SeedSequence`` (the parallel-sweep discipline of
+    :mod:`repro.workload.seeding`) or ``None`` for OS entropy.
     """
     theta = ensure_probability(theta)
     if length < 0:
         raise InvalidParameterError(f"length must be >= 0, got {length}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
     draws = rng.random(length) < theta
     schedule = Schedule(
         Request(Operation.WRITE if is_write else Operation.READ)
@@ -72,20 +75,21 @@ class PoissonWorkload:
         The Poisson parameters λr (reads at the MC) and λw (writes at
         the SC), in requests per time unit.
     seed:
-        Optional seed; experiments pass explicit seeds so every table
-        in EXPERIMENTS.md is reproducible.
+        Optional seed (int, ``SeedSequence`` or ready ``Generator``);
+        experiments pass explicit seeds so every table in
+        EXPERIMENTS.md is reproducible.
     """
 
     def __init__(
         self,
         read_rate: float,
         write_rate: float,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ):
         self._theta = theta_from_rates(read_rate, write_rate)
         self._read_rate = float(read_rate)
         self._write_rate = float(write_rate)
-        self._rng = np.random.default_rng(seed)
+        self._rng = resolve_rng(seed)
 
     @property
     def theta(self) -> float:

@@ -1,0 +1,91 @@
+"""Deterministic per-grid-point seeding for sweeps.
+
+A sweep that derives each grid point's random stream by *sequentially*
+consuming one shared generator is order-dependent: run the points in a
+different order — or on different workers — and every stream changes.
+The fix is the `numpy` spawning discipline: a root
+:class:`~numpy.random.SeedSequence` spawns one child per grid point,
+and the child — not the parent generator — seeds that point's stream.
+Children are independent, reproducible, and *positional*: grid point
+``i`` draws the same stream whether it runs first, last, serially or
+on worker 7 of a process pool, which is exactly the property the
+parallel sweep executor's byte-identity guarantee rests on.
+
+Workload generators accept anything :func:`resolve_rng` understands
+(``None``, an int seed, a ``SeedSequence``, or a ready ``Generator``),
+so sweep code passes spawned children straight through.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from numpy.random import Generator, SeedSequence, default_rng
+
+__all__ = ["SeedLike", "resolve_rng", "spawn_seeds", "seed_fingerprint"]
+
+#: Everything a workload generator accepts as its source of randomness.
+SeedLike = Union[None, int, Sequence[int], SeedSequence, Generator]
+
+
+def resolve_rng(seed: SeedLike) -> Generator:
+    """A ready ``Generator`` from any accepted seed form.
+
+    A ``Generator`` passes through untouched (the caller owns its
+    state); everything else — ``None``, int, entropy sequence,
+    ``SeedSequence`` — goes through :func:`numpy.random.default_rng`.
+    """
+    if isinstance(seed, Generator):
+        return seed
+    return default_rng(seed)
+
+
+def spawn_seeds(root: SeedLike, count: int) -> List[SeedSequence]:
+    """``count`` independent child ``SeedSequence``s from ``root``.
+
+    ``root`` may be an int/entropy (wrapped into a fresh
+    ``SeedSequence``) or an existing ``SeedSequence`` (spawned from
+    directly, advancing its ``n_children_spawned``).  Child ``i`` is a
+    pure function of ``(root entropy, i)`` — the property that makes
+    serial and parallel sweeps draw identical per-point streams.
+    """
+    if count < 0:
+        from ..exceptions import InvalidParameterError
+
+        raise InvalidParameterError(f"count must be >= 0, got {count}")
+    if isinstance(root, Generator):
+        from ..exceptions import InvalidParameterError
+
+        raise InvalidParameterError(
+            "spawn from a seed or SeedSequence, not a live Generator — "
+            "spawning must not depend on generator state"
+        )
+    sequence = root if isinstance(root, SeedSequence) else SeedSequence(root)
+    return sequence.spawn(count)
+
+
+def seed_fingerprint(seed: SeedLike) -> Optional[Tuple]:
+    """A canonical, content-addressable form of a seed, or ``None``.
+
+    ``None`` (OS entropy) and live ``Generator`` objects have no
+    reproducible content and fingerprint to ``None`` — results keyed on
+    them must not be cached.  Ints, entropy sequences and
+    ``SeedSequence``s (entropy + spawn path) fingerprint to plain
+    tuples suitable for :func:`repro.engine.cache.digest_parts`.
+    """
+    if seed is None or isinstance(seed, Generator):
+        return None
+    if isinstance(seed, SeedSequence):
+        entropy = seed.entropy
+        if entropy is None:
+            return None
+        if isinstance(entropy, (int, np.integer)):
+            entropy_tuple: Tuple = (int(entropy),)
+        else:
+            entropy_tuple = tuple(int(word) for word in entropy)
+        return ("seedseq", entropy_tuple,
+                tuple(int(key) for key in seed.spawn_key))
+    if isinstance(seed, (int, np.integer)):
+        return ("int", int(seed))
+    return ("entropy", tuple(int(word) for word in seed))

@@ -1,0 +1,159 @@
+"""The content-addressed result cache: keys, storage, eviction, CLI."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import (
+    CACHE_SCHEMA,
+    ResultCache,
+    default_cache,
+    digest_parts,
+)
+from repro.exceptions import InvalidParameterError
+from repro.sim.faults import FaultConfig
+from repro.workload import bernoulli_schedule
+
+
+class TestDigestParts:
+    def test_deterministic(self):
+        assert digest_parts("a", 1, 2.5) == digest_parts("a", 1, 2.5)
+
+    def test_order_sensitive(self):
+        assert digest_parts("a", "b") != digest_parts("b", "a")
+
+    def test_no_concatenation_collisions(self):
+        assert digest_parts("ab", "c") != digest_parts("a", "bc")
+        assert digest_parts(("a",), "b") != digest_parts("a", ("b",))
+
+    def test_type_distinctions(self):
+        assert digest_parts(1) != digest_parts("1")
+        assert digest_parts(1) != digest_parts(True)
+        assert digest_parts(None) != digest_parts("None")
+
+    def test_float_precision_preserved(self):
+        assert digest_parts(0.1) != digest_parts(0.1 + 1e-17) or (
+            0.1 == 0.1 + 1e-17
+        )
+        assert digest_parts(0.30000000000000004) != digest_parts(0.3)
+
+    def test_dict_key_order_irrelevant(self):
+        assert digest_parts({"a": 1, "b": 2}) == digest_parts({"b": 2, "a": 1})
+
+    def test_dataclass_encoding(self):
+        calm = FaultConfig(delay_jitter=0.02, seed=1)
+        chaos = FaultConfig(drop=0.1, delay_jitter=0.02, seed=1)
+        assert digest_parts(calm) == digest_parts(
+            FaultConfig(delay_jitter=0.02, seed=1)
+        )
+        assert digest_parts(calm) != digest_parts(chaos)
+
+    def test_numpy_scalars_match_python(self):
+        assert digest_parts(np.int64(7)) == digest_parts(7)
+
+    def test_unencodable_raises(self):
+        with pytest.raises(InvalidParameterError):
+            digest_parts(object())
+
+
+class TestScheduleContentDigest:
+    def test_same_content_same_digest(self):
+        a = bernoulli_schedule(0.3, 500, rng=5)
+        b = bernoulli_schedule(0.3, 500, rng=5)
+        assert a.content_digest() == b.content_digest()
+
+    def test_different_content_different_digest(self):
+        a = bernoulli_schedule(0.3, 500, rng=5)
+        b = bernoulli_schedule(0.3, 500, rng=6)
+        assert a.content_digest() != b.content_digest()
+
+    def test_timestamps_change_digest(self):
+        a = bernoulli_schedule(0.3, 50, rng=5)
+        stamped = a.with_timestamps([float(i) for i in range(50)])
+        assert a.content_digest() != stamped.content_digest()
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = digest_parts("k")
+        assert cache.get(key) is ResultCache.MISS
+        payload = {"rows": [1, 2, 3], "value": 0.5}
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert cache.stats().entries == 1
+
+    def test_none_is_a_valid_cached_value(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = digest_parts("none")
+        cache.put(key, None)
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = digest_parts("corrupt")
+        cache.put(key, [1, 2, 3])
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is ResultCache.MISS
+        assert not path.exists()
+
+    def test_eviction_keeps_recently_used(self, tmp_path):
+        blob = b"x" * 10_000
+        cache = ResultCache(root=tmp_path, max_bytes=45_000)
+        keys = [digest_parts("evict", i) for i in range(4)]
+        for key in keys:
+            cache.put(key, blob)
+        # Touch the first key so it is the most recently used, then
+        # push the store over the cap.
+        os.utime(cache._path(keys[0]), None)
+        cache.put(digest_parts("evict", 99), blob)
+        assert cache.get(keys[0]) != ResultCache.MISS
+        assert cache.stats().total_bytes <= 45_000
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(3):
+            cache.put(digest_parts("clear", i), i)
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(root=tmp_path, max_bytes=0)
+
+
+class TestDefaultCache:
+    def test_env_dir_respected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        cache = default_cache()
+        assert cache is not None
+        assert str(cache.root) == str(tmp_path / "c")
+
+    def test_no_cache_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert default_cache() is None
+
+    def test_schema_marker_in_keys(self):
+        # The schema string participates in every executor key; bumping
+        # it must change digests.
+        assert digest_parts(CACHE_SCHEMA, "x") != digest_parts(
+            "repro-cache/0", "x"
+        )
+
+
+class TestCacheCLI:
+    def test_stats_and_clear(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ResultCache(root=tmp_path)
+        cache.put(digest_parts("cli"), {"x": 1})
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries         : 1" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert cache.stats().entries == 0
