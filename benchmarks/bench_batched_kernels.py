@@ -1,0 +1,264 @@
+"""Batched kernels vs per-schedule execution, as one JSON artifact.
+
+Measures four things and (via ``main``) writes ``BENCH_kernels.json``:
+
+1. **End-to-end grid** — a theta grid of same-length Bernoulli
+   schedules executed the old way (build a ``Schedule`` of ``Request``
+   objects per point, one ``engine.run`` each, vectorized dispatch)
+   against the batched way (draw the ``(B, N)`` write matrix, one
+   ``run_batched_masks`` launch).  The acceptance scenario is the full
+   256-schedule x 100k-request grid with a >= 5x speedup; results are
+   asserted byte-identical.
+2. **Reference throughput** — the object replay on a small sample, so
+   the artifact records all three execution tiers in requests/second.
+3. **Parameter scans** — the k-scan (one shared prefix sum vs one
+   kernel per window size), the m-scan (run-length histograms vs one
+   kernel per threshold) and the omega-scan (affine reuse of one count
+   matrix vs re-running the batch per omega), each equality-checked
+   against its brute-force loop.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batched_kernels.py
+    PYTHONPATH=src python benchmarks/bench_batched_kernels.py \
+        --quick --min-speedup 1.0   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._version import __version__  # noqa: E402
+from repro.core.batched import (  # noqa: E402
+    batched_counts,
+    batched_run_arrays,
+    batched_totals,
+    scan_omega_totals,
+    scan_threshold_counts,
+    scan_window_counts,
+)
+from repro.costmodels import ConnectionCostModel, MessageCostModel  # noqa: E402
+from repro.engine import run as engine_run  # noqa: E402
+from repro.engine import run_batched_masks  # noqa: E402
+from repro.engine.parallel import ScheduleSpec  # noqa: E402
+
+ALGORITHM = "sw9"
+WARMUP = 500
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def _specs(points: int, length: int):
+    thetas = (np.arange(points) + 0.5) / points
+    return [
+        ScheduleSpec(float(theta), length, seed=4_000 + index)
+        for index, theta in enumerate(thetas)
+    ]
+
+
+def _masks(specs) -> np.ndarray:
+    writes = np.empty((len(specs), specs[0].length), dtype=bool)
+    for index, spec in enumerate(specs):
+        writes[index] = spec.build_mask()
+    return writes
+
+
+def bench_end_to_end(points: int, length: int) -> dict:
+    """The headline: per-schedule vectorized vs one batched launch."""
+    model = ConnectionCostModel()
+    specs = _specs(points, length)
+
+    def per_schedule():
+        return [
+            engine_run(ALGORITHM, spec.build(), model,
+                       stream=True, warmup=WARMUP)
+            for spec in specs
+        ]
+
+    def batched():
+        return run_batched_masks(
+            ALGORITHM, _masks(specs), [model] * len(specs), warmup=WARMUP
+        )
+
+    vec_results, vec_seconds = _timed(per_schedule)
+    bat_results, bat_seconds = _timed(batched)
+    identical = all(
+        v.total_cost == b.total_cost and v.event_counts == b.event_counts
+        for v, b in zip(vec_results, bat_results)
+    )
+    requests = points * length
+    return {
+        "algorithm": ALGORITHM,
+        "schedules": points,
+        "requests_per_schedule": length,
+        "vectorized_seconds": round(vec_seconds, 3),
+        "batched_seconds": round(bat_seconds, 3),
+        "vectorized_rps": round(requests / max(vec_seconds, 1e-9)),
+        "batched_rps": round(requests / max(bat_seconds, 1e-9)),
+        "speedup": round(vec_seconds / max(bat_seconds, 1e-9), 2),
+        "byte_identical": identical,
+    }
+
+
+def bench_reference(length: int) -> dict:
+    """Object-replay throughput, for the three-tier comparison."""
+    model = ConnectionCostModel()
+    schedules = [spec.build() for spec in _specs(2, length)]
+    _, seconds = _timed(lambda: [
+        engine_run(ALGORITHM, schedule, model,
+                   stream=True, warmup=WARMUP, backend="reference")
+        for schedule in schedules
+    ])
+    requests = 2 * length
+    return {
+        "requests": requests,
+        "seconds": round(seconds, 3),
+        "rps": round(requests / max(seconds, 1e-9)),
+    }
+
+
+def bench_k_scan(writes: np.ndarray) -> dict:
+    """All odd k from one prefix sum vs one kernel per window size."""
+    ks = list(range(1, 40, 2))
+
+    def brute():
+        return np.stack([
+            batched_counts(batched_run_arrays(f"sw{k}", writes)[0], WARMUP)
+            for k in ks
+        ])
+
+    scan, scan_seconds = _timed(
+        lambda: scan_window_counts(writes, ks, warmup=WARMUP)
+    )
+    loop, loop_seconds = _timed(brute)
+    return {
+        "ks": len(ks),
+        "scan_seconds": round(scan_seconds, 3),
+        "per_kernel_seconds": round(loop_seconds, 3),
+        "speedup": round(loop_seconds / max(scan_seconds, 1e-9), 2),
+        "identical": bool(np.array_equal(scan, loop)),
+    }
+
+
+def bench_m_scan(writes: np.ndarray) -> dict:
+    """All thresholds from run-length histograms vs one kernel each."""
+    ms = list(range(1, 16))
+
+    def brute():
+        return np.stack([
+            batched_counts(batched_run_arrays(f"t1_{m}", writes)[0], WARMUP)
+            for m in ms
+        ])
+
+    scan, scan_seconds = _timed(
+        lambda: scan_threshold_counts("t1", writes, ms, warmup=WARMUP)
+    )
+    loop, loop_seconds = _timed(brute)
+    return {
+        "ms": len(ms),
+        "scan_seconds": round(scan_seconds, 3),
+        "per_kernel_seconds": round(loop_seconds, 3),
+        "speedup": round(loop_seconds / max(scan_seconds, 1e-9), 2),
+        "identical": bool(np.array_equal(scan, loop)),
+    }
+
+
+def bench_omega_scan(writes: np.ndarray) -> dict:
+    """Affine reuse of one count matrix vs re-pricing the whole batch."""
+    omegas = [round(0.05 * step, 2) for step in range(21)]
+    counts = batched_counts(
+        batched_run_arrays(ALGORITHM, writes)[0], WARMUP
+    )
+
+    def brute():
+        return np.stack([
+            batched_totals(
+                batched_counts(
+                    batched_run_arrays(ALGORITHM, writes)[0], WARMUP
+                ),
+                MessageCostModel(omega),
+            )
+            for omega in omegas
+        ])
+
+    scan, scan_seconds = _timed(lambda: scan_omega_totals(counts, omegas))
+    loop, loop_seconds = _timed(brute)
+    return {
+        "omegas": len(omegas),
+        "scan_seconds": round(scan_seconds, 3),
+        "rerun_seconds": round(loop_seconds, 3),
+        "speedup": round(loop_seconds / max(scan_seconds, 1e-9), 2),
+        "identical": bool(np.array_equal(scan, loop)),
+    }
+
+
+def collect(quick: bool = False) -> dict:
+    """Run every benchmark leg and return the report dict."""
+    points = 64 if quick else 256
+    length = 20_000 if quick else 100_000
+    report = {
+        "version": __version__,
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "end_to_end": bench_end_to_end(points, length),
+        "reference": bench_reference(2_000 if quick else 10_000),
+    }
+    writes = _masks(_specs(points // 4, length // 4))
+    report["k_scan"] = bench_k_scan(writes)
+    report["m_scan"] = bench_m_scan(writes)
+    report["omega_scan"] = bench_omega_scan(writes)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke sizes (64 x 20k) instead of 256 x 100k")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="fail when the end-to-end batched speedup "
+                             "falls below this factor (default 5.0)")
+    parser.add_argument("--out", default="BENCH_kernels.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    report = collect(quick=args.quick)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.out}")
+
+    speedup = report["end_to_end"]["speedup"]
+    identical = (
+        report["end_to_end"]["byte_identical"]
+        and report["k_scan"]["identical"]
+        and report["m_scan"]["identical"]
+        and report["omega_scan"]["identical"]
+    )
+    if not identical:
+        print("FAIL: batched results diverged from per-schedule execution")
+        return 1
+    if speedup < args.min_speedup:
+        print(f"FAIL: end-to-end speedup {speedup}x is below the "
+              f"--min-speedup gate {args.min_speedup}x")
+        return 1
+    print(f"OK: batched {speedup}x over per-schedule vectorized "
+          f"(gate {args.min_speedup}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 """Benchmark driver: serial vs parallel vs cached, as one JSON artifact.
 
-Times three things and writes ``BENCH_engine.json``:
+Times three things and writes ``BENCH_engine.json`` (plus the batched
+kernel comparison as ``BENCH_kernels.json``):
 
 1. a synthetic engine-task sweep grid — serial against ``--jobs``
    workers (the executor's clean fan-out scaling measurement);
@@ -42,6 +43,8 @@ from repro.engine import (  # noqa: E402
 )
 from repro.experiments import run_all  # noqa: E402
 from repro.workload import spawn_seeds  # noqa: E402
+
+import bench_batched_kernels  # noqa: E402  (sibling module)
 
 
 def _timed(fn):
@@ -151,6 +154,9 @@ def main(argv=None) -> int:
                         help="worker processes for the parallel legs")
     parser.add_argument("--out", default="BENCH_engine.json",
                         help="output JSON path")
+    parser.add_argument("--kernels-out", default="BENCH_kernels.json",
+                        help="output path for the batched-kernel report "
+                             "('' skips it)")
     args = parser.parse_args(argv)
 
     report = {
@@ -167,11 +173,28 @@ def main(argv=None) -> int:
     print(json.dumps(report, indent=2))
     print(f"wrote {args.out}")
 
+    kernels_ok = True
+    if args.kernels_out:
+        kernels = bench_batched_kernels.collect(quick=args.quick)
+        with open(args.kernels_out, "w") as handle:
+            json.dump(kernels, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.kernels_out} "
+              f"(batched {kernels['end_to_end']['speedup']}x over "
+              f"per-schedule vectorized)")
+        kernels_ok = (
+            kernels["end_to_end"]["byte_identical"]
+            and kernels["k_scan"]["identical"]
+            and kernels["m_scan"]["identical"]
+            and kernels["omega_scan"]["identical"]
+        )
+
     ok = (
         report["engine_task_sweep"]["byte_identical"]
         and report["run_all"]["byte_identical"]
         and report["result_cache"]["byte_identical"]
         and report["result_cache"]["warm_all_hits"]
+        and kernels_ok
     )
     return 0 if ok else 1
 

@@ -76,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument("--backend",
                           choices=("auto", "reference", "vectorized",
-                                   "protocol"),
+                                   "protocol", "batched"),
                           default="auto",
                           help="execution backend (default: auto-dispatch)")
     simulate.add_argument("--faults", metavar="SPEC", default=None,
@@ -284,6 +284,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 0
 
     print(f"replicates     : {args.replicates} (jobs={args.jobs})")
+    dispatch = executor.report()["dispatch"]
+    if dispatch.get("batches"):
+        size = dispatch["batched_runs"] / dispatch["batches"]
+        print(f"batched        : {dispatch['batched_runs']} runs in "
+              f"{dispatch['batches']} kernel batches "
+              f"(mean batch size {size:.1f})")
     means = [outcome.mean_cost for outcome in outcomes]
     for outcome in outcomes:
         print(f"  replicate {outcome.tag:<3} total {outcome.total_cost:10.2f}  "

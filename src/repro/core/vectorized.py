@@ -28,7 +28,7 @@ import numpy as np
 
 from ..costmodels.base import CostEventKind, CostModel
 from ..exceptions import InvalidParameterError, UnknownAlgorithmError
-from ..types import Schedule, ensure_odd_window
+from ..types import Schedule, ensure_odd_window, write_bits
 
 __all__ = [
     "EVENT_KIND_ORDER",
@@ -71,14 +71,9 @@ def supports(algorithm_name: str) -> bool:
     )
 
 
-def _write_bits(schedule: Schedule) -> np.ndarray:
-    if isinstance(schedule, Schedule):
-        return schedule.write_mask()
-    return np.fromiter(
-        (request.is_write for request in schedule),
-        dtype=bool,
-        count=len(schedule),
-    )
+# The canonical mask conversion lives in repro.types; this alias keeps
+# the kernel-internal name stable.
+_write_bits = write_bits
 
 
 def _codes_static_one(writes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

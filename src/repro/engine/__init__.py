@@ -1,8 +1,8 @@
-"""The unified execution engine: one run path, three backends.
+"""The unified execution engine: one run path, four backends.
 
 Every way of executing a schedule — the reference object replay, the
-numpy vectorized kernels, the discrete-event wire protocol — sits
-behind one dispatching entry point::
+numpy vectorized kernels, the discrete-event wire protocol, the batched
+multi-schedule kernels — sits behind one dispatching entry point::
 
     from repro import engine
     from repro.costmodels import ConnectionCostModel
@@ -39,6 +39,12 @@ from .cache import (
     digest_parts,
 )
 from .dispatch import AUTO, run
+from .batched import (
+    BatchSpec,
+    BatchedBackend,
+    execute_batch,
+    run_batched_masks,
+)
 from .parallel import (
     EngineTask,
     FunctionTask,
@@ -56,7 +62,9 @@ from .instrumentation import (
 )
 from .versioning import INITIAL_VALUE, INITIAL_VERSION, value_for_write
 
-# Importing the backends module registers the three implementations.
+# Importing the backends module registers the three per-schedule
+# implementations (the batched module, imported above, registers the
+# fourth after them).
 from . import backends as _backends  # noqa: F401  (import for side effect)
 
 __all__ = [
@@ -82,6 +90,10 @@ __all__ = [
     "default_cache",
     "default_cache_dir",
     "digest_parts",
+    "BatchSpec",
+    "BatchedBackend",
+    "execute_batch",
+    "run_batched_masks",
     "EngineTask",
     "FunctionTask",
     "ScheduleSpec",

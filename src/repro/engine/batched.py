@@ -1,0 +1,310 @@
+"""Batched execution: many runs, one kernel launch.
+
+:func:`execute_batch` takes a :class:`BatchSpec` (or any sequence of
+:class:`~repro.engine.base.RunSpec`), groups the batchable members by
+``(algorithm, length, warmup, stream)`` and executes each group through
+the ``(B, N)`` kernels of :mod:`repro.core.batched` — one numpy pass
+for the whole group instead of one dispatch per run.  Specs the batch
+path cannot take — fault injection, continued runs, algorithms without
+a kernel — fall back per-spec to the ordinary dispatcher, so a mixed
+batch always completes and every member is byte-identical to what a
+lone :func:`repro.engine.run` would have produced.
+
+Ragged batches are not an error: grouping by length simply yields more
+groups.  A group of one still executes on the batched path — the
+backend name and dispatch reason of a run must not depend on which
+other runs happened to share its chunk (the sweep executor's
+serial-equals-parallel contract).
+
+:class:`BatchedBackend` registers the same kernels as a fourth engine
+backend (``backend="batched"``), for forcing and for the cross-backend
+equivalence tests.  The auto dispatcher keeps picking ``vectorized``
+for single runs; batching is the sweep layer's decision.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.batched import (
+    batched_counts,
+    batched_run_arrays,
+    stack_write_masks,
+)
+from ..core.batched import supports as batched_supports
+from ..core.vectorized import EVENT_KIND_ORDER
+from ..costmodels.base import CostEvent, CostModel
+from ..exceptions import InvalidParameterError
+from ..types import AllocationScheme
+from .base import (
+    EngineResult,
+    ExecutionBackend,
+    RunSpec,
+    register_backend,
+    total_from_counts,
+)
+from .dispatch import run as dispatch_run
+from .instrumentation import Instrumentation, wants_per_request
+
+# The three per-schedule backends must register before the batched one
+# so ``available_backends()`` order is stable regardless of which
+# engine submodule a caller imports first.
+from . import backends as _backends  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "BatchSpec",
+    "BatchedBackend",
+    "execute_batch",
+    "run_batched_masks",
+    "supports",
+]
+
+#: Batched coverage is exactly the vectorized kernels', generalized.
+supports = batched_supports
+
+_NULL_INSTRUMENTATION = Instrumentation()
+
+#: The fixed dispatch reason of a batched run.  Deliberately does not
+#: mention the batch size: a run's outcome (including this string) must
+#: be a pure function of the run alone, not of its chunk-mates.
+_REASON = "batched kernel covers {name!r}"
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """A set of runs offered for batched execution together."""
+
+    runs: Tuple[RunSpec, ...]
+
+    def __post_init__(self):
+        for spec in self.runs:
+            if not isinstance(spec, RunSpec):
+                raise InvalidParameterError(
+                    f"BatchSpec takes RunSpec members, got {spec!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def _spec_batchable(spec: RunSpec) -> bool:
+    return (
+        spec.fresh
+        and spec.faults is None
+        and batched_supports(spec.algorithm_name)
+    )
+
+
+def _kernel_results(
+    algorithm_name: str,
+    writes: np.ndarray,
+    cost_models: Sequence[CostModel],
+    *,
+    warmup: int,
+    stream: bool,
+    instrumentation,
+) -> List[EngineResult]:
+    """Run the batch kernels and build one result per row.
+
+    Fires only the per-request trace hook (when an instrument listens);
+    run lifecycle hooks, timing and dispatch reasons belong to the
+    callers — the dispatcher for single forced runs,
+    :func:`run_batched_masks` for whole groups.
+    """
+    batch, length = writes.shape
+    if warmup < 0:
+        raise InvalidParameterError(f"warmup must be >= 0, got {warmup}")
+    if warmup > length:
+        raise InvalidParameterError(
+            f"warmup {warmup} exceeds the schedule length {length}"
+        )
+    codes, copy_after = batched_run_arrays(algorithm_name, writes)
+    counts_matrix = batched_counts(codes, warmup)
+    if length:
+        flips = (copy_after[:, 1:] != copy_after[:, :-1]).sum(axis=1)
+    else:
+        flips = np.zeros(batch, dtype=np.int64)
+    trace = wants_per_request(instrumentation)
+    results: List[EngineResult] = []
+    for row in range(batch):
+        cost_model = cost_models[row]
+        counts = {
+            kind: int(count)
+            for kind, count in zip(EVENT_KIND_ORDER, counts_matrix[row])
+            if count
+        }
+        prices = [cost_model.price(kind) for kind in EVENT_KIND_ORDER]
+        if trace:
+            for index, code in enumerate(codes[row]):
+                instrumentation.on_request(
+                    index, EVENT_KIND_ORDER[code], prices[code]
+                )
+        materialize = None
+        if not stream:
+            # Row views stay arrays until a caller actually reads the
+            # per-request tuples — the same laziness as the vectorized
+            # backend, one closure per row.
+            def materialize(codes=codes[row], copy_after=copy_after[row],
+                            prices=prices):
+                event_kinds = tuple(EVENT_KIND_ORDER[code] for code in codes)
+                events = tuple(
+                    CostEvent(kind, prices[code])
+                    for kind, code in zip(event_kinds, codes)
+                )
+                schemes = tuple(
+                    AllocationScheme.TWO_COPIES
+                    if flag
+                    else AllocationScheme.ONE_COPY
+                    for flag in copy_after
+                )
+                return events, event_kinds, schemes
+
+        results.append(
+            EngineResult(
+                algorithm_name=algorithm_name,
+                backend_name=BatchedBackend.name,
+                requests=length,
+                warmup=warmup,
+                total_cost=total_from_counts(counts, cost_model),
+                event_counts=counts,
+                scheme_changes=int(flips[row]),
+                materialize=materialize,
+            )
+        )
+    return results
+
+
+def run_batched_masks(
+    algorithm_name: str,
+    writes: np.ndarray,
+    cost_models: Sequence[CostModel],
+    *,
+    warmup: int = 0,
+    stream: bool = True,
+    instrumentation: Optional[Instrumentation] = None,
+) -> List[EngineResult]:
+    """Execute one batch group straight from a ``(B, N)`` write matrix.
+
+    The mask-level entry point: sweep workers that already hold write
+    masks (from a shared-memory arena or a seeded generator recipe)
+    skip building ``Request`` objects entirely — which is where the
+    batched path's large speedup over per-schedule execution comes
+    from.  ``cost_models[b]`` prices row ``b``; models may differ
+    across the batch (counts are model-independent).
+    """
+    name = algorithm_name.strip().lower()
+    writes = np.asarray(writes)
+    if len(cost_models) != writes.shape[0]:
+        raise InvalidParameterError(
+            f"{writes.shape[0]} schedule rows but {len(cost_models)} "
+            "cost models"
+        )
+    instruments = (
+        instrumentation if instrumentation is not None
+        else _NULL_INSTRUMENTATION
+    )
+    reason = _REASON.format(name=name)
+    batch, length = writes.shape
+    for _ in range(batch):
+        instruments.on_run_start(name, BatchedBackend.name, length, reason)
+    started = time.perf_counter()
+    results = _kernel_results(
+        name, writes, cost_models,
+        warmup=warmup, stream=stream, instrumentation=instruments,
+    )
+    elapsed = (time.perf_counter() - started) / max(batch, 1)
+    for result in results:
+        result.elapsed_seconds = elapsed
+        result.dispatch_reason = reason
+        instruments.on_run_end(result)
+    if batch:
+        instruments.on_batch(name, batch, batch * length)
+    return results
+
+
+def execute_batch(
+    batch: Union[BatchSpec, Sequence[RunSpec]],
+    instrumentation: Optional[Instrumentation] = None,
+) -> List[EngineResult]:
+    """Execute a batch of run specs; results in member order.
+
+    Batchable specs (fresh, fault-free, kernel-covered) group by
+    ``(algorithm, length, warmup, stream)`` and execute one group per
+    kernel launch; everything else falls back per-spec to
+    :func:`repro.engine.run` with auto dispatch.  Every member's result
+    is byte-identical to running it alone.
+    """
+    specs = tuple(batch.runs if isinstance(batch, BatchSpec) else batch)
+    results: List[Optional[EngineResult]] = [None] * len(specs)
+    groups: Dict[Tuple, List[int]] = {}
+    for index, spec in enumerate(specs):
+        if _spec_batchable(spec):
+            key = (
+                spec.algorithm_name.strip().lower(),
+                len(spec.schedule),
+                spec.warmup,
+                spec.stream,
+            )
+            groups.setdefault(key, []).append(index)
+        else:
+            results[index] = dispatch_run(
+                spec.algorithm,
+                spec.schedule,
+                spec.cost_model,
+                stream=spec.stream,
+                warmup=spec.warmup,
+                fresh=spec.fresh,
+                latency=spec.latency,
+                faults=spec.faults,
+                instrumentation=instrumentation,
+            )
+    for (name, _length, warmup, stream), members in groups.items():
+        writes = stack_write_masks([specs[i].schedule for i in members])
+        group_results = run_batched_masks(
+            name,
+            writes,
+            [specs[i].cost_model for i in members],
+            warmup=warmup,
+            stream=stream,
+            instrumentation=instrumentation,
+        )
+        for index, result in zip(members, group_results):
+            results[index] = result
+    return results  # type: ignore[return-value]
+
+
+class BatchedBackend(ExecutionBackend):
+    """The batch kernels as an ordinary (forceable) engine backend.
+
+    A single spec is a batch of one; the point of registering it is
+    uniformity — ``backend="batched"`` slots into the cross-backend
+    equivalence tests and the dispatcher's containment machinery like
+    any other backend.  Auto dispatch never picks it for single runs
+    (the vectorized kernels are the same speed there); batching is
+    decided where batches exist, in :func:`execute_batch` and the sweep
+    executor.
+    """
+
+    name = "batched"
+
+    def supports(self, algorithm_name: str) -> bool:
+        return batched_supports(algorithm_name)
+
+    def execute(self, spec: RunSpec, instrumentation) -> EngineResult:
+        writes = stack_write_masks([spec.schedule])
+        [result] = _kernel_results(
+            spec.algorithm_name,
+            writes,
+            [spec.cost_model],
+            warmup=spec.warmup,
+            stream=spec.stream,
+            instrumentation=instrumentation,
+        )
+        return result
+
+
+register_backend(BatchedBackend())

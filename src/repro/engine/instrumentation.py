@@ -66,6 +66,17 @@ class Instrumentation:
     def on_run_end(self, result: "EngineResult") -> None:
         """The run finished; ``result.elapsed_seconds`` is filled in."""
 
+    def on_batch(
+        self, algorithm_name: str, batch_size: int, num_requests: int
+    ) -> None:
+        """A batched kernel executed ``batch_size`` runs in one pass.
+
+        Fired once per batch group (after the per-run start/end hooks),
+        with the total request count across the batch.  Per-run hooks
+        still fire for every member, so counters stay comparable with
+        the per-schedule path; this hook only reports the grouping.
+        """
+
 
 def wants_per_request(instrumentation: Instrumentation) -> bool:
     """Whether the instrument overrides the per-request hook.
@@ -90,6 +101,8 @@ class CounterInstrumentation(Instrumentation):
         self.requests = 0
         self.total_cost = 0.0
         self.wall_seconds = 0.0
+        self.batches = 0
+        self.batched_runs = 0
         self.backend_runs: Counter = Counter()
         self.event_counts: Counter = Counter()
         self.dispatch_log: List[Tuple[str, str, str]] = []
@@ -115,6 +128,12 @@ class CounterInstrumentation(Instrumentation):
         self.wall_seconds += result.elapsed_seconds
         self.event_counts.update(result.event_counts)
 
+    def on_batch(
+        self, algorithm_name: str, batch_size: int, num_requests: int
+    ) -> None:
+        self.batches += 1
+        self.batched_runs += batch_size
+
     def summary(self) -> Dict[str, object]:
         """One dict for logs/reports: totals plus the backend mix."""
         return {
@@ -122,6 +141,8 @@ class CounterInstrumentation(Instrumentation):
             "requests": self.requests,
             "total_cost": self.total_cost,
             "wall_seconds": self.wall_seconds,
+            "batches": self.batches,
+            "batched_runs": self.batched_runs,
             "backend_runs": dict(self.backend_runs),
             "fallbacks": [str(diag) for diag in self.fallbacks],
             "event_counts": {

@@ -58,8 +58,10 @@ from .._version import __version__
 from ..costmodels.base import CostEventKind, CostModel
 from ..exceptions import InvalidParameterError
 from ..types import Operation, Request, Schedule
-from ..workload.poisson import bernoulli_schedule
+from ..workload.poisson import bernoulli_mask, bernoulli_schedule
 from ..workload.seeding import SeedLike, seed_fingerprint
+from .batched import run_batched_masks
+from .batched import supports as batched_supports
 from .cache import CACHE_SCHEMA, ResultCache, digest_parts
 from .dispatch import AUTO, run as engine_run
 from .instrumentation import CounterInstrumentation
@@ -112,6 +114,15 @@ class ScheduleSpec:
     def build(self) -> Schedule:
         """Generate the concrete schedule (identical on every build)."""
         return bernoulli_schedule(self.theta, self.length, rng=self.seed)
+
+    def build_mask(self) -> np.ndarray:
+        """The schedule's write mask without the request objects.
+
+        Bit-identical to ``build().write_mask()`` (one shared draw
+        path); the batched kernels consume masks directly, so a seeded
+        sweep never pays per-request ``Request`` construction.
+        """
+        return bernoulli_mask(self.theta, self.length, rng=self.seed)
 
     def fingerprint(self) -> Optional[Tuple]:
         """Content-addressable form, or ``None`` when unseeded."""
@@ -313,21 +324,8 @@ def _task_key(task: SweepTask) -> Optional[str]:
 # ---------------------------------------------------------------------------
 
 
-def _execute_engine_task(
-    task: EngineTask, schedule: Schedule, instrumentation
-) -> SweepOutcome:
-    started = time.perf_counter()
-    result = engine_run(
-        task.algorithm,
-        schedule,
-        task.cost_model,
-        backend=task.backend,
-        stream=task.stream,
-        warmup=task.warmup,
-        latency=task.latency,
-        faults=task.faults,
-        instrumentation=instrumentation,
-    )
+def _project_result(task: EngineTask, result, elapsed: float) -> SweepOutcome:
+    """Project an :class:`EngineResult` into a picklable outcome."""
     kinds: Optional[Tuple[CostEventKind, ...]] = None
     if task.capture_kinds:
         kinds = result.event_kinds
@@ -362,8 +360,89 @@ def _execute_engine_task(
         event_kinds=kinds,
         wire=wire,
         tag=task.tag,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
     )
+
+
+def _execute_engine_task(
+    task: EngineTask, schedule: Schedule, instrumentation
+) -> SweepOutcome:
+    started = time.perf_counter()
+    result = engine_run(
+        task.algorithm,
+        schedule,
+        task.cost_model,
+        backend=task.backend,
+        stream=task.stream,
+        warmup=task.warmup,
+        latency=task.latency,
+        faults=task.faults,
+        instrumentation=instrumentation,
+    )
+    return _project_result(task, result, time.perf_counter() - started)
+
+
+def _is_batchable(task: EngineTask) -> bool:
+    """Whether the batched kernels can take this task.
+
+    The conditions mirror the auto dispatcher's vectorized route (plus
+    "no wire capture", which only the protocol backend can satisfy).
+    Batchable tasks take the batched path *always* — even alone in
+    their group — so a task's outcome never depends on which other
+    tasks shared its chunk.
+    """
+    return (
+        task.backend == AUTO
+        and task.faults is None
+        and not task.capture_wire
+        and batched_supports(task.algorithm)
+    )
+
+
+def _execute_engine_tasks(entries, counters) -> List[Tuple[int, SweepOutcome]]:
+    """Execute engine tasks, batching what the kernels can take.
+
+    ``entries`` is a list of ``(index, task, source)`` where ``source``
+    is ``(schedule_thunk, mask_thunk, length)`` — lazy accessors so a
+    batchable task resolves only its write mask (never building
+    ``Request`` objects) while a fallback task materializes the full
+    schedule.  Returns ``(index, outcome)`` pairs in entry order.
+    """
+    outcomes: Dict[int, SweepOutcome] = {}
+    groups: Dict[Tuple, List[Tuple[int, EngineTask, Callable]]] = {}
+    for index, task, (schedule_thunk, mask_thunk, length) in entries:
+        if _is_batchable(task):
+            key = (task.algorithm.strip().lower(), length,
+                   task.warmup, task.stream)
+            groups.setdefault(key, []).append((index, task, mask_thunk))
+        else:
+            outcomes[index] = _execute_engine_task(
+                task, schedule_thunk(), counters
+            )
+    for (name, length, warmup, stream), members in groups.items():
+        writes = np.empty((len(members), length), dtype=bool)
+        for row, (_index, _task, mask_thunk) in enumerate(members):
+            writes[row] = mask_thunk()
+        results = run_batched_masks(
+            name,
+            writes,
+            [task.cost_model for _index, task, _thunk in members],
+            warmup=warmup,
+            stream=stream,
+            instrumentation=counters,
+        )
+        for (index, task, _thunk), result in zip(members, results):
+            outcomes[index] = _project_result(
+                task, result, result.elapsed_seconds
+            )
+    return [(index, outcomes[index]) for index, _task, _source in entries]
+
+
+def _task_sources(task: EngineTask, schedule) -> Tuple[Callable, Callable, int]:
+    """(schedule thunk, mask thunk, length) for an in-process schedule."""
+    if isinstance(schedule, ScheduleSpec):
+        return schedule.build, schedule.build_mask, schedule.length
+    return (lambda: schedule), schedule.write_mask, len(schedule)
 
 
 #: Placeholder installed in a task's ``schedule`` field before pickling
@@ -371,16 +450,28 @@ def _execute_engine_task(
 _SHIPPED = "<schedule shipped separately>"
 
 
-def _resolve_schedule(sched_ref, shm, shm_cache):
+def _worker_sources(sched_ref, shm, shm_cache):
+    """Lazy (schedule thunk, mask thunk, length) for a shipped reference.
+
+    The mask thunk of an arena schedule reads the shared-memory bytes
+    directly — a batched task never rebuilds ``Request`` objects from
+    the arena, only fallback tasks pay that reconstruction.
+    """
     kind, value = sched_ref
     if kind == "spec":
-        return value.build()
+        return value.build, value.build_mask, value.length
     if kind == "inline":
-        return value
+        return (lambda: value), value.write_mask, len(value)
     if kind == "arena":
-        if value not in shm_cache:
-            shm_cache[value] = _schedule_from_arena(shm, value)
-        return shm_cache[value]
+        def schedule_thunk(value=value):
+            if value not in shm_cache:
+                shm_cache[value] = _schedule_from_arena(shm, value)
+            return shm_cache[value]
+
+        def mask_thunk(value=value):
+            return _mask_from_arena(shm, value)
+
+        return schedule_thunk, mask_thunk, shm.entries[value][0]
     raise InvalidParameterError(f"unknown schedule reference {kind!r}")
 
 
@@ -395,6 +486,7 @@ def _run_chunk(payload):
     started = time.perf_counter()
     shm_cache: Dict[int, Schedule] = {}
     results = []
+    engine_entries = []
     calls = 0
     try:
         for index, task, sched_ref in items:
@@ -403,10 +495,10 @@ def _run_chunk(payload):
                 value = task.fn(*task.args, **dict(task.kwargs))
                 results.append((index, value))
             else:
-                schedule = _resolve_schedule(sched_ref, shm, shm_cache)
-                results.append(
-                    (index, _execute_engine_task(task, schedule, counters))
+                engine_entries.append(
+                    (index, task, _worker_sources(sched_ref, shm, shm_cache))
                 )
+        results.extend(_execute_engine_tasks(engine_entries, counters))
     finally:
         if shm is not None:
             shm.close()
@@ -453,6 +545,14 @@ def _attach_shared_memory(name: str):
 
 def _align8(offset: int) -> int:
     return (offset + 7) & ~7
+
+
+def _mask_from_arena(shm, entry_index: int) -> np.ndarray:
+    """Just the write mask of an arena schedule, no request objects."""
+    length, mask_offset, _ts_offset = shm.entries[entry_index]
+    return np.ndarray(
+        (length,), dtype=np.uint8, buffer=shm.buf, offset=mask_offset
+    ).astype(bool)
 
 
 def _schedule_from_arena(shm, entry_index: int) -> Schedule:
@@ -514,7 +614,7 @@ class _ScheduleArena:
                 (length,), dtype=np.uint8, buffer=self.shm.buf,
                 offset=mask_offset,
             )
-            mask_view[:] = schedule.write_mask()
+            mask_view[:] = schedule.write_mask_u8()
             if timestamps is not None:
                 ts_view = np.ndarray(
                     (length,), dtype=np.float64, buffer=self.shm.buf,
@@ -656,16 +756,18 @@ class SweepExecutor:
         counters = CounterInstrumentation()
         started = time.perf_counter()
         calls = 0
+        engine_entries = []
         for index in pending:
             task = tasks[index]
             if isinstance(task, FunctionTask):
                 calls += 1
                 results[index] = task.fn(*task.args, **dict(task.kwargs))
             else:
-                schedule = task.schedule
-                if isinstance(schedule, ScheduleSpec):
-                    schedule = schedule.build()
-                results[index] = _execute_engine_task(task, schedule, counters)
+                engine_entries.append(
+                    (index, task, _task_sources(task, task.schedule))
+                )
+        for index, outcome in _execute_engine_tasks(engine_entries, counters):
+            results[index] = outcome
         stats = counters.summary()
         stats["pid"] = os.getpid()
         stats["tasks"] = len(pending)
@@ -763,7 +865,7 @@ def _strip_for_cache(payload: Any) -> Any:
 
 
 _COUNTER_KEYS = ("runs", "requests", "total_cost", "wall_seconds",
-                 "tasks", "function_calls")
+                 "batches", "batched_runs", "tasks", "function_calls")
 
 
 def _merge_summaries(summaries, pid: Optional[int] = None) -> Dict[str, Any]:

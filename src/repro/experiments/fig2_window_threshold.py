@@ -12,6 +12,7 @@ import numpy as np
 
 from ..analysis import message as ma
 from ..analysis import window_choice as wc
+from ..core.batched import batched_totals, scan_window_counts
 from ..costmodels.message import MessageCostModel
 from ..engine.parallel import EngineTask, ScheduleSpec
 from .harness import Check, Experiment, ExperimentResult
@@ -129,6 +130,38 @@ class Figure2WindowThreshold(Experiment):
                 averages["sw21"] < averages["sw1"] < averages["sw3"],
                 f"sw21={averages['sw21']:.4f}, sw1={averages['sw1']:.4f}, "
                 f"sw3={averages['sw3']:.4f}",
+            )
+        )
+
+        # Cross-validation of the k-scan sufficient statistic: one
+        # shared prefix sum over the write matrix yields all three
+        # window sizes, and the resulting averages must reproduce the
+        # task-based ones byte-for-byte (same counts, same kind-order
+        # accumulation, same theta-order summation).
+        masks = np.stack(
+            [
+                ScheduleSpec(
+                    float(theta), warmup + length, seed=9_000 + i
+                ).build_mask()
+                for i, theta in enumerate(midpoints)
+            ]
+        )
+        scan = scan_window_counts(
+            masks, [int(name[2:]) for name in names], warmup=warmup
+        )
+        scan_averages = {}
+        for name, counts in zip(names, scan):
+            totals = batched_totals(counts, model)
+            total = 0.0
+            for row in range(num_thetas):
+                total += totals[row] / length
+            scan_averages[name] = total / num_thetas
+        result.checks.append(
+            Check(
+                "k-scan sufficient statistic matches the task averages",
+                all(scan_averages[name] == averages[name] for name in names),
+                "scan_window_counts averages equal engine-task averages "
+                "bit-for-bit for sw1/sw3/sw21",
             )
         )
         return result

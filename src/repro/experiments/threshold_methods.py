@@ -18,10 +18,11 @@ import numpy as np
 
 from ..analysis import connection as ca
 from ..analysis.competitive import exceeds_bound, measure_competitive_ratio, ratio_over_family
-from ..analysis.numerics import monte_carlo_expected_cost
+from ..core.batched import batched_totals, scan_threshold_counts
 from ..core.offline import OfflineOptimal
 from ..core.registry import make_algorithm
 from ..costmodels.connection import ConnectionCostModel
+from ..engine.parallel import EngineTask, ScheduleSpec
 from ..workload.adversary import threshold_tight_schedule
 from ..workload.poisson import bernoulli_schedule
 from .harness import Check, Experiment, ExperimentResult, approx_check
@@ -45,13 +46,42 @@ class ThresholdMethods(Experiment):
         mc_length = 5_000 if quick else 60_000
         tolerance = 0.03 if quick else 0.01
 
-        # Expected-cost formula vs Monte Carlo.
-        for m in (3, 9, 15):
-            for theta in (0.3, 0.6, 0.75, 0.9):
-                exact = ca.expected_cost_t1m(theta, m)
-                estimate = monte_carlo_expected_cost(
-                    make_algorithm(f"t1_{m}"), model, theta, length=mc_length, seed=21
+        # Expected-cost formula vs Monte Carlo.  All m x theta streams
+        # go through the sweep executor in one submission: same-length
+        # Bernoulli specs share one batched kernel launch per algorithm
+        # (byte-identical to the historical per-call engine runs).
+        ms = (3, 9, 15)
+        thetas = (0.3, 0.6, 0.75, 0.9)
+        warmup = 500
+        tasks = []
+        for m in ms:
+            for theta in thetas:
+                tasks.append(
+                    EngineTask(
+                        f"t1_{m}",
+                        ScheduleSpec(theta, warmup + mc_length, seed=21),
+                        model,
+                        warmup=warmup,
+                    )
                 )
+                tasks.append(
+                    EngineTask(
+                        f"t2_{m}",
+                        ScheduleSpec(1.0 - theta, warmup + mc_length, seed=22),
+                        model,
+                        warmup=warmup,
+                    )
+                )
+        outcomes = iter(self.executor.map(tasks))
+        estimates = {}
+        for m in ms:
+            for theta in thetas:
+                estimates[("t1", m, theta)] = next(outcomes).mean_cost
+                estimates[("t2", m, theta)] = next(outcomes).mean_cost
+        for m in ms:
+            for theta in thetas:
+                exact = ca.expected_cost_t1m(theta, m)
+                estimate = estimates[("t1", m, theta)]
                 result.rows.append(
                     {
                         "algorithm": f"t1_{m}",
@@ -66,13 +96,7 @@ class ThresholdMethods(Experiment):
                     )
                 )
                 dual_exact = ca.expected_cost_t2m(1.0 - theta, m)
-                dual_estimate = monte_carlo_expected_cost(
-                    make_algorithm(f"t2_{m}"),
-                    model,
-                    1.0 - theta,
-                    length=mc_length,
-                    seed=22,
-                )
+                dual_estimate = estimates[("t2", m, theta)]
                 result.checks.append(
                     approx_check(
                         f"EXP_T2_{m} at theta={1.0 - theta:.2f} (dual)",
@@ -81,6 +105,39 @@ class ThresholdMethods(Experiment):
                         tolerance,
                     )
                 )
+
+        # m-scan cross-validation: the clipped run-length histograms of
+        # the four theta masks yield every threshold at once, and the
+        # scan estimates must match the engine tasks bit-for-bit.
+        t1_masks = np.stack(
+            [
+                ScheduleSpec(theta, warmup + mc_length, seed=21).build_mask()
+                for theta in thetas
+            ]
+        )
+        t2_masks = np.stack(
+            [
+                ScheduleSpec(1.0 - theta, warmup + mc_length, seed=22).build_mask()
+                for theta in thetas
+            ]
+        )
+        scan_matches = True
+        for method, masks in (("t1", t1_masks), ("t2", t2_masks)):
+            scan = scan_threshold_counts(method, masks, ms, warmup=warmup)
+            for index, m in enumerate(ms):
+                means = batched_totals(scan[index], model) / mc_length
+                for row, theta in enumerate(thetas):
+                    scan_matches = scan_matches and (
+                        means[row] == estimates[(method, m, theta)]
+                    )
+        result.checks.append(
+            Check(
+                "m-scan sufficient statistic matches the engine estimates",
+                bool(scan_matches),
+                "scan_threshold_counts reproduces all T1m/T2m "
+                "Monte-Carlo estimates bit-for-bit",
+            )
+        )
 
         # Symmetry: EXP_T2m(theta) == EXP_T1m(1-theta).
         grid = np.linspace(0.0, 1.0, 101)

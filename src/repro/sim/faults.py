@@ -415,10 +415,11 @@ class ReliableNetwork(PointToPointNetwork):
             return
         direction.buffer[frame.seq] = frame.payload
         while direction.expected in direction.buffer:
-            payload = direction.buffer.pop(direction.expected)
+            seq = direction.expected
+            payload = direction.buffer.pop(seq)
             direction.expected += 1
             if isinstance(payload, SyncState):
-                self._on_sync(destination, payload)
+                self._on_sync(destination, payload, seq)
             else:
                 self._handler_for(destination)(payload)
 
@@ -444,11 +445,15 @@ class ReliableNetwork(PointToPointNetwork):
         self._ledger.overhead.handshakes += 1
         self._submit("sc", state)
 
-    def _on_sync(self, destination: str, mc_state: SyncState) -> None:
+    def _on_sync(
+        self, destination: str, mc_state: SyncState, seq: int
+    ) -> None:
         if destination != "sc":
             raise ProtocolError("resync handshake must arrive at the SC")
         sc_state = self._sync_providers["sc"]()
-        in_flight = mc_state.in_flight + self._directions["mc"].in_flight
+        # The version check is safe on the wire-carried snapshot: the
+        # SC assigns versions, so the MC's is never ahead at any
+        # instant, and SC versions only grow while the snapshot ages.
         if (
             mc_state.version is not None
             and sc_state.version is not None
@@ -458,13 +463,29 @@ class ReliableNetwork(PointToPointNetwork):
                 f"resync failed: the MC replica is at version "
                 f"{mc_state.version}, ahead of the SC's {sc_state.version}"
             )
-        if mc_state.owns_window and sc_state.owns_window:
-            raise ProtocolError(
-                "resync failed: both sides claim the request window"
-            )
-        if in_flight == 0 and mc_state.has_copy != sc_state.has_copy:
-            raise ProtocolError(
-                f"resync failed: MC has_copy={mc_state.has_copy} but the "
-                f"SC believes mc_subscribed={sc_state.has_copy}"
-            )
+        # The agreement checks are NOT safe on the snapshot: it rode
+        # the same lossy channel as the data, so by the time it is
+        # released here the protocol may have moved on (the SC can
+        # unsubscribe the MC and have the notice delivered and acked
+        # while the handshake frame sat in a retransmit cycle).
+        # Compare live endpoint states instead, and only when the
+        # channel is quiescent — no unacked frame in either direction
+        # besides this handshake frame itself (acks are generated on
+        # arrival and release is synchronous, so quiescence means
+        # every protocol message has been processed and the two
+        # views must truly agree).
+        pending = self.in_flight
+        if seq in self._directions[destination].unacked:
+            pending -= 1  # the handshake frame, acked but not yet heard
+        if pending == 0:
+            live_mc = self._sync_providers["mc"]()
+            if live_mc.owns_window and sc_state.owns_window:
+                raise ProtocolError(
+                    "resync failed: both sides claim the request window"
+                )
+            if live_mc.has_copy != sc_state.has_copy:
+                raise ProtocolError(
+                    f"resync failed: MC has_copy={live_mc.has_copy} but "
+                    f"the SC believes mc_subscribed={sc_state.has_copy}"
+                )
         self.resyncs_verified += 1

@@ -23,7 +23,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..costmodels.base import CostEventKind, CostModel
 from ..engine.versioning import INITIAL_VALUE, value_for_write
 from ..exceptions import ProtocolError
-from ..types import Operation, Request, Schedule
+from ..types import Operation, Request, Schedule, write_bits
 from .faults import FaultConfig, ReliableNetwork
 from .kernel import EventKernel
 from .ledger import TrafficLedger, TransportOverhead
@@ -129,13 +129,14 @@ class ProtocolRunResult:
         mean the propagation/subscription machinery failed to keep the
         replica coherent.
         """
-        expected_versions = []
-        version = 0
-        for index, request in enumerate(schedule):
-            if request.is_write:
-                version += 1
-            else:
-                expected_versions.append((index, version))
+        # The expected version at a read is the number of preceding
+        # writes — the cumulative sum of the canonical write mask.
+        mask = write_bits(schedule)
+        versions = mask.cumsum()
+        expected_versions = [
+            (index, int(versions[index]))
+            for index in (~mask).nonzero()[0]
+        ]
         observed = {index: version for index, _value, version in self.read_observations}
         for index, expected in expected_versions:
             if index not in observed:

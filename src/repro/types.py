@@ -31,6 +31,7 @@ __all__ = [
     "Schedule",
     "READ",
     "WRITE",
+    "write_bits",
 ]
 
 
@@ -236,6 +237,15 @@ class Schedule(Sequence[Request]):
             self._write_mask = mask
         return self._write_mask
 
+    def write_mask_u8(self) -> np.ndarray:
+        """The cached write mask as a zero-copy ``uint8`` view.
+
+        Shared-memory packing and the batched kernels want byte-typed
+        data; ``bool_`` and ``uint8`` share a memory layout, so this is
+        the same cached buffer reinterpreted, not a conversion.
+        """
+        return self.write_mask().view(np.uint8)
+
     def _prefill_write_mask(self, mask: np.ndarray) -> None:
         """Install a precomputed write mask (workload generators only).
 
@@ -312,6 +322,24 @@ class Schedule(Sequence[Request]):
             previous = time
             stamped.append(Request(request.operation, float(time), request.objects))
         return Schedule(stamped)
+
+
+def write_bits(schedule) -> np.ndarray:
+    """Boolean write mask of any request sequence — the one conversion.
+
+    For a :class:`Schedule` this is the cached (immutable) mask; for a
+    bare sequence of requests it is computed on the fly.  Every mask
+    consumer — the vectorized kernels, the batched kernels, the
+    shared-memory arena, the protocol verifier — goes through here so
+    the uint8/bool conversion exists in exactly one place.
+    """
+    if isinstance(schedule, Schedule):
+        return schedule.write_mask()
+    return np.fromiter(
+        (request.is_write for request in schedule),
+        dtype=bool,
+        count=len(schedule),
+    )
 
 
 def ensure_odd_window(k: int) -> int:

@@ -28,7 +28,7 @@ from .adversary import (
 from .bursty import BurstyWorkload
 from .catalog import CatalogWorkload, ItemRates
 from .multi_object import MultiObjectWorkload
-from .poisson import PoissonWorkload, bernoulli_schedule, theta_from_rates
+from .poisson import PoissonWorkload, bernoulli_mask, bernoulli_schedule, theta_from_rates
 from .regimes import RegimePeriod, RegimeWorkload, uniform_theta_regimes
 from .seeding import SeedLike, resolve_rng, seed_fingerprint, spawn_seeds
 from .trace import (
@@ -46,6 +46,7 @@ __all__ = [
     "ItemRates",
     "MultiObjectWorkload",
     "PoissonWorkload",
+    "bernoulli_mask",
     "bernoulli_schedule",
     "theta_from_rates",
     "GreedyAdversary",

@@ -40,6 +40,25 @@ def theta_from_rates(read_rate: float, write_rate: float) -> float:
     return write_rate / total
 
 
+def bernoulli_mask(
+    theta: float,
+    length: int,
+    rng: SeedLike = None,
+):
+    """The write mask of :func:`bernoulli_schedule`, as a bare array.
+
+    One shared draw path guarantees the mask is bit-identical to
+    ``bernoulli_schedule(...).write_mask()`` with the same seed — which
+    lets the batched kernels consume seeded workload recipes without
+    ever constructing per-request objects.
+    """
+    theta = ensure_probability(theta)
+    if length < 0:
+        raise InvalidParameterError(f"length must be >= 0, got {length}")
+    rng = resolve_rng(rng)
+    return rng.random(length) < theta
+
+
 def bernoulli_schedule(
     theta: float,
     length: int,
@@ -53,11 +72,7 @@ def bernoulli_schedule(
     seed, a spawned ``SeedSequence`` (the parallel-sweep discipline of
     :mod:`repro.workload.seeding`) or ``None`` for OS entropy.
     """
-    theta = ensure_probability(theta)
-    if length < 0:
-        raise InvalidParameterError(f"length must be >= 0, got {length}")
-    rng = resolve_rng(rng)
-    draws = rng.random(length) < theta
+    draws = bernoulli_mask(theta, length, rng)
     schedule = Schedule(
         Request(Operation.WRITE if is_write else Operation.READ)
         for is_write in draws

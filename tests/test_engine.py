@@ -46,8 +46,10 @@ schedule_texts = st.text(alphabet="rw", min_size=0, max_size=100)
 
 
 class TestRegistry:
-    def test_three_backends_registered(self):
-        assert available_backends() == ["reference", "vectorized", "protocol"]
+    def test_four_backends_registered(self):
+        assert available_backends() == [
+            "reference", "vectorized", "protocol", "batched"
+        ]
 
     def test_unknown_backend_name(self):
         with pytest.raises(InvalidParameterError):
@@ -94,7 +96,7 @@ class TestDispatch:
 
     def test_forced_backend_honoured(self):
         schedule = Schedule.from_string("rwrw")
-        for name in ("reference", "vectorized", "protocol"):
+        for name in ("reference", "vectorized", "protocol", "batched"):
             assert run("sw9", schedule, MODEL, backend=name).backend_name == name
 
     def test_forced_vectorized_rejects_uncovered_algorithm(self):
