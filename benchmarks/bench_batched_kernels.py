@@ -38,6 +38,8 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro._version import __version__  # noqa: E402
+
+from history import host_metadata  # noqa: E402  (sibling module)
 from repro.core.batched import (  # noqa: E402
     batched_counts,
     batched_run_arrays,
@@ -212,6 +214,7 @@ def collect(quick: bool = False) -> dict:
     report = {
         "version": __version__,
         "cpu_count": os.cpu_count(),
+        "host": host_metadata(),
         "quick": quick,
         "end_to_end": bench_end_to_end(points, length),
         "reference": bench_reference(2_000 if quick else 10_000),

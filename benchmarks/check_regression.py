@@ -1,0 +1,101 @@
+"""Fail the build when a benchmark's throughput regresses.
+
+Compares a current ``BENCH_*.json`` artifact against the most recent
+``BENCH_history/`` entry of the same benchmark (or an explicit baseline
+file) on that benchmark's headline throughput metric, and exits 1 when
+the current number is more than ``--threshold`` (default 20%) below the
+baseline.  Improvements and small wobbles pass silently; a missing
+baseline passes too — the first recorded run *is* the baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --name service --current BENCH_service.json
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --name kernels --current BENCH_kernels.json \
+        --baseline BENCH_history/2026-08-01_kernels_000.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from history import history_entries
+
+#: Headline throughput metric per benchmark, as a dotted path.
+METRICS = {
+    "service": "decisions_per_sec",
+    "kernels": "end_to_end.batched_rps",
+    "engine": "engine_task_sweep.speedup",
+}
+
+
+def resolve(report: dict, dotted: str) -> float:
+    value = report
+    for part in dotted.split("."):
+        value = value[part]
+    return float(value)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--name", required=True,
+                        help="benchmark name (history file family), "
+                             f"known: {sorted(METRICS)}")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--baseline", default=None,
+                        help="explicit baseline file (default: latest "
+                             "history entry that is not the current run)")
+    parser.add_argument("--metric", default=None,
+                        help="dotted metric path (default: the benchmark's "
+                             "registered headline metric)")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="allowed fractional drop (default 0.2 = 20%%)")
+    parser.add_argument("--history", default=None,
+                        help="history directory (default BENCH_history/)")
+    args = parser.parse_args(argv)
+
+    metric = args.metric or METRICS.get(args.name)
+    if metric is None:
+        print(f"no registered metric for {args.name!r}; pass --metric",
+              file=sys.stderr)
+        return 2
+
+    with open(args.current) as handle:
+        current_report = json.load(handle)
+    current = resolve(current_report, metric)
+
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    else:
+        entries = history_entries(args.name, args.history)
+        if not entries:
+            print(f"{args.name}: no history baseline yet; "
+                  f"current {metric} = {current:,.2f} accepted")
+            return 0
+        baseline_path = entries[-1]
+    with open(baseline_path) as handle:
+        baseline = resolve(json.load(handle), metric)
+
+    if baseline <= 0:
+        print(f"{args.name}: baseline {metric} is {baseline}; nothing to "
+              "compare against")
+        return 0
+    drop = (baseline - current) / baseline
+    verdict = "OK" if drop <= args.threshold else "REGRESSION"
+    print(f"{args.name}: {metric} current {current:,.2f} vs baseline "
+          f"{baseline:,.2f} ({baseline_path.name}): "
+          f"{-drop * 100:+.1f}% [{verdict}]")
+    if drop > args.threshold:
+        print(f"FAIL: {drop * 100:.1f}% drop exceeds the "
+              f"{args.threshold * 100:.0f}% threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Shared benchmark plumbing: host metadata and dated history entries.
+
+Every ``BENCH_*.json`` artifact embeds :func:`host_metadata` so a
+number can always be traced to the box that produced it — a throughput
+figure without its core count and numpy version is noise.  The driver
+also appends each finished report to ``BENCH_history/`` as a dated
+entry; :mod:`benchmarks.check_regression` compares the freshest entry
+against its predecessor and fails the build on large regressions.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Optional
+
+import numpy
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._version import __version__  # noqa: E402
+
+__all__ = ["host_metadata", "append_history", "history_entries"]
+
+#: Default history directory, sibling of the BENCH_*.json artifacts.
+DEFAULT_HISTORY_DIR = Path(__file__).resolve().parent.parent / "BENCH_history"
+
+
+def host_metadata() -> dict:
+    """Provenance block embedded in every benchmark artifact."""
+    return {
+        "version": __version__,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy.__version__,
+    }
+
+
+def append_history(
+    report: dict, name: str, history_dir: Optional[Path] = None
+) -> Path:
+    """Write ``report`` as a dated ``BENCH_history/`` entry; return it.
+
+    Entries are named ``<date>_<name>_<seq>.json``; the sequence number
+    disambiguates several runs on one day while keeping lexicographic
+    order equal to chronological order.
+    """
+    directory = Path(history_dir) if history_dir else DEFAULT_HISTORY_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = datetime.date.today().isoformat()
+    sequence = 0
+    while True:
+        path = directory / f"{stamp}_{name}_{sequence:03d}.json"
+        if not path.exists():
+            break
+        sequence += 1
+    entry = dict(report)
+    entry.setdefault("host", host_metadata())
+    entry["recorded_at"] = datetime.datetime.now().isoformat(timespec="seconds")
+    entry["benchmark"] = name
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def history_entries(name: str, history_dir: Optional[Path] = None) -> list:
+    """Paths of ``name``'s history entries, oldest first."""
+    directory = Path(history_dir) if history_dir else DEFAULT_HISTORY_DIR
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob(f"*_{name}_*.json"))

@@ -45,6 +45,8 @@ from repro.experiments import run_all  # noqa: E402
 from repro.workload import spawn_seeds  # noqa: E402
 
 import bench_batched_kernels  # noqa: E402  (sibling module)
+import bench_service  # noqa: E402  (sibling module)
+from history import append_history, host_metadata  # noqa: E402
 
 
 def _timed(fn):
@@ -157,11 +159,17 @@ def main(argv=None) -> int:
     parser.add_argument("--kernels-out", default="BENCH_kernels.json",
                         help="output path for the batched-kernel report "
                              "('' skips it)")
+    parser.add_argument("--service-out", default="BENCH_service.json",
+                        help="output path for the allocation-service report "
+                             "('' skips it)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending dated BENCH_history/ entries")
     args = parser.parse_args(argv)
 
     report = {
         "version": __version__,
         "cpu_count": os.cpu_count(),
+        "host": host_metadata(),
         "quick": args.quick,
         "engine_task_sweep": bench_sweep(args.jobs, args.quick),
         "run_all": bench_run_all(args.jobs, args.quick),
@@ -172,6 +180,8 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(json.dumps(report, indent=2))
     print(f"wrote {args.out}")
+    if not args.no_history:
+        print(f"history: {append_history(report, 'engine')}")
 
     kernels_ok = True
     if args.kernels_out:
@@ -182,6 +192,8 @@ def main(argv=None) -> int:
         print(f"wrote {args.kernels_out} "
               f"(batched {kernels['end_to_end']['speedup']}x over "
               f"per-schedule vectorized)")
+        if not args.no_history:
+            print(f"history: {append_history(kernels, 'kernels')}")
         kernels_ok = (
             kernels["end_to_end"]["byte_identical"]
             and kernels["k_scan"]["identical"]
@@ -189,12 +201,26 @@ def main(argv=None) -> int:
             and kernels["omega_scan"]["identical"]
         )
 
+    service_ok = True
+    if args.service_out:
+        service = bench_service.collect(quick=args.quick)
+        with open(args.service_out, "w") as handle:
+            json.dump(service, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.service_out} "
+              f"({service['decisions_per_sec']:,.0f} decisions/s across "
+              f"{service['sessions']} sessions)")
+        if not args.no_history:
+            print(f"history: {append_history(service, 'service')}")
+        service_ok = service["verified"]
+
     ok = (
         report["engine_task_sweep"]["byte_identical"]
         and report["run_all"]["byte_identical"]
         and report["result_cache"]["byte_identical"]
         and report["result_cache"]["warm_all_hits"]
         and kernels_ok
+        and service_ok
     )
     return 0 if ok else 1
 

@@ -128,6 +128,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="destination .md file")
     report.add_argument("--quick", action="store_true")
 
+    serve = commands.add_parser(
+        "serve", help="host allocation sessions as a sharded service"
+    )
+    serve.add_argument("--self-test", action="store_true",
+                       help="drive a seeded load through the service, "
+                            "audit the traffic ledgers and replay-verify "
+                            "a session sample")
+    serve.add_argument("--sessions", default="100k", metavar="N",
+                       help="session population size; accepts k/m suffixes "
+                            "(default 100k)")
+    serve.add_argument("--rounds", type=int, default=2,
+                       help="operation rounds to drive (default 2)")
+    serve.add_argument("--ops-per-round", type=int, default=50, metavar="N",
+                       help="operations per session per round (default 50)")
+    serve.add_argument("--shards", type=int, default=32,
+                       help="shard count (default 32)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--algorithms", default=None, metavar="LIST",
+                       help="comma-separated algorithm mix "
+                            "(default: every session-hostable family)")
+    serve.add_argument("--replay-sample", type=int, default=32, metavar="N",
+                       help="sessions to replay-verify against the engine")
+    serve.add_argument("--min-throughput", type=float, default=None,
+                       metavar="DPS",
+                       help="fail (exit 1) if the self-test sustains fewer "
+                            "decisions/sec")
+    serve.add_argument("--json", dest="json_path", metavar="FILE",
+                       help="also write the self-test report as JSON")
+
     trace = commands.add_parser(
         "trace", help="profile a recorded trace and recommend a method"
     )
@@ -330,6 +359,73 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if passed == len(results) else 1
 
 
+def _parse_session_count(text: str) -> int:
+    """Parse ``100``, ``100k`` or ``1m`` into a session count."""
+    lowered = text.strip().lower()
+    multiplier = 1
+    if lowered.endswith("k"):
+        multiplier, lowered = 1_000, lowered[:-1]
+    elif lowered.endswith("m"):
+        multiplier, lowered = 1_000_000, lowered[:-1]
+    try:
+        count = int(lowered) * multiplier
+    except ValueError:
+        raise SystemExit(f"--sessions: cannot parse {text!r}")
+    return count
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import run_self_test
+
+    if not args.self_test:
+        print("repro serve currently supports --self-test only; the "
+              "library API (repro.service.AllocationService) hosts "
+              "interactive sessions", file=sys.stderr)
+        return 2
+    sessions = _parse_session_count(args.sessions)
+    algorithms = (
+        [name.strip() for name in args.algorithms.split(",") if name.strip()]
+        if args.algorithms else None
+    )
+    report = run_self_test(
+        sessions,
+        rounds=args.rounds,
+        ops_per_round=args.ops_per_round,
+        num_shards=args.shards,
+        seed=args.seed,
+        algorithms=algorithms,
+        replay_sample=args.replay_sample,
+    )
+    print(f"sessions        : {report['sessions']} "
+          f"across {report['occupied_shards']} shards "
+          f"(per-shard {report['min_shard_sessions']}"
+          f"..{report['max_shard_sessions']})")
+    print(f"algorithm mix   : {', '.join(report['algorithms'])}")
+    print(f"decisions       : {report['decisions']} "
+          f"({report['rounds']} rounds x {report['ops_per_round']} ops)")
+    print(f"elapsed         : {report['elapsed_seconds']:.3f}s")
+    print(f"throughput      : {report['decisions_per_sec']:,.0f} decisions/s")
+    audit = report["audit"]
+    print(f"ledger audit    : {audit['shards_audited']} shards, "
+          f"{audit['sessions_audited']} sessions, "
+          f"{audit['requests_audited']} requests conserved")
+    replay = report["replay"]
+    print(f"engine replay   : {replay['sessions_replayed']} sessions, "
+          f"{replay['decisions_replayed']} decisions byte-identical")
+    if args.json_path:
+        import json as json_module
+
+        with open(args.json_path, "w") as handle:
+            json_module.dump(report, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    if (args.min_throughput is not None
+            and report["decisions_per_sec"] < args.min_throughput):
+        print(f"FAIL: {report['decisions_per_sec']:,.0f} decisions/s below "
+              f"the {args.min_throughput:,.0f} floor", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .analysis.selection import recommend_for_trace
     from .workload.trace import load_trace, profile_trace
@@ -377,6 +473,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_choose(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

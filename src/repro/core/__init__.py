@@ -22,14 +22,27 @@ interface and are replayed against a cost model by
 from .base import AllocationAlgorithm
 from .estimators import EwmaAllocator, HysteresisSlidingWindow
 from .offline import OfflineOptimal, OptimalRun
-from .registry import available_algorithms, make_algorithm
+from .registry import algorithm_from_spec, available_algorithms, make_algorithm
 from .replay import ReplayResult, replay, replay_many
+from .session import (
+    AlgorithmSpec,
+    AllocationSession,
+    Decision,
+    SessionBackedAlgorithm,
+    parse_algorithm_name,
+)
 from .sliding_window import SlidingWindow, SlidingWindowOne
 from .static import StaticOneCopy, StaticTwoCopies
 from .threshold import ThresholdOneCopy, ThresholdTwoCopies
 
 __all__ = [
     "AllocationAlgorithm",
+    "AlgorithmSpec",
+    "AllocationSession",
+    "Decision",
+    "SessionBackedAlgorithm",
+    "parse_algorithm_name",
+    "algorithm_from_spec",
     "StaticOneCopy",
     "StaticTwoCopies",
     "SlidingWindow",

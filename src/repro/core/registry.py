@@ -2,28 +2,45 @@
 
 The CLI, the experiment harness and the examples all refer to
 algorithms by short names such as ``"st1"``, ``"sw9"`` or ``"t1_15"``.
-This module parses those names into configured instances.
+This module parses those names into configured instances.  The
+session-hostable families (ST/SW/T) parse through
+:func:`repro.core.session.parse_algorithm_name` — the same spec parser
+the protocol deciders and the allocation service use — so a name means
+exactly one configuration everywhere.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List
+from typing import List
 
 from ..exceptions import UnknownAlgorithmError
 from .base import AllocationAlgorithm
 from .estimators import EwmaAllocator, HysteresisSlidingWindow
+from .session import AlgorithmSpec, parse_algorithm_name
 from .sliding_window import SlidingWindow, SlidingWindowOne
 from .static import StaticOneCopy, StaticTwoCopies
 from .threshold import ThresholdOneCopy, ThresholdTwoCopies
 
-__all__ = ["make_algorithm", "available_algorithms"]
+__all__ = ["make_algorithm", "available_algorithms", "algorithm_from_spec"]
 
-_SW_PATTERN = re.compile(r"^sw(\d+)$")
-_T1_PATTERN = re.compile(r"^t1_(\d+)$")
-_T2_PATTERN = re.compile(r"^t2_(\d+)$")
 _EWMA_PATTERN = re.compile(r"^ewma_(\d+)$")
 _HSW_PATTERN = re.compile(r"^hsw(\d+)_(\d+)$")
+
+
+def algorithm_from_spec(spec: AlgorithmSpec) -> AllocationAlgorithm:
+    """Build the classic algorithm class for a parsed session spec."""
+    if spec.family == "st1":
+        return StaticOneCopy()
+    if spec.family == "st2":
+        return StaticTwoCopies()
+    if spec.family == "sw1":
+        return SlidingWindowOne()
+    if spec.family == "swk":
+        return SlidingWindow(spec.param)
+    if spec.family == "t1":
+        return ThresholdOneCopy(spec.param)
+    return ThresholdTwoCopies(spec.param)
 
 
 def make_algorithm(name: str) -> AllocationAlgorithm:
@@ -41,23 +58,9 @@ def make_algorithm(name: str) -> AllocationAlgorithm:
     * ``hswK_H`` — hysteresis sliding window, size K, deadband H.
     """
     lowered = name.strip().lower()
-    if lowered == "st1":
-        return StaticOneCopy()
-    if lowered == "st2":
-        return StaticTwoCopies()
-    if lowered == "sw1":
-        return SlidingWindowOne()
-    if lowered == "sw1-unoptimized":
-        return SlidingWindow(1)
-    match = _SW_PATTERN.match(lowered)
-    if match:
-        return SlidingWindow(int(match.group(1)))
-    match = _T1_PATTERN.match(lowered)
-    if match:
-        return ThresholdOneCopy(int(match.group(1)))
-    match = _T2_PATTERN.match(lowered)
-    if match:
-        return ThresholdTwoCopies(int(match.group(1)))
+    spec = parse_algorithm_name(lowered)
+    if spec is not None:
+        return algorithm_from_spec(spec)
     match = _EWMA_PATTERN.match(lowered)
     if match:
         percent = int(match.group(1))

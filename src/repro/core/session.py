@@ -1,0 +1,586 @@
+"""Incremental allocation sessions: one decision core, many hosts.
+
+Historically the ST/SW/T decision rules existed in three disconnected
+representations: the per-schedule online algorithms of this package,
+the message-driven protocol deciders of :mod:`repro.sim.policies`, and
+the closed-form batched kernels of :mod:`repro.core.batched`.  Anything
+that wanted to host *many live allocation state machines* — the
+multi-tenant allocation service of :mod:`repro.service` — would have
+needed a fourth copy of the rules.
+
+This module is the single incremental core.  An
+:class:`AllocationSession` is one live state machine for one
+(client, object) pair: ``feed(op)`` consumes a relevant request in O(1)
+(a window ring buffer for SWk, a run-length counter for T1m/T2m,
+nothing for the static methods and SW1) and returns a
+:class:`Decision` — the classified cost event plus the allocation
+transition.  The session's decision sequence is byte-identical to
+:meth:`repro.core.base.AllocationAlgorithm.process` and, therefore, to
+every engine backend; the adapters in :mod:`repro.core.static`,
+:mod:`repro.core.sliding_window`, :mod:`repro.core.threshold` and
+:mod:`repro.sim.policies` delegate to a session instead of keeping
+their own window/threshold bookkeeping.
+
+For bulk hosts the session also exposes its *carry encoding*:
+:meth:`AllocationSession.carry_bits` is a write-bit vector of fixed
+per-family length L such that running the (stateless) batched kernels
+on ``[carry | chunk]`` and discarding the first L outputs classifies
+``chunk`` exactly as feeding it op-by-op would — and the last L bits of
+``[carry | chunk]`` are the next carry.  The family-by-family argument:
+
+* ST1/ST2 are stateless (L = 0).
+* SW1's scheme is "last request was a read" (L = 1).
+* SWk classifies from the window of the last k requests; a fresh
+  session's all-writes window is exactly the kernels' virtual-write
+  convention for the first k positions, so left-padding a short
+  history with writes reproduces it (L = k).
+* T1m classifies reads from the position in the current read run,
+  clipped at m (every position ≥ m behaves identically: the copy is
+  held), and writes from whether the preceding read run reached m.
+  The last m raw bits determine both clipped statistics; padding a
+  short history with writes matches the fresh "broken run, no copy"
+  state (L = m).
+* T2m is the write-run mirror; padding with *reads* matches its fresh
+  "copy held, run broken" state (L = m, fill = read).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..costmodels.base import CostEventKind
+from ..exceptions import InvalidParameterError
+from ..types import AllocationScheme, Operation, ensure_odd_window
+
+__all__ = [
+    "AlgorithmSpec",
+    "AllocationSession",
+    "Decision",
+    "RequestWindow",
+    "ensure_threshold",
+    "parse_algorithm_name",
+]
+
+_SW_PATTERN = re.compile(r"^sw(\d+)$")
+_T1_PATTERN = re.compile(r"^t1_(\d+)$")
+_T2_PATTERN = re.compile(r"^t2_(\d+)$")
+
+
+def ensure_threshold(m: int) -> int:
+    """Validate a T1m/T2m threshold (a positive integer)."""
+    if not isinstance(m, int) or isinstance(m, bool):
+        raise InvalidParameterError(f"threshold m must be an int, got {m!r}")
+    if m < 1:
+        raise InvalidParameterError(f"threshold m must be >= 1, got {m}")
+    return m
+
+
+class RequestWindow:
+    """A fixed-size window over the last ``k`` relevant requests.
+
+    The window is conceptually a sequence of ``k`` bits (section 4: "0
+    represents a read and 1 represents a write").  We keep the bits in
+    a deque plus an incrementally-maintained write count, so a slide is
+    O(1) instead of O(k).  ``recount()`` recomputes the count from the
+    raw bits; the ablation benchmark uses it to quantify what the
+    incremental counter buys.
+    """
+
+    __slots__ = ("_bits", "_write_count", "_k")
+
+    def __init__(self, k: int, initial: Iterable[Operation]):
+        self._k = ensure_odd_window(k)
+        bits: Deque[bool] = deque(maxlen=self._k)
+        for operation in initial:
+            bits.append(operation is Operation.WRITE)
+        if len(bits) != self._k:
+            raise InvalidParameterError(
+                f"initial window must contain exactly k={self._k} operations, "
+                f"got {len(bits)}"
+            )
+        self._bits = bits
+        self._write_count = sum(bits)
+
+    @classmethod
+    def all_reads(cls, k: int) -> "RequestWindow":
+        return cls(k, [Operation.READ] * k)
+
+    @classmethod
+    def all_writes(cls, k: int) -> "RequestWindow":
+        return cls(k, [Operation.WRITE] * k)
+
+    @property
+    def size(self) -> int:
+        return self._k
+
+    @property
+    def write_count(self) -> int:
+        return self._write_count
+
+    @property
+    def read_count(self) -> int:
+        return self._k - self._write_count
+
+    @property
+    def majority_reads(self) -> bool:
+        """True iff reads strictly outnumber writes (k odd → never a tie)."""
+        return self.read_count > self._write_count
+
+    def slide(self, operation: Operation) -> None:
+        """Drop the oldest request and append the newest."""
+        is_write = operation is Operation.WRITE
+        oldest_was_write = self._bits[0]
+        self._bits.append(is_write)  # maxlen evicts the oldest bit
+        self._write_count += int(is_write) - int(oldest_was_write)
+
+    def recount(self) -> int:
+        """Recompute the write count from the raw bits (O(k) ablation path)."""
+        return sum(self._bits)
+
+    def contents(self) -> Tuple[Operation, ...]:
+        """Window contents, oldest first."""
+        return tuple(
+            Operation.WRITE if bit else Operation.READ for bit in self._bits
+        )
+
+    def write_bit_array(self) -> np.ndarray:
+        """The raw bits as a boolean array, oldest first."""
+        return np.fromiter(self._bits, dtype=bool, count=self._k)
+
+    def copy(self) -> "RequestWindow":
+        """An independent window with the same contents."""
+        return RequestWindow(self._k, self.contents())
+
+    def __repr__(self) -> str:
+        text = "".join("w" if bit else "r" for bit in self._bits)
+        return f"RequestWindow(k={self._k}, {text!r})"
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """The parsed identity of a session-hostable algorithm.
+
+    ``family`` is one of ``"st1"``, ``"st2"``, ``"sw1"`` (the optimized
+    one-request window), ``"swk"``, ``"t1"``, ``"t2"``; ``param`` is
+    the window size k or the threshold m (0 for the parameterless
+    families).  Validation happens at construction, so holding a spec
+    means holding a legal configuration.
+    """
+
+    family: str
+    param: int = 0
+
+    def __post_init__(self):
+        if self.family in ("st1", "st2", "sw1"):
+            if self.param != 0:
+                raise InvalidParameterError(
+                    f"{self.family} takes no parameter, got {self.param}"
+                )
+        elif self.family == "swk":
+            ensure_odd_window(self.param)
+        elif self.family in ("t1", "t2"):
+            ensure_threshold(self.param)
+        else:
+            raise InvalidParameterError(
+                f"unknown algorithm family {self.family!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        """The canonical registry/engine name of this configuration."""
+        if self.family == "swk":
+            # k = 1 without the delete-request optimization must not
+            # share SW1's name: dispatch-by-name layers would silently
+            # swap semantics.
+            return f"sw{self.param}" if self.param > 1 else "sw1-unoptimized"
+        if self.family in ("t1", "t2"):
+            return f"{self.family}_{self.param}"
+        return self.family
+
+    @property
+    def initial_mobile_has_copy(self) -> bool:
+        """Whether a fresh session starts in the two-copies scheme."""
+        return self.family in ("st2", "t2")
+
+    @property
+    def carry_length(self) -> int:
+        """L: how many trailing history bits determine future decisions."""
+        if self.family in ("st1", "st2"):
+            return 0
+        if self.family == "sw1":
+            return 1
+        return self.param
+
+    @property
+    def carry_fill(self) -> bool:
+        """The write bit that pads a shorter-than-L history on the left.
+
+        Writes for every family except T2m — a fresh T2m session holds
+        the copy with a *broken write run*, which only an all-reads pad
+        reproduces.
+        """
+        return self.family != "t2"
+
+    def initial_carry(self) -> np.ndarray:
+        """The carry bits of a freshly-constructed session."""
+        return np.full(self.carry_length, self.carry_fill, dtype=bool)
+
+
+def parse_algorithm_name(name: str) -> Optional[AlgorithmSpec]:
+    """Parse an algorithm short name into a spec, or ``None``.
+
+    Covers exactly the session-hostable families (``st1``, ``st2``,
+    ``sw1``, ``sw1-unoptimized``, ``swK``, ``t1_M``, ``t2_M``); the
+    estimator allocators (``ewma_P``, ``hswK_H``) have no incremental
+    session core and return ``None``, as does anything unknown.
+    """
+    lowered = name.strip().lower()
+    if lowered in ("st1", "st2", "sw1"):
+        return AlgorithmSpec(lowered)
+    if lowered == "sw1-unoptimized":
+        return AlgorithmSpec("swk", 1)
+    match = _SW_PATTERN.match(lowered)
+    if match:
+        return AlgorithmSpec("swk", int(match.group(1)))
+    match = _T1_PATTERN.match(lowered)
+    if match:
+        return AlgorithmSpec("t1", int(match.group(1)))
+    match = _T2_PATTERN.match(lowered)
+    if match:
+        return AlgorithmSpec("t2", int(match.group(1)))
+    return None
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One served request: its cost event plus the allocation transition.
+
+    ``allocated``/``deallocated`` flag the requests on which the scheme
+    changed — the protocol adapters use them to know when to hand the
+    window across the wire.
+    """
+
+    kind: CostEventKind
+    mobile_has_copy: bool
+    allocated: bool = False
+    deallocated: bool = False
+
+
+class AllocationSession:
+    """One live allocation state machine with O(1) per-request state.
+
+    Construction options mirror the adapters' needs:
+
+    ``initial_window``
+        SWk only — pre-load the window (e.g. a window adopted from the
+        other side of the protocol).  The initial scheme is the
+        window's majority, preserving the "scheme == window majority"
+        invariant.
+    ``initial_scheme``
+        SW1 only — the paper's k=1 window is implied by the scheme, so
+        the scheme itself is the whole state.
+    """
+
+    __slots__ = ("_spec", "_family", "_has_copy", "_window", "_run")
+
+    def __init__(
+        self,
+        spec: AlgorithmSpec,
+        *,
+        initial_window: Optional[Iterable[Operation]] = None,
+        initial_scheme: Optional[AllocationScheme] = None,
+    ):
+        if not isinstance(spec, AlgorithmSpec):
+            raise InvalidParameterError(
+                f"expected an AlgorithmSpec, got {spec!r}"
+            )
+        self._spec = spec
+        self._family = spec.family
+        self._window: Optional[RequestWindow] = None
+        self._run = 0
+        if initial_window is not None and spec.family != "swk":
+            raise InvalidParameterError(
+                f"initial_window is only meaningful for SWk, not {spec.name}"
+            )
+        if initial_scheme is not None and spec.family != "sw1":
+            raise InvalidParameterError(
+                f"initial_scheme is only meaningful for SW1, not {spec.name}"
+            )
+        if spec.family == "swk":
+            if initial_window is None:
+                self._window = RequestWindow.all_writes(spec.param)
+            else:
+                self._window = RequestWindow(spec.param, initial_window)
+            self._has_copy = self._window.majority_reads
+        elif spec.family == "sw1":
+            self._has_copy = (
+                initial_scheme.mobile_has_copy
+                if initial_scheme is not None
+                else False
+            )
+        else:
+            self._has_copy = spec.initial_mobile_has_copy
+
+    @classmethod
+    def from_name(cls, name: str) -> "AllocationSession":
+        """Build a fresh session from an algorithm short name."""
+        from ..exceptions import UnknownAlgorithmError
+
+        spec = parse_algorithm_name(name)
+        if spec is None:
+            raise UnknownAlgorithmError(
+                f"no incremental session for algorithm {name!r}"
+            )
+        return cls(spec)
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def spec(self) -> AlgorithmSpec:
+        return self._spec
+
+    @property
+    def mobile_has_copy(self) -> bool:
+        return self._has_copy
+
+    @property
+    def scheme(self) -> AllocationScheme:
+        if self._has_copy:
+            return AllocationScheme.TWO_COPIES
+        return AllocationScheme.ONE_COPY
+
+    @property
+    def window(self) -> Optional[RequestWindow]:
+        """The SWk request window (``None`` for windowless families)."""
+        return self._window
+
+    @property
+    def run_length(self) -> int:
+        """The T1m/T2m consecutive-run counter (0 otherwise)."""
+        return self._run
+
+    def window_contents(self) -> Optional[Tuple[Operation, ...]]:
+        """The SWk window contents, oldest first (``None`` otherwise)."""
+        if self._window is None:
+            return None
+        return self._window.contents()
+
+    def extra_signature(self) -> tuple:
+        """The family-specific part of the decision-relevant state."""
+        if self._family == "swk":
+            return self._window.contents()
+        if self._family in ("t1", "t2"):
+            return (self._run,)
+        return ()
+
+    def state_signature(self) -> tuple:
+        """Hashable snapshot of the full decision-relevant state."""
+        return (self._has_copy,) + self.extra_signature()
+
+    def carry_bits(self) -> np.ndarray:
+        """The current state as trailing-history write bits (length L).
+
+        Feeding the batched kernels ``[carry | chunk]`` with
+        ``warmup=L`` classifies ``chunk`` exactly as ``feed`` would,
+        and ``[carry | chunk][-L:]`` is the next carry — the encoding
+        the sharded service uses to drain sessions in bulk.
+        """
+        spec = self._spec
+        if self._family == "swk":
+            return self._window.write_bit_array()
+        if self._family == "sw1":
+            return np.array([not self._has_copy], dtype=bool)
+        if self._family == "t1":
+            # No copy: a read run of length `run` (reads are False
+            # bits) directly preceded by the write that broke the
+            # previous run.  With the copy: reads are free and state-
+            # invariant, so any all-reads suffix of length m works.
+            bits = np.zeros(spec.param, dtype=bool)
+            if not self._has_copy:
+                bits[: spec.param - self._run] = True
+            return bits
+        if self._family == "t2":
+            # With the copy: a write run of length `run` preceded by
+            # the read that broke the previous one.  Without: the run
+            # reached m, so any all-writes suffix of length m works.
+            bits = np.ones(spec.param, dtype=bool)
+            if self._has_copy:
+                bits[: spec.param - self._run] = False
+            return bits
+        return np.empty(0, dtype=bool)
+
+    # -- the decision procedure ----------------------------------------
+
+    def feed(self, operation: Operation) -> Decision:
+        """Serve one relevant request; O(1) state update."""
+        if operation is Operation.READ:
+            return self._feed_read()
+        if operation is Operation.WRITE:
+            return self._feed_write()
+        raise InvalidParameterError(f"unknown operation: {operation!r}")
+
+    def _feed_read(self) -> Decision:
+        family = self._family
+        if family == "st1":
+            return Decision(CostEventKind.REMOTE_READ, False)
+        if family == "st2":
+            return Decision(CostEventKind.LOCAL_READ, True)
+        if family == "sw1":
+            if self._has_copy:
+                return Decision(CostEventKind.LOCAL_READ, True)
+            # Remote read; the response piggybacks the copy (window = [r]).
+            self._has_copy = True
+            return Decision(CostEventKind.REMOTE_READ, True, allocated=True)
+        if family == "swk":
+            had_copy = self._has_copy
+            self._window.slide(Operation.READ)
+            if had_copy:
+                return Decision(CostEventKind.LOCAL_READ, True)
+            # The read goes remote; if it flipped the majority to
+            # reads, the SC piggybacks the copy + window (free).
+            if self._window.majority_reads:
+                self._has_copy = True
+                return Decision(
+                    CostEventKind.REMOTE_READ, True, allocated=True
+                )
+            return Decision(CostEventKind.REMOTE_READ, False)
+        if family == "t1":
+            if self._has_copy:
+                return Decision(CostEventKind.LOCAL_READ, True)
+            self._run += 1
+            if self._run >= self._spec.param:
+                # The m-th consecutive remote read piggybacks the copy.
+                self._has_copy = True
+                self._run = 0
+                return Decision(
+                    CostEventKind.REMOTE_READ, True, allocated=True
+                )
+            return Decision(CostEventKind.REMOTE_READ, False)
+        # t2
+        self._run = 0
+        if self._has_copy:
+            return Decision(CostEventKind.LOCAL_READ, True)
+        # First read after the write burst: re-acquire the replica.
+        self._has_copy = True
+        return Decision(CostEventKind.REMOTE_READ, True, allocated=True)
+
+    def _feed_write(self) -> Decision:
+        family = self._family
+        if family == "st1":
+            return Decision(CostEventKind.WRITE_NO_COPY, False)
+        if family == "st2":
+            return Decision(CostEventKind.WRITE_PROPAGATED, True)
+        if family == "sw1":
+            if not self._has_copy:
+                return Decision(CostEventKind.WRITE_NO_COPY, False)
+            self._has_copy = False
+            return Decision(
+                CostEventKind.WRITE_DELETE_REQUEST, False, deallocated=True
+            )
+        if family == "swk":
+            had_copy = self._has_copy
+            self._window.slide(Operation.WRITE)
+            if not had_copy:
+                return Decision(CostEventKind.WRITE_NO_COPY, False)
+            # The write is propagated to the replica.  If it flipped
+            # the majority to writes, the MC deallocates and notifies.
+            if self._window.majority_reads:
+                return Decision(CostEventKind.WRITE_PROPAGATED, True)
+            self._has_copy = False
+            return Decision(
+                CostEventKind.WRITE_PROPAGATED_DEALLOCATE,
+                False,
+                deallocated=True,
+            )
+        if family == "t1":
+            self._run = 0
+            if not self._has_copy:
+                return Decision(CostEventKind.WRITE_NO_COPY, False)
+            # First write after the read burst: drop the replica again.
+            self._has_copy = False
+            return Decision(
+                CostEventKind.WRITE_DELETE_REQUEST, False, deallocated=True
+            )
+        # t2
+        if not self._has_copy:
+            return Decision(CostEventKind.WRITE_NO_COPY, False)
+        self._run += 1
+        if self._run >= self._spec.param:
+            # Only the MC can count *consecutive* writes, so the m-th
+            # write is propagated and answered with the deallocation
+            # notice — the same exchange SWk uses.
+            self._has_copy = False
+            self._run = 0
+            return Decision(
+                CostEventKind.WRITE_PROPAGATED_DEALLOCATE,
+                False,
+                deallocated=True,
+            )
+        return Decision(CostEventKind.WRITE_PROPAGATED, True)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AllocationSession {self._spec.name!r} "
+            f"scheme={self.scheme.name}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Adapter base for the classic per-schedule algorithm classes
+# ---------------------------------------------------------------------------
+
+from .base import AllocationAlgorithm  # noqa: E402  (after session types)
+
+__all__.append("SessionBackedAlgorithm")
+
+
+class SessionBackedAlgorithm(AllocationAlgorithm):
+    """An :class:`AllocationAlgorithm` whose decisions come from a session.
+
+    Subclasses implement :meth:`_make_session` (a fresh session with
+    the constructor's configuration) and keep only presentation state —
+    names, parameters for ``describe()``/``clone()``.  The request
+    loop, the scheme transitions and the state signature all delegate
+    to the session, so the decision rules exist exactly once.
+    """
+
+    def __init__(self, initial_scheme: AllocationScheme):
+        # Validate before building the session so a bad scheme fails
+        # with the same error the base class raises, not an attribute
+        # error from inside the session constructor.
+        if not isinstance(initial_scheme, AllocationScheme):
+            raise InvalidParameterError(
+                f"initial_scheme must be an AllocationScheme, "
+                f"got {initial_scheme!r}"
+            )
+        self._session = self._make_session()
+        super().__init__(initial_scheme=initial_scheme)
+
+    @property
+    def session(self) -> AllocationSession:
+        """The live decision session behind this algorithm instance."""
+        return self._session
+
+    def _make_session(self) -> AllocationSession:
+        raise NotImplementedError
+
+    def _serve_read(self) -> CostEventKind:
+        decision = self._session.feed(Operation.READ)
+        self._mobile_has_copy = decision.mobile_has_copy
+        return decision.kind
+
+    def _serve_write(self) -> CostEventKind:
+        decision = self._session.feed(Operation.WRITE)
+        self._mobile_has_copy = decision.mobile_has_copy
+        return decision.kind
+
+    def _reset_extra_state(self) -> None:
+        self._session = self._make_session()
+
+    def _extra_state_signature(self) -> tuple:
+        return self._session.extra_signature()

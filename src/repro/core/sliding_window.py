@@ -23,99 +23,30 @@ propagating the data item and waiting for the MC to deallocate, the SC
 sends a short delete-request (one control message, cost ``ω``).  The
 paper analyzes SW1 separately in the message model for exactly this
 reason (footnote in section 6).
+
+The decision rules live in :mod:`repro.core.session`
+(:class:`~repro.core.session.AllocationSession`); this module adapts
+them to the per-schedule :class:`~repro.core.base.AllocationAlgorithm`
+interface.  :class:`RequestWindow` is re-exported from the session
+module, where the single window implementation now lives.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
-from ..costmodels.base import CostEventKind
-from ..exceptions import InvalidParameterError
 from ..types import AllocationScheme, Operation, ensure_odd_window
-from .base import AllocationAlgorithm
+from .session import (
+    AlgorithmSpec,
+    AllocationSession,
+    RequestWindow,
+    SessionBackedAlgorithm,
+)
 
 __all__ = ["RequestWindow", "SlidingWindow", "SlidingWindowOne"]
 
 
-class RequestWindow:
-    """A fixed-size window over the last ``k`` relevant requests.
-
-    The window is conceptually a sequence of ``k`` bits (section 4: "0
-    represents a read and 1 represents a write").  We keep the bits in
-    a deque plus an incrementally-maintained write count, so a slide is
-    O(1) instead of O(k).  ``recount()`` recomputes the count from the
-    raw bits; the ablation benchmark uses it to quantify what the
-    incremental counter buys.
-    """
-
-    __slots__ = ("_bits", "_write_count", "_k")
-
-    def __init__(self, k: int, initial: Iterable[Operation]):
-        self._k = ensure_odd_window(k)
-        bits: Deque[bool] = deque(maxlen=self._k)
-        for operation in initial:
-            bits.append(operation is Operation.WRITE)
-        if len(bits) != self._k:
-            raise InvalidParameterError(
-                f"initial window must contain exactly k={self._k} operations, "
-                f"got {len(bits)}"
-            )
-        self._bits = bits
-        self._write_count = sum(bits)
-
-    @classmethod
-    def all_reads(cls, k: int) -> "RequestWindow":
-        return cls(k, [Operation.READ] * k)
-
-    @classmethod
-    def all_writes(cls, k: int) -> "RequestWindow":
-        return cls(k, [Operation.WRITE] * k)
-
-    @property
-    def size(self) -> int:
-        return self._k
-
-    @property
-    def write_count(self) -> int:
-        return self._write_count
-
-    @property
-    def read_count(self) -> int:
-        return self._k - self._write_count
-
-    @property
-    def majority_reads(self) -> bool:
-        """True iff reads strictly outnumber writes (k odd → never a tie)."""
-        return self.read_count > self._write_count
-
-    def slide(self, operation: Operation) -> None:
-        """Drop the oldest request and append the newest."""
-        is_write = operation is Operation.WRITE
-        oldest_was_write = self._bits[0]
-        self._bits.append(is_write)  # maxlen evicts the oldest bit
-        self._write_count += int(is_write) - int(oldest_was_write)
-
-    def recount(self) -> int:
-        """Recompute the write count from the raw bits (O(k) ablation path)."""
-        return sum(self._bits)
-
-    def contents(self) -> Tuple[Operation, ...]:
-        """Window contents, oldest first."""
-        return tuple(
-            Operation.WRITE if bit else Operation.READ for bit in self._bits
-        )
-
-    def copy(self) -> "RequestWindow":
-        """An independent window with the same contents."""
-        return RequestWindow(self._k, self.contents())
-
-    def __repr__(self) -> str:
-        text = "".join("w" if bit else "r" for bit in self._bits)
-        return f"RequestWindow(k={self._k}, {text!r})"
-
-
-class SlidingWindow(AllocationAlgorithm):
+class SlidingWindow(SessionBackedAlgorithm):
     """SWk: allocate by majority over a sliding window of ``k`` requests.
 
     Parameters
@@ -135,21 +66,29 @@ class SlidingWindow(AllocationAlgorithm):
     def __init__(self, k: int, initial_window: Optional[Iterable[Operation]] = None):
         self._k = ensure_odd_window(k)
         if initial_window is None:
-            window = RequestWindow.all_writes(self._k)
+            self._initial_contents = (Operation.WRITE,) * self._k
         else:
-            window = RequestWindow(self._k, initial_window)
-        self._initial_contents = window.contents()
-        self._window = window
-        scheme = (
-            AllocationScheme.TWO_COPIES
-            if window.majority_reads
-            else AllocationScheme.ONE_COPY
+            self._initial_contents = RequestWindow(
+                self._k, initial_window
+            ).contents()
+        reads = sum(1 for op in self._initial_contents if op is Operation.READ)
+        super().__init__(
+            initial_scheme=(
+                AllocationScheme.TWO_COPIES
+                if reads > self._k // 2
+                else AllocationScheme.ONE_COPY
+            )
         )
-        super().__init__(initial_scheme=scheme)
         # k = 1 without the delete-request optimization must not share
         # SW1's name: dispatch-by-name layers (the vectorized fast path,
         # the protocol decider factory) would silently swap semantics.
         self.name = f"sw{self._k}" if self._k > 1 else "sw1-unoptimized"
+
+    def _make_session(self) -> AllocationSession:
+        return AllocationSession(
+            AlgorithmSpec("swk", self._k),
+            initial_window=self._initial_contents,
+        )
 
     @property
     def k(self) -> int:
@@ -158,45 +97,16 @@ class SlidingWindow(AllocationAlgorithm):
     @property
     def window(self) -> RequestWindow:
         """The current request window (mutating it voids the warranty)."""
-        return self._window
-
-    def _serve_read(self) -> CostEventKind:
-        had_copy = self.mobile_has_copy
-        self._window.slide(Operation.READ)
-        if had_copy:
-            return CostEventKind.LOCAL_READ
-        # The read goes remote; if it flipped the majority to reads,
-        # the SC piggybacks the copy + window on the response (free).
-        if self._window.majority_reads:
-            self._allocate()
-        return CostEventKind.REMOTE_READ
-
-    def _serve_write(self) -> CostEventKind:
-        had_copy = self.mobile_has_copy
-        self._window.slide(Operation.WRITE)
-        if not had_copy:
-            return CostEventKind.WRITE_NO_COPY
-        # The write is propagated to the replica.  If it flipped the
-        # majority to writes, the MC deallocates and notifies the SC.
-        if self._window.majority_reads:
-            return CostEventKind.WRITE_PROPAGATED
-        self._deallocate()
-        return CostEventKind.WRITE_PROPAGATED_DEALLOCATE
-
-    def _reset_extra_state(self) -> None:
-        self._window = RequestWindow(self._k, self._initial_contents)
+        return self.session.window
 
     def _configured_copy(self) -> "SlidingWindow":
         return SlidingWindow(self._k, self._initial_contents)
-
-    def _extra_state_signature(self) -> tuple:
-        return self._window.contents()
 
     def describe(self) -> str:
         return f"SW{self._k} (sliding window, k={self._k})"
 
 
-class SlidingWindowOne(AllocationAlgorithm):
+class SlidingWindowOne(SessionBackedAlgorithm):
     """SW1: the k=1 window with the delete-request optimization.
 
     With a one-request window the scheme simply follows the last
@@ -209,24 +119,17 @@ class SlidingWindowOne(AllocationAlgorithm):
     name = "sw1"
 
     def __init__(self, initial_scheme: AllocationScheme = AllocationScheme.ONE_COPY):
+        self._sw1_initial_scheme = initial_scheme
         super().__init__(initial_scheme=initial_scheme)
+
+    def _make_session(self) -> AllocationSession:
+        return AllocationSession(
+            AlgorithmSpec("sw1"), initial_scheme=self._sw1_initial_scheme
+        )
 
     @property
     def k(self) -> int:
         return 1
-
-    def _serve_read(self) -> CostEventKind:
-        if self.mobile_has_copy:
-            return CostEventKind.LOCAL_READ
-        # Remote read; the response piggybacks the copy (window = [r]).
-        self._allocate()
-        return CostEventKind.REMOTE_READ
-
-    def _serve_write(self) -> CostEventKind:
-        if not self.mobile_has_copy:
-            return CostEventKind.WRITE_NO_COPY
-        self._deallocate()
-        return CostEventKind.WRITE_DELETE_REQUEST
 
     def _configured_copy(self) -> "SlidingWindowOne":
         return SlidingWindowOne(self._initial_scheme)

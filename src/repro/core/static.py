@@ -6,18 +6,20 @@ Static methods never change the allocation scheme:
   issued at the mobile computer goes remote; writes are free.
 * **ST2** — the mobile computer always holds a replica.  Reads are
   local and free; every write is propagated to the replica.
+
+Both classes are thin adapters over the incremental decision core of
+:mod:`repro.core.session`.
 """
 
 from __future__ import annotations
 
-from ..costmodels.base import CostEventKind
 from ..types import AllocationScheme
-from .base import AllocationAlgorithm
+from .session import AlgorithmSpec, AllocationSession, SessionBackedAlgorithm
 
 __all__ = ["StaticOneCopy", "StaticTwoCopies"]
 
 
-class StaticOneCopy(AllocationAlgorithm):
+class StaticOneCopy(SessionBackedAlgorithm):
     """ST1: the mobile computer never holds a copy (on-demand reads)."""
 
     name = "st1"
@@ -25,11 +27,8 @@ class StaticOneCopy(AllocationAlgorithm):
     def __init__(self):
         super().__init__(initial_scheme=AllocationScheme.ONE_COPY)
 
-    def _serve_read(self) -> CostEventKind:
-        return CostEventKind.REMOTE_READ
-
-    def _serve_write(self) -> CostEventKind:
-        return CostEventKind.WRITE_NO_COPY
+    def _make_session(self) -> AllocationSession:
+        return AllocationSession(AlgorithmSpec("st1"))
 
     def _configured_copy(self) -> "StaticOneCopy":
         return StaticOneCopy()
@@ -38,7 +37,7 @@ class StaticOneCopy(AllocationAlgorithm):
         return "ST1 (static one-copy: no replica at the mobile computer)"
 
 
-class StaticTwoCopies(AllocationAlgorithm):
+class StaticTwoCopies(SessionBackedAlgorithm):
     """ST2: the mobile computer always holds a copy (subscription)."""
 
     name = "st2"
@@ -46,11 +45,8 @@ class StaticTwoCopies(AllocationAlgorithm):
     def __init__(self):
         super().__init__(initial_scheme=AllocationScheme.TWO_COPIES)
 
-    def _serve_read(self) -> CostEventKind:
-        return CostEventKind.LOCAL_READ
-
-    def _serve_write(self) -> CostEventKind:
-        return CostEventKind.WRITE_PROPAGATED
+    def _make_session(self) -> AllocationSession:
+        return AllocationSession(AlgorithmSpec("st2"))
 
     def _configured_copy(self) -> "StaticTwoCopies":
         return StaticTwoCopies()

@@ -21,118 +21,71 @@ the read that re-acquires one piggybacks the copy on its response.  For
 T2m the decision point must be the MC — only it sees the local reads
 that break a write run — so the m-th consecutive write is propagated
 and answered with a deallocation notice (cost 1+ω), as in SWk.
+
+The run-length counting itself lives in the incremental decision core
+(:mod:`repro.core.session`); these classes adapt it to the
+per-schedule :class:`~repro.core.base.AllocationAlgorithm` interface.
 """
 
 from __future__ import annotations
 
-from ..costmodels.base import CostEventKind
-from ..exceptions import InvalidParameterError
 from ..types import AllocationScheme
-from .base import AllocationAlgorithm
+from .session import (
+    AlgorithmSpec,
+    AllocationSession,
+    SessionBackedAlgorithm,
+    ensure_threshold,
+)
 
 __all__ = ["ThresholdOneCopy", "ThresholdTwoCopies"]
 
-
-def _ensure_threshold(m: int) -> int:
-    if not isinstance(m, int) or isinstance(m, bool):
-        raise InvalidParameterError(f"threshold m must be an int, got {m!r}")
-    if m < 1:
-        raise InvalidParameterError(f"threshold m must be >= 1, got {m}")
-    return m
+# Backwards-compatible alias: the validator moved to the session core.
+_ensure_threshold = ensure_threshold
 
 
-class ThresholdOneCopy(AllocationAlgorithm):
+class ThresholdOneCopy(SessionBackedAlgorithm):
     """T1m: one-copy normally; two-copies after m consecutive reads."""
 
     name = "t1m"
 
     def __init__(self, m: int):
-        self._m = _ensure_threshold(m)
-        self._consecutive_reads = 0
+        self._m = ensure_threshold(m)
         super().__init__(initial_scheme=AllocationScheme.ONE_COPY)
         self.name = f"t1_{self._m}"
+
+    def _make_session(self) -> AllocationSession:
+        return AllocationSession(AlgorithmSpec("t1", self._m))
 
     @property
     def m(self) -> int:
         return self._m
 
-    def _serve_read(self) -> CostEventKind:
-        if self.mobile_has_copy:
-            return CostEventKind.LOCAL_READ
-        self._consecutive_reads += 1
-        if self._consecutive_reads >= self._m:
-            # The m-th consecutive remote read piggybacks the copy.
-            self._allocate()
-            self._consecutive_reads = 0
-        return CostEventKind.REMOTE_READ
-
-    def _serve_write(self) -> CostEventKind:
-        self._consecutive_reads = 0
-        if not self.mobile_has_copy:
-            return CostEventKind.WRITE_NO_COPY
-        # First write after the read burst: drop the replica again.
-        self._deallocate()
-        return CostEventKind.WRITE_DELETE_REQUEST
-
-    def _reset_extra_state(self) -> None:
-        self._consecutive_reads = 0
-
     def _configured_copy(self) -> "ThresholdOneCopy":
         return ThresholdOneCopy(self._m)
-
-    def _extra_state_signature(self) -> tuple:
-        return (self._consecutive_reads,)
 
     def describe(self) -> str:
         return f"T1_{self._m} (one-copy; two-copies after {self._m} consecutive reads)"
 
 
-class ThresholdTwoCopies(AllocationAlgorithm):
+class ThresholdTwoCopies(SessionBackedAlgorithm):
     """T2m: two-copies normally; one-copy after m consecutive writes."""
 
     name = "t2m"
 
     def __init__(self, m: int):
-        self._m = _ensure_threshold(m)
-        self._consecutive_writes = 0
+        self._m = ensure_threshold(m)
         super().__init__(initial_scheme=AllocationScheme.TWO_COPIES)
         self.name = f"t2_{self._m}"
+
+    def _make_session(self) -> AllocationSession:
+        return AllocationSession(AlgorithmSpec("t2", self._m))
 
     @property
     def m(self) -> int:
         return self._m
 
-    def _serve_read(self) -> CostEventKind:
-        self._consecutive_writes = 0
-        if self.mobile_has_copy:
-            return CostEventKind.LOCAL_READ
-        # First read after the write burst: re-acquire the replica
-        # (piggybacked on the remote read's response).
-        self._allocate()
-        return CostEventKind.REMOTE_READ
-
-    def _serve_write(self) -> CostEventKind:
-        if not self.mobile_has_copy:
-            return CostEventKind.WRITE_NO_COPY
-        self._consecutive_writes += 1
-        if self._consecutive_writes >= self._m:
-            # Only the MC can count *consecutive* writes (the SC never
-            # sees the local reads that break a run), so the m-th write
-            # is propagated and the MC answers with the deallocation
-            # notice — the same exchange SWk uses.
-            self._deallocate()
-            self._consecutive_writes = 0
-            return CostEventKind.WRITE_PROPAGATED_DEALLOCATE
-        return CostEventKind.WRITE_PROPAGATED
-
-    def _reset_extra_state(self) -> None:
-        self._consecutive_writes = 0
-
     def _configured_copy(self) -> "ThresholdTwoCopies":
         return ThresholdTwoCopies(self._m)
-
-    def _extra_state_signature(self) -> tuple:
-        return (self._consecutive_writes,)
 
     def describe(self) -> str:
         return f"T2_{self._m} (two-copies; one-copy after {self._m} consecutive writes)"

@@ -107,6 +107,7 @@ def _kernel_results(
     warmup: int,
     stream: bool,
     instrumentation,
+    arrays_sink: Optional[dict] = None,
 ) -> List[EngineResult]:
     """Run the batch kernels and build one result per row.
 
@@ -124,6 +125,14 @@ def _kernel_results(
         )
     codes, copy_after = batched_run_arrays(algorithm_name, writes)
     counts_matrix = batched_counts(codes, warmup)
+    if arrays_sink is not None:
+        # Column-level view for callers (the allocation service) that
+        # carry state across chunks themselves: the raw decision codes,
+        # the post-request replica flags, and the warmup-respecting
+        # counts matrix, at zero additional per-row cost.
+        arrays_sink["codes"] = codes
+        arrays_sink["copy_after"] = copy_after
+        arrays_sink["counts"] = counts_matrix
     if length:
         flips = (copy_after[:, 1:] != copy_after[:, :-1]).sum(axis=1)
     else:
@@ -137,7 +146,14 @@ def _kernel_results(
             for kind, count in zip(EVENT_KIND_ORDER, counts_matrix[row])
             if count
         }
-        prices = [cost_model.price(kind) for kind in EVENT_KIND_ORDER]
+        # Per-kind prices are only consumed by the trace hook and the
+        # materialized per-request tuples; streamed untraced runs skip
+        # pricing entirely (totals price counts, not events).
+        prices = (
+            [cost_model.price(kind) for kind in EVENT_KIND_ORDER]
+            if trace or not stream
+            else None
+        )
         if trace:
             for index, code in enumerate(codes[row]):
                 instrumentation.on_request(
@@ -186,6 +202,7 @@ def run_batched_masks(
     warmup: int = 0,
     stream: bool = True,
     instrumentation: Optional[Instrumentation] = None,
+    arrays_sink: Optional[dict] = None,
 ) -> List[EngineResult]:
     """Execute one batch group straight from a ``(B, N)`` write matrix.
 
@@ -195,6 +212,13 @@ def run_batched_masks(
     batched path's large speedup over per-schedule execution comes
     from.  ``cost_models[b]`` prices row ``b``; models may differ
     across the batch (counts are model-independent).
+
+    When ``arrays_sink`` (a plain dict) is given it receives the whole
+    group's ``codes`` (``(B, N)`` int64 event-kind codes in
+    ``EVENT_KIND_ORDER``), ``copy_after`` (``(B, N)`` bool replica
+    flags) and ``counts`` (``(B, 6)`` int64, warmup excluded) — the
+    column-level outputs the allocation service folds into its own
+    per-session accumulators without touching the per-row results.
     """
     name = algorithm_name.strip().lower()
     writes = np.asarray(writes)
@@ -215,6 +239,7 @@ def run_batched_masks(
     results = _kernel_results(
         name, writes, cost_models,
         warmup=warmup, stream=stream, instrumentation=instruments,
+        arrays_sink=arrays_sink,
     )
     elapsed = (time.perf_counter() - started) / max(batch, 1)
     for result in results:

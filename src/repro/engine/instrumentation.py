@@ -77,6 +77,23 @@ class Instrumentation:
         the per-schedule path; this hook only reports the grouping.
         """
 
+    # -- allocation-service hooks (no-ops outside the service host) ----
+
+    def on_session_open(self, shard_index: int, algorithm_name: str) -> None:
+        """The allocation service opened a session on a shard."""
+
+    def on_shard_drain(
+        self, shard_index: int, sessions: int, decisions: int
+    ) -> None:
+        """A shard drained its queued operations through the kernels.
+
+        ``sessions`` is the number of distinct sessions in the drained
+        block; ``decisions`` the total operations decided.
+        """
+
+    def on_backpressure(self, shard_index: int, queue_depth: int) -> None:
+        """A shard crossed its drain threshold (queue-based load leveling)."""
+
 
 def wants_per_request(instrumentation: Instrumentation) -> bool:
     """Whether the instrument overrides the per-request hook.

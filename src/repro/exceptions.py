@@ -53,6 +53,24 @@ class LedgerInvariantError(ProtocolError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """The multi-tenant allocation service was misused or is inconsistent.
+
+    Examples: submitting an operation for a session that was never
+    opened, opening the same (client, object) session twice, or a
+    replay check finding a divergence between the service's logged
+    decisions and a reference engine run.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """A shard's event queue exceeded its configured depth limit.
+
+    Raised only when automatic draining is disabled; callers running
+    their own drain loop use this as the backpressure signal.
+    """
+
+
 class UnknownAlgorithmError(ReproError, KeyError):
     """An algorithm name was not found in the registry."""
 

@@ -1,0 +1,37 @@
+"""A sharded multi-tenant allocation service.
+
+This package hosts many concurrent allocation sessions — one
+incremental decision state per (client, object) pair, as analyzed in
+the paper for a single item — behind a single service facade:
+
+* :mod:`~repro.service.keys` — session identity and digest-based shard
+  placement;
+* :mod:`~repro.service.host` — the session host: columnar carry-bit
+  state, per-shard event queues drained through the batched kernels,
+  backpressure, per-shard traffic-ledger audit and engine replay
+  verification;
+* :mod:`~repro.service.loadgen` — seeded, reproducible session
+  populations and operation streams;
+* :mod:`~repro.service.metrics` — service-level instrumentation
+  counters;
+* :mod:`~repro.service.selftest` — the end-to-end populate/drive/
+  audit/verify harness behind ``repro serve --self-test``.
+"""
+
+from .host import AllocationService, BlockPlan, ServiceConfig
+from .keys import SessionKey, shard_of
+from .loadgen import DEFAULT_ALGORITHMS, LoadGenerator
+from .metrics import ServiceCounters
+from .selftest import run_self_test
+
+__all__ = [
+    "AllocationService",
+    "BlockPlan",
+    "ServiceConfig",
+    "SessionKey",
+    "shard_of",
+    "LoadGenerator",
+    "DEFAULT_ALGORITHMS",
+    "ServiceCounters",
+    "run_self_test",
+]

@@ -1,0 +1,88 @@
+"""Seeded load generation for the allocation service.
+
+Produces a deterministic session population (keys, algorithms,
+per-session write fractions) and per-round operation blocks, all keyed
+by ``numpy``'s seed-sequence spawning — the same
+``default_rng([seed, stream])`` convention the workload generators use
+— so a self-test run is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .keys import SessionKey
+
+__all__ = ["DEFAULT_ALGORITHMS", "LoadGenerator"]
+
+#: Round-robin mix covering every session-hostable family, window sizes
+#: and thresholds included, so a self-test exercises each kernel.
+DEFAULT_ALGORITHMS: Tuple[str, ...] = (
+    "sw9", "sw5", "sw3", "sw1", "t1_4", "t2_4", "st1", "st2",
+)
+
+#: Sub-stream of the seed reserved for the static session parameters.
+_THETA_STREAM = 0
+
+
+class LoadGenerator:
+    """A deterministic session population and its operation stream.
+
+    Session ``i`` gets key ``client-0000042/item-042``, the ``i``-th
+    algorithm of the round-robin mix, and a write fraction θ drawn
+    uniformly from ``[0.05, 0.95]``.  Round ``t``'s operations are an
+    independent Bernoulli(θ) write matrix drawn from the sub-stream
+    ``[seed, 1 + t]``, so rounds are reproducible individually (no need
+    to replay earlier rounds to regenerate a later one).
+    """
+
+    def __init__(
+        self,
+        sessions: int,
+        *,
+        seed: int = 0,
+        algorithms: Optional[Sequence[str]] = None,
+        namespace: str = "alloc",
+    ):
+        if sessions <= 0:
+            raise InvalidParameterError(
+                f"sessions must be positive, got {sessions}"
+            )
+        self.sessions = sessions
+        self.seed = seed
+        self.algorithms: Tuple[str, ...] = tuple(
+            algorithms if algorithms else DEFAULT_ALGORITHMS
+        )
+        if not self.algorithms:
+            raise InvalidParameterError("need at least one algorithm")
+        self.namespace = namespace
+        rng = np.random.default_rng([seed, _THETA_STREAM])
+        self.thetas = rng.uniform(0.05, 0.95, sessions)
+
+    def keys(self) -> List[SessionKey]:
+        """The population's session keys, in open order."""
+        return [
+            SessionKey(
+                f"client-{index:07d}",
+                f"item-{index % 997:03d}",
+                self.namespace,
+            )
+            for index in range(self.sessions)
+        ]
+
+    def algorithm_of(self, index: int) -> str:
+        """Algorithm assigned to session ``index`` (round-robin mix)."""
+        return self.algorithms[index % len(self.algorithms)]
+
+    def round_matrix(self, round_index: int, ops_per_session: int) -> np.ndarray:
+        """Write matrix for one round: ``(sessions, ops_per_session)``."""
+        if ops_per_session <= 0:
+            raise InvalidParameterError(
+                f"ops_per_session must be positive, got {ops_per_session}"
+            )
+        rng = np.random.default_rng([self.seed, 1 + round_index])
+        draws = rng.random((self.sessions, ops_per_session))
+        return draws < self.thetas[:, None]

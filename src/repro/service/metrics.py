@@ -1,0 +1,74 @@
+"""Instrumentation for the allocation service host.
+
+:class:`ServiceCounters` extends the engine's
+:class:`~repro.engine.instrumentation.CounterInstrumentation` with the
+service-level hooks (sessions opened, shard drains, backpressure) and
+drops the per-run dispatch log: the service funnels every queued
+operation through the batched kernels, so a log entry per drained
+session row would grow without bound while saying the same thing a
+million times.  The backend/run counters themselves keep accumulating,
+which is what makes service throughput directly comparable with the
+sweep executor's reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from ..engine.instrumentation import CounterInstrumentation
+
+__all__ = ["ServiceCounters"]
+
+
+class ServiceCounters(CounterInstrumentation):
+    """Aggregate counters sized for service workloads."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sessions_opened = 0
+        self.shard_drains = 0
+        self.drained_sessions = 0
+        self.drained_decisions = 0
+        self.backpressure_events = 0
+        self.shard_occupancy: Counter = Counter()
+
+    def on_run_start(
+        self,
+        algorithm_name: str,
+        backend_name: str,
+        num_requests: int,
+        reason: str,
+    ) -> None:
+        # Same tallies as the base class, minus the unbounded
+        # dispatch_log append (one drained session row == one "run").
+        self.runs += 1
+        self.backend_runs[backend_name] += 1
+
+    def on_session_open(self, shard_index: int, algorithm_name: str) -> None:
+        self.sessions_opened += 1
+        self.shard_occupancy[shard_index] += 1
+
+    def on_shard_drain(
+        self, shard_index: int, sessions: int, decisions: int
+    ) -> None:
+        self.shard_drains += 1
+        self.drained_sessions += sessions
+        self.drained_decisions += decisions
+
+    def on_backpressure(self, shard_index: int, queue_depth: int) -> None:
+        self.backpressure_events += 1
+
+    def summary(self) -> Dict[str, object]:
+        report = super().summary()
+        report.update(
+            {
+                "sessions_opened": self.sessions_opened,
+                "shard_drains": self.shard_drains,
+                "drained_sessions": self.drained_sessions,
+                "drained_decisions": self.drained_decisions,
+                "backpressure_events": self.backpressure_events,
+                "occupied_shards": len(self.shard_occupancy),
+            }
+        )
+        return report

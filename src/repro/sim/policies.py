@@ -7,12 +7,16 @@ decider pair per algorithm, mirroring the distributed description in
 section 4 of the paper.
 
 State placement is faithful: whichever side is "in charge" holds the
-request window.  The stationary decider owns it while the MC has no
+decision state.  The stationary decider owns it while the MC has no
 copy (every relevant request is then visible at the SC: its own writes
 plus the forwarded reads); the mobile decider owns it while the MC has
-a copy (local reads plus propagated writes).  The window object itself
-is reused from :class:`repro.core.sliding_window.RequestWindow`, so the
-protocol and the abstract algorithm share one majority implementation.
+a copy (local reads plus propagated writes).  The state machine itself
+is :class:`repro.core.session.AllocationSession` — the same incremental
+core the per-schedule algorithms and the allocation service run on —
+so the protocol and the abstract algorithm share one implementation of
+the window majorities and run-length thresholds.  A decider translates
+its side's view of the wire into session feeds and reads the decision
+flags back off the returned :class:`~repro.core.session.Decision`.
 """
 
 from __future__ import annotations
@@ -21,9 +25,9 @@ import abc
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..core.sliding_window import RequestWindow
-from ..exceptions import InvalidParameterError, ProtocolError
-from ..types import Operation, ensure_odd_window
+from ..core.session import AlgorithmSpec, AllocationSession, parse_algorithm_name
+from ..exceptions import ProtocolError
+from ..types import Operation
 
 __all__ = [
     "WriteAction",
@@ -107,6 +111,9 @@ class DeciderPair:
 
 # ---------------------------------------------------------------------------
 # Static methods
+#
+# ST1/ST2 never change the scheme, so there is no decision state to
+# host in a session — only the protocol-consistency guards remain.
 
 
 class _St1Stationary(StationaryDecider):
@@ -141,90 +148,97 @@ class _NoReplicaMobile(MobileDecider):
 
 # ---------------------------------------------------------------------------
 # Sliding-window family
+#
+# The window lives inside a session on whichever side is in charge;
+# the handoff messages carry the window contents, and the receiving
+# side re-seeds a session from them.
 
 
 class _SwkStationary(StationaryDecider):
     def __init__(self, k: int, in_charge: bool = True):
-        self._k = ensure_odd_window(k)
-        self._window: Optional[RequestWindow] = (
-            RequestWindow.all_writes(k) if in_charge else None
+        self._spec = AlgorithmSpec("swk", k)
+        self._session: Optional[AllocationSession] = (
+            AllocationSession(self._spec) if in_charge else None
         )
 
-    def _require_window(self) -> RequestWindow:
-        if self._window is None:
+    def _require_session(self) -> AllocationSession:
+        if self._session is None:
             raise ProtocolError(
                 "the SC is not in charge of the window but was asked to decide"
             )
-        return self._window
+        return self._session
 
     def on_write(self, mc_subscribed: bool) -> WriteAction:
         if mc_subscribed:
             # MC in charge: propagate and let the MC decide deallocation.
             return WriteAction(propagate=True)
-        self._require_window().slide(Operation.WRITE)
+        self._require_session().feed(Operation.WRITE)
         return WriteAction()
 
     def on_read_request(self):
-        window = self._require_window()
-        window.slide(Operation.READ)
-        if window.majority_reads:
-            contents = window.contents()
-            self._window = None  # charge moves to the MC
+        session = self._require_session()
+        decision = session.feed(Operation.READ)
+        if decision.allocated:
+            contents = session.window_contents()
+            self._session = None  # charge moves to the MC
             return True, contents
         return False, None
 
     def adopt_window(self, window):
-        if self._window is not None:
+        if self._session is not None:
             raise ProtocolError("the SC already holds a window")
         if window is None:
             raise ProtocolError("a deallocation notice must carry the window")
-        self._window = RequestWindow(self._k, window)
+        self._session = AllocationSession(self._spec, initial_window=window)
 
     def owns_window(self) -> bool:
-        return self._window is not None
+        return self._session is not None
 
 
 class _SwkMobile(MobileDecider):
     def __init__(self, k: int):
-        self._k = ensure_odd_window(k)
-        self._window: Optional[RequestWindow] = None
+        self._spec = AlgorithmSpec("swk", k)
+        self._session: Optional[AllocationSession] = None
 
-    def _require_window(self) -> RequestWindow:
-        if self._window is None:
+    def _require_session(self) -> AllocationSession:
+        if self._session is None:
             raise ProtocolError(
                 "the MC is not in charge of the window but was asked to decide"
             )
-        return self._window
+        return self._session
 
     def on_local_read(self) -> None:
-        self._require_window().slide(Operation.READ)
+        self._require_session().feed(Operation.READ)
 
     def on_propagation(self) -> bool:
-        window = self._require_window()
-        window.slide(Operation.WRITE)
-        if window.majority_reads:
-            return False
-        return True
+        decision = self._require_session().feed(Operation.WRITE)
+        return decision.deallocated
 
     def release_window(self) -> Tuple[Operation, ...]:
         """Hand the window back for the deallocation notice."""
-        contents = self._require_window().contents()
-        self._window = None
+        contents = self._require_session().window_contents()
+        self._session = None
         return contents
 
     def adopt_window(self, window):
-        if self._window is not None:
+        if self._session is not None:
             raise ProtocolError("the MC already holds a window")
         if window is None:
             raise ProtocolError("an allocating reply must carry the window")
-        self._window = RequestWindow(self._k, window)
+        self._session = AllocationSession(self._spec, initial_window=window)
 
     def owns_window(self) -> bool:
-        return self._window is not None
+        return self._session is not None
 
 
 class _Sw1Stationary(StationaryDecider):
-    """SW1: the SC is always effectively in charge (window = last request)."""
+    """SW1: the SC is always effectively in charge (window = last request).
+
+    The one-bit window is exactly the MC-subscription flag the node
+    already tracks, so the decider stays stateless: a write while
+    subscribed is the delete-request optimization, and every remote
+    read allocates.
+    """
 
     def on_write(self, mc_subscribed: bool) -> WriteAction:
         if mc_subscribed:
@@ -240,22 +254,27 @@ class _Sw1Stationary(StationaryDecider):
 
 
 class _T1Stationary(StationaryDecider):
+    """T1m's SC side: the session counts the consecutive remote reads.
+
+    The SC sees every relevant request while the MC holds no copy, and
+    T1m's session state is insensitive to requests served while the
+    copy is held (local reads are free and leave the run counter
+    reset), so one session on the SC stays synchronized across the
+    whole run.
+    """
+
     def __init__(self, m: int):
-        if m < 1:
-            raise InvalidParameterError(f"m must be >= 1, got {m}")
-        self._m = m
-        self._consecutive_reads = 0
+        self._session = AllocationSession(AlgorithmSpec("t1", m))
 
     def on_write(self, mc_subscribed: bool) -> WriteAction:
-        self._consecutive_reads = 0
+        decision = self._session.feed(Operation.WRITE)
         if mc_subscribed:
             return WriteAction(delete_request=True)
-        return WriteAction()
+        return WriteAction() if not decision.deallocated else WriteAction()
 
     def on_read_request(self):
-        self._consecutive_reads += 1
-        if self._consecutive_reads >= self._m:
-            self._consecutive_reads = 0
+        decision = self._session.feed(Operation.READ)
+        if decision.allocated:
             return True, None
         return False, None
 
@@ -278,23 +297,30 @@ class _T2Stationary(StationaryDecider):
 
 
 class _T2Mobile(MobileDecider):
-    """T2m's MC side: drop the replica after m consecutive writes."""
+    """T2m's MC side: the session counts the consecutive writes.
+
+    The MC sees every relevant request while it holds the copy (local
+    reads plus propagated writes).  The one request it does *not* see
+    is the remote read that re-acquires the copy after a deallocation —
+    the allocating read reply stands in for it, so ``adopt_window``
+    (fired by the node on every allocating reply) feeds that read to
+    the session and brings it back in sync.
+    """
 
     def __init__(self, m: int):
-        if m < 1:
-            raise InvalidParameterError(f"m must be >= 1, got {m}")
-        self._m = m
-        self._consecutive_writes = 0
+        self._session = AllocationSession(AlgorithmSpec("t2", m))
 
     def on_local_read(self) -> None:
-        self._consecutive_writes = 0
+        self._session.feed(Operation.READ)
 
     def on_propagation(self) -> bool:
-        self._consecutive_writes += 1
-        if self._consecutive_writes >= self._m:
-            self._consecutive_writes = 0
-            return True
-        return False
+        decision = self._session.feed(Operation.WRITE)
+        return decision.deallocated
+
+    def adopt_window(self, window) -> None:
+        # T2m carries no window; the allocating reply itself is the
+        # observation of the remote read that restored the copy.
+        self._session.feed(Operation.READ)
 
 
 # ---------------------------------------------------------------------------
@@ -307,37 +333,28 @@ def make_deciders(name: str) -> DeciderPair:
     Accepts the same names as :func:`repro.core.registry.make_algorithm`
     (``st1``, ``st2``, ``sw1``, ``swK``, ``t1_M``, ``t2_M``).
     """
-    from ..core.registry import (
-        _SW_PATTERN,
-        _T1_PATTERN,
-        _T2_PATTERN,
-    )
     from ..exceptions import UnknownAlgorithmError
 
     lowered = name.strip().lower()
-    if lowered == "st1":
+    spec = parse_algorithm_name(lowered)
+    if spec is None:
+        raise UnknownAlgorithmError(f"no protocol deciders for algorithm {name!r}")
+    if spec.family == "st1":
         return DeciderPair("st1", _St1Stationary(), _NoReplicaMobile(), False)
-    if lowered == "st2":
+    if spec.family == "st2":
         return DeciderPair("st2", _St2Stationary(), _NeverDeallocateMobile(), True)
-    if lowered == "sw1":
+    if spec.family == "sw1":
         return DeciderPair("sw1", _Sw1Stationary(), _NoReplicaMobile(), False)
-    if lowered == "sw1-unoptimized":
-        return DeciderPair(lowered, _SwkStationary(1), _SwkMobile(1), False)
-    match = _SW_PATTERN.match(lowered)
-    if match:
-        k = int(match.group(1))
+    if spec.family == "swk":
+        k = spec.param
         return DeciderPair(lowered, _SwkStationary(k), _SwkMobile(k), False)
-    match = _T1_PATTERN.match(lowered)
-    if match:
+    if spec.family == "t1":
         return DeciderPair(
-            lowered, _T1Stationary(int(match.group(1))), _NoReplicaMobile(), False
+            lowered, _T1Stationary(spec.param), _NoReplicaMobile(), False
         )
-    match = _T2_PATTERN.match(lowered)
-    if match:
-        return DeciderPair(
-            lowered,
-            _T2Stationary(),
-            _T2Mobile(int(match.group(1))),
-            True,
-        )
-    raise UnknownAlgorithmError(f"no protocol deciders for algorithm {name!r}")
+    return DeciderPair(
+        lowered,
+        _T2Stationary(),
+        _T2Mobile(spec.param),
+        True,
+    )

@@ -1,0 +1,148 @@
+"""Unit tests for the incremental allocation-session core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_algorithm, replay
+from repro.core.session import (
+    AlgorithmSpec,
+    AllocationSession,
+    Decision,
+    parse_algorithm_name,
+)
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.exceptions import InvalidParameterError, UnknownAlgorithmError
+from repro.types import READ, WRITE, Operation, Schedule
+
+ALL_NAMES = [
+    "st1", "st2", "sw1", "sw1-unoptimized", "sw3", "sw9",
+    "t1_1", "t1_4", "t2_1", "t2_4",
+]
+
+
+def _ops(text: str):
+    return [Operation.from_symbol(symbol) for symbol in text]
+
+
+class TestSpecParsing:
+    @pytest.mark.parametrize("name, family, param", [
+        ("st1", "st1", 0),
+        ("st2", "st2", 0),
+        ("sw1", "sw1", 0),
+        ("sw1-unoptimized", "swk", 1),
+        ("sw9", "swk", 9),
+        ("t1_15", "t1", 15),
+        ("t2_3", "t2", 3),
+    ])
+    def test_recognized_names(self, name, family, param):
+        spec = parse_algorithm_name(name)
+        assert spec == AlgorithmSpec(family, param)
+        assert spec.name == name
+
+    @pytest.mark.parametrize("name", ["", "sw", "ewma_20", "hsw9_2", "bogus"])
+    def test_unknown_names_parse_to_none(self, name):
+        assert parse_algorithm_name(name) is None
+
+    @pytest.mark.parametrize("family, param", [
+        ("swk", 2), ("swk", 0), ("t1", 0), ("t2", -1), ("st1", 3),
+    ])
+    def test_invalid_parameters_rejected(self, family, param):
+        with pytest.raises(InvalidParameterError):
+            AlgorithmSpec(family, param)
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(UnknownAlgorithmError):
+            AllocationSession.from_name("nope")
+
+
+class TestFeedMatchesReplay:
+    """feed() is the one decision procedure; replay must agree exactly."""
+
+    SCHEDULES = [
+        "", "r", "w", "rrrr", "wwww", "rwrwrwrw", "wrrrwrw",
+        "rrrwwwrrrwww" * 4, "wwwwrrrrwwwwrrrr" * 3,
+    ]
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @pytest.mark.parametrize("text", SCHEDULES)
+    def test_event_kinds_identical(self, name, text):
+        session = AllocationSession.from_name(name)
+        kinds = tuple(session.feed(op).kind for op in _ops(text))
+        result = replay(
+            make_algorithm(name), Schedule.from_string(text),
+            ConnectionCostModel(),
+        )
+        assert kinds == tuple(event.kind for event in result.events)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_randomized_long_schedule(self, name):
+        rng = np.random.default_rng([7, hash(name) % (2**32)])
+        text = "".join("w" if bit else "r" for bit in rng.random(800) < 0.45)
+        session = AllocationSession.from_name(name)
+        kinds = tuple(session.feed(op).kind for op in _ops(text))
+        result = replay(
+            make_algorithm(name), Schedule.from_string(text),
+            MessageCostModel(0.3),
+        )
+        assert kinds == tuple(event.kind for event in result.events)
+
+    def test_decision_flags_track_scheme(self):
+        session = AllocationSession.from_name("sw3")
+        copies = []
+        for op in _ops("wwrrrwww"):
+            decision = session.feed(op)
+            assert isinstance(decision, Decision)
+            if decision.allocated:
+                assert decision.mobile_has_copy
+            if decision.deallocated:
+                assert not decision.mobile_has_copy
+            copies.append(decision.mobile_has_copy)
+        # rr flips the 3-window majority to reads, www flips it back.
+        assert copies == [False, False, False, True, True, True, False, False]
+
+
+class TestCarryBits:
+    """The carry encoding is a sufficient statistic for future behavior."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @pytest.mark.parametrize("prefix", ["", "r", "w", "rrrw", "wwrrrwrw",
+                                        "rwrwwwrrr", "wwwwww", "rrrrrr"])
+    def test_replaying_carry_reproduces_state(self, name, prefix):
+        fed = AllocationSession.from_name(name)
+        for op in _ops(prefix):
+            fed.feed(op)
+        rebuilt = AllocationSession.from_name(name)
+        for bit in fed.carry_bits():
+            rebuilt.feed(WRITE if bit else READ)
+        suffix = _ops("rwrrwwrwrrrwww")
+        fed_kinds = [fed.feed(op).kind for op in suffix]
+        rebuilt_kinds = [rebuilt.feed(op).kind for op in suffix]
+        assert fed_kinds == rebuilt_kinds
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_carry_length_matches_spec(self, name):
+        session = AllocationSession.from_name(name)
+        assert session.carry_bits().shape == (session.spec.carry_length,)
+        session.feed(READ)
+        session.feed(WRITE)
+        assert session.carry_bits().shape == (session.spec.carry_length,)
+
+
+class TestSessionBackedAlgorithms:
+    """The classic classes are thin adapters over the session core."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_registry_instances_expose_their_session(self, name):
+        algorithm = make_algorithm(name)
+        assert algorithm.session.spec == parse_algorithm_name(name)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_reset_rebuilds_fresh_session(self, name):
+        algorithm = make_algorithm(name)
+        fresh_signature = algorithm.state_signature()
+        schedule = Schedule.from_string("rwrrwwrr")
+        replay(algorithm, schedule, ConnectionCostModel(), fresh=False)
+        algorithm.reset()
+        assert algorithm.state_signature() == fresh_signature

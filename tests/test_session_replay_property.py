@@ -1,0 +1,110 @@
+"""Property suite: session feeds are byte-identical to engine runs.
+
+The tentpole invariant of the session refactor: for every hostable
+algorithm family, feeding a schedule operation-by-operation through
+:class:`~repro.core.session.AllocationSession` produces exactly the
+decisions — and therefore exactly the costs — of
+:func:`repro.engine.run` on the same schedule, whichever backend the
+dispatcher picks, and even when the run goes over the faulty wire.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.session import AllocationSession
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.engine import run as engine_run
+from repro.engine.base import total_from_counts
+from repro.sim.faults import FaultConfig
+from repro.types import Operation, Schedule
+
+schedule_texts = st.text(alphabet="rw", min_size=0, max_size=100)
+short_texts = st.text(alphabet="rw", min_size=1, max_size=40)
+omegas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+#: One representative per family plus parameter variety.
+FAMILY_NAMES = st.sampled_from([
+    "st1", "st2", "sw1", "sw1-unoptimized", "sw3", "sw5", "sw9",
+    "t1_1", "t1_3", "t1_8", "t2_1", "t2_3", "t2_8",
+])
+
+
+def _session_kinds(name: str, text: str):
+    session = AllocationSession.from_name(name)
+    return tuple(
+        session.feed(Operation.from_symbol(symbol)).kind for symbol in text
+    )
+
+
+def _session_counts(kinds):
+    counts = {}
+    for kind in kinds:
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+class TestSessionMatchesEngine:
+    @given(name=FAMILY_NAMES, text=schedule_texts)
+    @settings(max_examples=200, deadline=None)
+    def test_decisions_identical_auto_backend(self, name, text):
+        kinds = _session_kinds(name, text)
+        result = engine_run(
+            name, Schedule.from_string(text), ConnectionCostModel(),
+            stream=False,
+        )
+        assert result.event_kinds == kinds
+
+    @given(name=FAMILY_NAMES, text=schedule_texts, omega=omegas)
+    @settings(max_examples=100, deadline=None)
+    def test_costs_identical_under_any_message_model(self, name, text, omega):
+        model = MessageCostModel(omega)
+        kinds = _session_kinds(name, text)
+        result = engine_run(
+            name, Schedule.from_string(text), model, stream=True,
+        )
+        assert result.event_counts == _session_counts(kinds)
+        assert result.total_cost == total_from_counts(
+            _session_counts(kinds), model
+        )
+
+    @given(name=FAMILY_NAMES, text=schedule_texts)
+    @settings(max_examples=60, deadline=None)
+    def test_reference_backend_agrees(self, name, text):
+        kinds = _session_kinds(name, text)
+        result = engine_run(
+            name, Schedule.from_string(text), ConnectionCostModel(),
+            backend="reference", stream=False,
+        )
+        assert result.event_kinds == kinds
+
+
+class TestSessionMatchesFaultyWire:
+    """Byte-identity survives the lossy transport (logical book)."""
+
+    @given(
+        name=st.sampled_from(["sw3", "sw1", "t1_2", "t2_2", "st2"]),
+        text=short_texts,
+        drop=st.sampled_from([0.0, 0.05, 0.2]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_chaos_run_decisions_identical(self, name, text, drop, seed):
+        kinds = _session_kinds(name, text)
+        result = engine_run(
+            name,
+            Schedule.from_string(text),
+            ConnectionCostModel(),
+            backend="protocol",
+            stream=False,
+            faults=FaultConfig(drop=drop, seed=seed),
+        )
+        assert result.event_kinds == kinds
+        assert result.total_cost == total_from_counts(
+            _session_counts(kinds), ConnectionCostModel()
+        )
