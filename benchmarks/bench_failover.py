@@ -1,0 +1,176 @@
+"""Benchmark SC replica-set failover: latency, overhead, byte-identity.
+
+Drives one seeded schedule through the wire simulator three ways — a
+fault-free single SC, a clean replica set, and a replica set under a
+seeded kill-the-primary campaign — and writes ``BENCH_failover.json``.
+
+Three numbers matter:
+
+* ``mean_failover_latency`` — simulated seconds from losing the
+  primary to its successor serving (detection window + election jitter
+  + promotion round trips); this is the availability story.
+* ``overhead_messages_per_failover`` — what a failover costs on the
+  wire, all of it charged to the transport-overhead book.
+* ``byte_identical`` — the correctness gate: the chaos run's logical
+  ledger, event stream, read observations and final version must equal
+  the fault-free run exactly.  A fast failover that corrupts the
+  ledger is not a benchmark result.
+
+Wall-clock timings of the simulator itself ride along so the history
+can catch the replica path getting slower to *execute*, separately
+from the simulated-time metrics above.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_failover.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from history import host_metadata  # noqa: E402  (sibling module)
+
+from repro.sim.faults import FaultConfig  # noqa: E402
+from repro.sim.runner import simulate_protocol  # noqa: E402
+from repro.workload import bernoulli_schedule  # noqa: E402
+
+
+def _fingerprint(result):
+    return (
+        result.event_kinds,
+        result.ledger.total_breakdown(),
+        result.ledger.logical_message_count(),
+        result.read_observations,
+        result.final_version,
+    )
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def collect(
+    quick: bool = False,
+    *,
+    algorithm: str = "sw3",
+    requests: int = 600,
+    theta: float = 0.6,
+    replicas: int = 3,
+    kills: int = 2,
+    seed: int = 7,
+) -> dict:
+    """The failover benchmark report (byte-identity gated)."""
+    if quick:
+        requests = min(requests, 240)
+    schedule = bernoulli_schedule(theta, requests, seed)
+
+    single, single_seconds = _timed(
+        lambda: simulate_protocol(algorithm, schedule)
+    )
+    clean, clean_seconds = _timed(
+        lambda: simulate_protocol(algorithm, schedule, replicas=replicas)
+    )
+    horizon = max(single.final_time * 0.8, 1.0)
+    faults = FaultConfig(primary_kills=kills, kill_horizon=horizon, seed=seed)
+    chaos, chaos_seconds = _timed(
+        lambda: simulate_protocol(
+            algorithm, schedule, replicas=replicas, faults=faults
+        )
+    )
+
+    baseline = _fingerprint(single)
+    byte_identical = (
+        _fingerprint(clean) == baseline and _fingerprint(chaos) == baseline
+    )
+    latencies = list(chaos.failover_latencies)
+    # The transition cost only: frames that exist because leadership
+    # changed hands.  A total-overhead delta would go *negative* — a
+    # dead replica stops costing heartbeats and replication fan-out
+    # for the rest of the run, which is not what a failover "costs".
+    transition_keys = (
+        "election_frames", "catchup_frames", "breaker_probes",
+        "client_retries", "handshakes",
+    )
+    clean_overhead = clean.overhead.as_dict()
+    chaos_overhead = chaos.overhead.as_dict()
+    overhead_delta = sum(
+        chaos_overhead[key] - clean_overhead[key]
+        for key in transition_keys
+    )
+    return {
+        "host": host_metadata(),
+        "quick": quick,
+        "algorithm": algorithm,
+        "requests": requests,
+        "theta": theta,
+        "replicas": replicas,
+        "kills_requested": kills,
+        "seed": seed,
+        "kill_horizon": round(horizon, 3),
+        "failovers": chaos.failovers,
+        "kills_skipped": chaos.kills_skipped,
+        "final_primary": chaos.final_primary,
+        "election_history": [list(entry) for entry in chaos.election_history],
+        "failover_latencies": [round(lat, 4) for lat in latencies],
+        "mean_failover_latency": (
+            round(sum(latencies) / len(latencies), 4) if latencies else 0.0
+        ),
+        "replication_overhead_messages": clean.overhead.overhead_messages,
+        "chaos_overhead_messages": chaos.overhead.overhead_messages,
+        "overhead_messages_per_failover": (
+            round(overhead_delta / chaos.failovers, 1)
+            if chaos.failovers else 0.0
+        ),
+        "resyncs_verified": chaos.resyncs_verified,
+        "single_sc_seconds": round(single_seconds, 4),
+        "clean_replicated_seconds": round(clean_seconds, 4),
+        "chaos_replicated_seconds": round(chaos_seconds, 4),
+        "byte_identical": byte_identical,
+        "verified": byte_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter schedule (CI sizes)")
+    parser.add_argument("--algorithm", default="sw3")
+    parser.add_argument("--requests", type=int, default=600)
+    parser.add_argument("--theta", type=float, default=0.6)
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--kills", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_failover.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    report = collect(
+        quick=args.quick,
+        algorithm=args.algorithm,
+        requests=args.requests,
+        theta=args.theta,
+        replicas=args.replicas,
+        kills=args.kills,
+        seed=args.seed,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.out} ({report['failovers']} failover(s), mean "
+          f"{report['mean_failover_latency']}s simulated, ledgers "
+          f"{'byte-identical' if report['byte_identical'] else 'DIVERGED'})")
+    return 0 if report["byte_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,8 +41,15 @@ def collect(
     ops_per_round: int = 50,
     num_shards: int = 32,
     seed: int = 0,
+    replicas: int = 1,
+    failover_drills: int = 4,
 ) -> dict:
-    """The service benchmark report (audit and replay included)."""
+    """The service benchmark report (audit and replay included).
+
+    With ``replicas > 1`` the self-test also drills shard-level
+    failover against an SC replica set — outside the timed region, so
+    the throughput number measures serving, not chaos engineering.
+    """
     if quick:
         sessions = min(sessions, 20_000)
         ops_per_round = min(ops_per_round, 25)
@@ -52,11 +59,14 @@ def collect(
         ops_per_round=ops_per_round,
         num_shards=num_shards,
         seed=seed,
+        replicas=replicas,
+        failover_drills=failover_drills,
     )
     report["host"] = host_metadata()
     report["quick"] = quick
-    # The self-test raises on any audit/replay divergence, so reaching
-    # this point means both verification legs passed.
+    # The self-test raises on any audit/replay divergence (and any
+    # failover drill raises on ledger divergence), so reaching this
+    # point means every verification leg passed.
     report["verified"] = True
     return report
 
@@ -70,6 +80,12 @@ def main(argv=None) -> int:
     parser.add_argument("--ops-per-round", type=int, default=50)
     parser.add_argument("--shards", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="drill shard failover against an N-strong SC "
+                             "replica set after the timed region (2..5; "
+                             "default 1 = no drills)")
+    parser.add_argument("--failover-drills", type=int, default=4,
+                        help="shards to drill when --replicas > 1")
     parser.add_argument("--min-throughput", type=float, default=None,
                         metavar="DPS",
                         help="fail if decisions/sec falls below this floor")
@@ -84,6 +100,8 @@ def main(argv=None) -> int:
         ops_per_round=args.ops_per_round,
         num_shards=args.shards,
         seed=args.seed,
+        replicas=args.replicas,
+        failover_drills=args.failover_drills,
     )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)

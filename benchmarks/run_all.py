@@ -45,6 +45,7 @@ from repro.experiments import run_all  # noqa: E402
 from repro.workload import spawn_seeds  # noqa: E402
 
 import bench_batched_kernels  # noqa: E402  (sibling module)
+import bench_failover  # noqa: E402  (sibling module)
 import bench_service  # noqa: E402  (sibling module)
 from history import append_history, host_metadata  # noqa: E402
 
@@ -162,6 +163,9 @@ def main(argv=None) -> int:
     parser.add_argument("--service-out", default="BENCH_service.json",
                         help="output path for the allocation-service report "
                              "('' skips it)")
+    parser.add_argument("--failover-out", default="BENCH_failover.json",
+                        help="output path for the replica-failover report "
+                             "('' skips it)")
     parser.add_argument("--no-history", action="store_true",
                         help="skip appending dated BENCH_history/ entries")
     args = parser.parse_args(argv)
@@ -214,6 +218,19 @@ def main(argv=None) -> int:
             print(f"history: {append_history(service, 'service')}")
         service_ok = service["verified"]
 
+    failover_ok = True
+    if args.failover_out:
+        failover = bench_failover.collect(quick=args.quick)
+        with open(args.failover_out, "w") as handle:
+            json.dump(failover, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.failover_out} "
+              f"({failover['failovers']} failover(s), mean "
+              f"{failover['mean_failover_latency']}s simulated)")
+        if not args.no_history:
+            print(f"history: {append_history(failover, 'failover')}")
+        failover_ok = failover["byte_identical"]
+
     ok = (
         report["engine_task_sweep"]["byte_identical"]
         and report["run_all"]["byte_identical"]
@@ -221,6 +238,7 @@ def main(argv=None) -> int:
         and report["result_cache"]["warm_all_hits"]
         and kernels_ok
         and service_ok
+        and failover_ok
     )
     return 0 if ok else 1
 

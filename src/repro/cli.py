@@ -83,8 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="chaos-run the wire protocol under a seeded "
                                "fault schedule, e.g. "
                                "drop=0.05,seed=7,disconnect=2:1 "
-                               "(keys: drop, dup, reorder, delay, seed, "
-                               "disconnect=START:DURATION)")
+                               "(frame keys: drop, dup, reorder, delay, "
+                               "disconnect=START:DURATION; node keys, with "
+                               "--replicas: crash=ID@T, pause=ID@T..T2, "
+                               "partition=A+B|C@T..T2, kills=N@T; plus seed)")
+    simulate.add_argument("--replicas", type=int, default=1, metavar="N",
+                          help="run the schedule against an N-strong SC "
+                               "replica set with heartbeats, primary "
+                               "election and failover (2..5; default 1 = "
+                               "the paper's single SC)")
     simulate.add_argument("--replicates", type=int, default=1, metavar="R",
                           help="independent replications (spawned seeds); "
                                "with R > 1 a per-replicate table and the "
@@ -150,6 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: every session-hostable family)")
     serve.add_argument("--replay-sample", type=int, default=32, metavar="N",
                        help="sessions to replay-verify against the engine")
+    serve.add_argument("--replicas", type=int, default=1, metavar="N",
+                       help="after the timed region, drill shard-level "
+                            "failover against an N-strong SC replica set "
+                            "(2..5; default 1 = no drills)")
+    serve.add_argument("--failover-drills", type=int, default=4, metavar="N",
+                       help="shards to drill when --replicas > 1 (default 4)")
     serve.add_argument("--min-throughput", type=float, default=None,
                        metavar="DPS",
                        help="fail (exit 1) if the self-test sustains fewer "
@@ -256,6 +269,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from .sim.faults import parse_fault_spec
 
         faults = parse_fault_spec(args.faults)
+    if args.replicas != 1 and not 2 <= args.replicas <= 5:
+        print("--replicas must be 1 or 2..5", file=sys.stderr)
+        return 2
 
     # One ScheduleSpec per replicate.  A single replicate uses the seed
     # directly (byte-identical to the historical serial path); more
@@ -274,7 +290,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             model,
             backend=args.backend,
             faults=faults,
-            capture_wire=faults is not None,
+            replicas=args.replicas,
+            capture_wire=faults is not None or args.replicas != 1,
             tag=index,
         )
         for index, seed in enumerate(seeds)
@@ -310,6 +327,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             for key, value in result.wire.overhead.items():
                 print(f"  {key:28} {value}")
             print(f"  {'resyncs verified':28} {result.wire.resyncs_verified}")
+            if result.wire.replicas > 1:
+                wire = result.wire
+                print(f"replica set    : {wire.replicas} replicas, "
+                      f"{wire.failovers} failover(s), final primary "
+                      f"{wire.final_primary}")
+                for (epoch, winner), latency in zip(
+                        wire.election_history, wire.failover_latencies):
+                    print(f"  epoch {epoch}: replica {winner} promoted "
+                          f"after {latency:.2f}s (simulated)")
         return 0
 
     print(f"replicates     : {args.replicates} (jobs={args.jobs})")
@@ -395,6 +421,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         algorithms=algorithms,
         replay_sample=args.replay_sample,
+        replicas=args.replicas,
+        failover_drills=args.failover_drills,
     )
     print(f"sessions        : {report['sessions']} "
           f"across {report['occupied_shards']} shards "
@@ -412,6 +440,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     replay = report["replay"]
     print(f"engine replay   : {replay['sessions_replayed']} sessions, "
           f"{replay['decisions_replayed']} decisions byte-identical")
+    failover = report.get("failover")
+    if failover is not None:
+        identical = "byte-identical" if failover["byte_identical"] else "DIVERGED"
+        print(f"failover drills : {failover['drills']} shards x "
+              f"{failover['replicas']} replicas, "
+              f"{failover['failovers']} failover(s), ledgers {identical}, "
+              f"mean promotion {failover['mean_failover_latency']:.2f}s "
+              f"(simulated)")
     if args.json_path:
         import json as json_module
 

@@ -165,6 +165,7 @@ class ProtocolBackend(ExecutionBackend):
             spec.schedule,
             latency=spec.latency,
             faults=spec.faults,
+            replicas=spec.replicas,
         )
         kinds = raw.event_kinds
         counts: Dict[CostEventKind, int] = {}

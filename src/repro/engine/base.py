@@ -85,6 +85,8 @@ class RunSpec:
     latency: float = 0.05
     #: Fault schedule for the protocol backend (None: perfect channel).
     faults: Optional["FaultConfig"] = None
+    #: SC replica count for the protocol backend (1: single SC).
+    replicas: int = 1
 
 
 @dataclass(frozen=True)

@@ -71,6 +71,7 @@ def run(
     instrumentation: Optional[Instrumentation] = None,
     latency: float = 0.05,
     faults: Optional["FaultConfig"] = None,
+    replicas: int = 1,
     fallback: bool = True,
 ) -> EngineResult:
     """Execute ``schedule`` against ``algorithm`` under ``cost_model``.
@@ -106,6 +107,12 @@ def run(
         seeded faulty medium.  Requesting faults pins the run to the
         protocol backend (only the wire simulation has a channel to
         break); combining it with any other forced backend is an error.
+    replicas:
+        SC replica count for the protocol backend.  ``1`` (default)
+        keeps the paper's single stationary computer; 2–5 runs the
+        schedule against an :class:`~repro.sim.replica.SCReplicaSet`
+        with failover.  Like faults, a replica set pins the run to the
+        protocol backend.
     fallback:
         Contain mid-run backend failures (the default): a raising
         non-reference backend is recorded as a
@@ -126,19 +133,20 @@ def run(
             f"warmup {warmup} exceeds the schedule length {len(schedule)}"
         )
 
-    if faults is not None:
+    if faults is not None or replicas != 1:
+        what = "fault injection" if faults is not None else "a replica set"
         if backend not in (AUTO, "protocol"):
             raise InvalidParameterError(
-                f"fault injection runs on the wire simulation; cannot "
-                f"combine faults with backend {backend!r}"
+                f"{what} runs on the wire simulation; cannot "
+                f"combine it with backend {backend!r}"
             )
         if not fresh:
             raise InvalidParameterError(
-                "fault injection needs a fresh protocol run; "
+                f"{what} needs a fresh protocol run; "
                 "fresh=False is reference-only"
             )
         chosen = get_backend("protocol")
-        reason = "fault injection pins the run to the protocol backend"
+        reason = f"{what} pins the run to the protocol backend"
         if not chosen.supports(name):
             raise UnknownAlgorithmError(
                 f"backend {chosen.name!r} cannot execute algorithm {name!r}"
@@ -177,6 +185,7 @@ def run(
         fresh=fresh,
         latency=latency,
         faults=faults,
+        replicas=replicas,
     )
     instruments = (
         instrumentation if instrumentation is not None else _NULL_INSTRUMENTATION

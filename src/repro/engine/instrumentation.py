@@ -94,6 +94,16 @@ class Instrumentation:
     def on_backpressure(self, shard_index: int, queue_depth: int) -> None:
         """A shard crossed its drain threshold (queue-based load leveling)."""
 
+    def on_failover(
+        self, shard_index: int, failovers: int, byte_identical: bool
+    ) -> None:
+        """A shard-level failover drill finished.
+
+        ``failovers`` is how many primary promotions the drill's replica
+        set went through; ``byte_identical`` whether the chaos run's
+        ledger matched the fault-free run byte for byte.
+        """
+
 
 def wants_per_request(instrumentation: Instrumentation) -> bool:
     """Whether the instrument overrides the per-request hook.

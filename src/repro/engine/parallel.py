@@ -153,6 +153,7 @@ class EngineTask:
     warmup: int = 0
     latency: float = 0.05
     faults: Optional["FaultConfig"] = None
+    replicas: int = 1
     capture_kinds: bool = False
     capture_wire: bool = False
     tag: Any = None
@@ -210,6 +211,16 @@ class WireStats:
     resyncs_verified: int
     logical_messages: int
     final_version: int
+    #: SC replica count the run executed against (1 = single SC).
+    replicas: int = 1
+    #: Primary promotions during the run.
+    failovers: int = 0
+    #: Replica serving as primary when the run ended.
+    final_primary: Optional[int] = None
+    #: Simulated seconds from each primary loss to its successor serving.
+    failover_latencies: Tuple[float, ...] = ()
+    #: (epoch, winner) per election that promoted a primary.
+    election_history: Tuple[Tuple[int, int], ...] = ()
 
     @property
     def overhead_messages(self) -> int:
@@ -314,6 +325,7 @@ def _task_key(task: SweepTask) -> Optional[str]:
         task.warmup,
         repr(float(task.latency)),
         task.faults,
+        task.replicas,
         task.capture_kinds,
         task.capture_wire,
     )
@@ -345,6 +357,11 @@ def _project_result(task: EngineTask, result, elapsed: float) -> SweepOutcome:
             resyncs_verified=raw.resyncs_verified,
             logical_messages=raw.ledger.logical_message_count(),
             final_version=raw.final_version,
+            replicas=raw.replicas,
+            failovers=raw.failovers,
+            final_primary=raw.final_primary,
+            failover_latencies=tuple(raw.failover_latencies),
+            election_history=tuple(raw.election_history),
         )
     return SweepOutcome(
         algorithm_name=result.algorithm_name,
@@ -377,6 +394,7 @@ def _execute_engine_task(
         warmup=task.warmup,
         latency=task.latency,
         faults=task.faults,
+        replicas=task.replicas,
         instrumentation=instrumentation,
     )
     return _project_result(task, result, time.perf_counter() - started)
@@ -394,6 +412,7 @@ def _is_batchable(task: EngineTask) -> bool:
     return (
         task.backend == AUTO
         and task.faults is None
+        and task.replicas == 1
         and not task.capture_wire
         and batched_supports(task.algorithm)
     )

@@ -44,6 +44,27 @@ class TransportError(ReproError, RuntimeError):
     outlived every backoff, or the ARQ state machine was misused)."""
 
 
+class PeerUnreachableError(TransportError):
+    """A peer stayed silent through the whole retry budget.
+
+    Raised by :class:`~repro.sim.faults.ReliableNetwork` when a frame
+    exhausts ``max_retries`` attempts, and by the replicated front door
+    when no primary answers a client request within its retry budget.
+    The undeliverable payloads are escalated to the transport's
+    dead-letter queue before this is raised, so a supervisor can
+    inspect exactly what was lost.
+    """
+
+    def __init__(self, destination: str, attempts: int, detail: str = ""):
+        self.destination = destination
+        self.attempts = attempts
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"peer {destination!r} unreachable after {attempts} "
+            f"attempts{suffix}"
+        )
+
+
 class LedgerInvariantError(ProtocolError):
     """A conservation invariant of the traffic ledger was violated.
 
@@ -68,7 +89,17 @@ class ServiceOverloadError(ServiceError):
 
     Raised only when automatic draining is disabled; callers running
     their own drain loop use this as the backpressure signal.
+    ``retry_after`` estimates (in seconds) how long draining the
+    offending shard at the service's observed drain rate would take —
+    a client that backs off at least that long will usually find room.
     """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0,
+                 shard: int = -1, depth: int = 0):
+        self.retry_after = retry_after
+        self.shard = shard
+        self.depth = depth
+        super().__init__(message)
 
 
 class UnknownAlgorithmError(ReproError, KeyError):

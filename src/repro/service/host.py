@@ -39,6 +39,7 @@ Architecture
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -101,11 +102,17 @@ class ServiceConfig:
     record_decisions: bool = True
     #: Session namespace keys default into.
     namespace: str = "alloc"
+    #: SC replica count the failover drills exercise (1 disables them).
+    replicas: int = 1
 
     def __post_init__(self):
         if self.num_shards <= 0:
             raise InvalidParameterError(
                 f"num_shards must be positive, got {self.num_shards}"
+            )
+        if not 1 <= self.replicas <= 5:
+            raise InvalidParameterError(
+                f"replicas must be in 1..5, got {self.replicas}"
             )
         if self.drain_threshold <= 0:
             raise InvalidParameterError(
@@ -220,6 +227,9 @@ class AllocationService:
         self._shards = [_Shard(i) for i in range(self.config.num_shards)]
         self._sessions: Dict[SessionKey, Tuple[_Group, int, int]] = {}
         self._decisions = 0
+        #: EMA of drain throughput (decisions/s), feeding the
+        #: ``retry_after`` hint on overload rejections.
+        self._drain_rate = 0.0
 
     # -- session lifecycle ---------------------------------------------
 
@@ -273,10 +283,16 @@ class AllocationService:
         shard = self._shards[shard_index]
         if not self.config.auto_drain and shard.depth >= self.config.max_queue_depth:
             self._instruments.on_backpressure(shard.index, shard.depth)
+            # Graceful shedding: the rejection happens before anything
+            # is queued, so a caller that catches the overload leaves
+            # every session, queue and ledger exactly as they were.
             raise ServiceOverloadError(
                 f"shard {shard.index} queue depth {shard.depth} at its "
                 f"ceiling {self.config.max_queue_depth}; drain before "
-                "submitting more"
+                "submitting more",
+                retry_after=self._retry_after(shard.depth),
+                shard=shard.index,
+                depth=shard.depth,
             )
         per_group = shard.pending.setdefault(group.spec.name, {})
         per_group.setdefault(row, []).append(operation is Operation.WRITE)
@@ -386,11 +402,23 @@ class AllocationService:
         self._instruments.on_shard_drain(shard_index, batch, batch * length)
         return codes
 
+    def _retry_after(self, queue_depth: int) -> float:
+        """Seconds until a full drain should clear ``queue_depth``.
+
+        Derived from the drain-throughput EMA; before any drain has been
+        observed the hint is a conservative constant so callers always
+        get a positive backoff.
+        """
+        if self._drain_rate <= 0.0:
+            return 0.05
+        return max(queue_depth / self._drain_rate, 1e-6)
+
     def drain_shard(self, shard_index: int) -> int:
         """Drain a shard's queue through the kernels; returns decisions."""
         shard = self._shards[shard_index]
         if not shard.depth:
             return 0
+        started = time.perf_counter()
         decided = 0
         pending, shard.pending, shard.depth = shard.pending, {}, 0
         for name, per_row in pending.items():
@@ -408,6 +436,13 @@ class AllocationService:
                     np.asarray(bit_rows, dtype=bool),
                 )
                 decided += codes.size
+        elapsed = time.perf_counter() - started
+        if decided and elapsed > 0:
+            rate = decided / elapsed
+            self._drain_rate = (
+                rate if self._drain_rate <= 0.0
+                else 0.5 * self._drain_rate + 0.5 * rate
+            )
         return decided
 
     def drain_all(self) -> int:
@@ -415,6 +450,96 @@ class AllocationService:
         return sum(
             self.drain_shard(index) for index in range(self.config.num_shards)
         )
+
+    # -- failover drills ------------------------------------------------
+
+    def failover_drill(
+        self,
+        shard_index: int,
+        *,
+        requests: int = 240,
+        theta: float = 0.6,
+        kills: int = 1,
+        seed: Optional[int] = None,
+        algorithm: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Kill primaries under a shard's workload; demand ledger identity.
+
+        Runs one seeded schedule twice through the wire simulator: once
+        against a single fault-free SC, once against a
+        ``config.replicas``-strong replica set with ``kills`` seeded
+        random primary kills.  The chaos run's logical ledger — event
+        kinds, cost breakdown, logical message count, read observations
+        and final version — must be byte-identical to the fault-free
+        run; all failover traffic lands in the overhead book.  The drill
+        is a verification exercise on the shard's hosted algorithm and
+        never touches live session state, so it is safe to run between
+        serving bursts.
+        """
+        replicas = self.config.replicas
+        if replicas == 1:
+            raise ServiceError(
+                "failover drills need a replica set; construct the "
+                "service with ServiceConfig(replicas=2..5)"
+            )
+        if not 0 <= shard_index < self.config.num_shards:
+            raise InvalidParameterError(
+                f"shard_index must be in 0..{self.config.num_shards - 1}, "
+                f"got {shard_index}"
+            )
+        from ..sim.faults import FaultConfig
+        from ..sim.runner import simulate_protocol
+        from ..workload import bernoulli_schedule
+
+        if algorithm is None:
+            shard = self._shards[shard_index]
+            hosted = sorted(shard.groups)
+            algorithm = hosted[0] if hosted else "sw3"
+        if seed is None:
+            seed = 0x5EED ^ shard_index
+        schedule = bernoulli_schedule(theta, requests, seed)
+        clean = simulate_protocol(algorithm, schedule, latency=0.05)
+        horizon = max(clean.final_time * 0.8, 1.0)
+        chaos = simulate_protocol(
+            algorithm,
+            schedule,
+            latency=0.05,
+            faults=FaultConfig(
+                primary_kills=kills, kill_horizon=horizon, seed=seed
+            ),
+            replicas=replicas,
+        )
+        byte_identical = (
+            chaos.event_kinds == clean.event_kinds
+            and chaos.ledger.total_breakdown() == clean.ledger.total_breakdown()
+            and chaos.ledger.logical_message_count()
+            == clean.ledger.logical_message_count()
+            and chaos.read_observations == clean.read_observations
+            and chaos.final_version == clean.final_version
+        )
+        self._instruments.on_failover(
+            shard_index, chaos.failovers, byte_identical
+        )
+        if not byte_identical:
+            raise ServiceError(
+                f"failover drill on shard {shard_index} diverged: the "
+                f"chaos ledger is not byte-identical to the fault-free "
+                f"run (algorithm {algorithm!r}, seed {seed})"
+            )
+        return {
+            "shard": shard_index,
+            "algorithm": algorithm,
+            "seed": seed,
+            "requests": requests,
+            "replicas": replicas,
+            "kills_requested": kills,
+            "failovers": chaos.failovers,
+            "kills_skipped": chaos.kills_skipped,
+            "final_primary": chaos.final_primary,
+            "failover_latencies": list(chaos.failover_latencies),
+            "overhead_messages": chaos.overhead.overhead_messages,
+            "byte_identical": byte_identical,
+        }
 
     # -- introspection --------------------------------------------------
 

@@ -32,6 +32,9 @@ class ServiceCounters(CounterInstrumentation):
         self.drained_decisions = 0
         self.backpressure_events = 0
         self.shard_occupancy: Counter = Counter()
+        self.failover_drills = 0
+        self.failovers_observed = 0
+        self.failover_divergences = 0
 
     def on_run_start(
         self,
@@ -59,6 +62,14 @@ class ServiceCounters(CounterInstrumentation):
     def on_backpressure(self, shard_index: int, queue_depth: int) -> None:
         self.backpressure_events += 1
 
+    def on_failover(
+        self, shard_index: int, failovers: int, byte_identical: bool
+    ) -> None:
+        self.failover_drills += 1
+        self.failovers_observed += failovers
+        if not byte_identical:
+            self.failover_divergences += 1
+
     def summary(self) -> Dict[str, object]:
         report = super().summary()
         report.update(
@@ -69,6 +80,9 @@ class ServiceCounters(CounterInstrumentation):
                 "drained_decisions": self.drained_decisions,
                 "backpressure_events": self.backpressure_events,
                 "occupied_shards": len(self.shard_occupancy),
+                "failover_drills": self.failover_drills,
+                "failovers_observed": self.failovers_observed,
+                "failover_divergences": self.failover_divergences,
             }
         )
         return report

@@ -32,18 +32,33 @@ def run_self_test(
     algorithms: Optional[Sequence[str]] = None,
     audit_sessions_per_shard: Optional[int] = 8,
     replay_sample: int = 32,
+    replicas: int = 1,
+    failover_drills: int = 4,
 ) -> Dict[str, object]:
     """Drive a seeded population through the service and verify it.
 
     Returns a JSON-friendly report with the sustained decision rate,
-    shard occupancy, and the audit/replay verification tallies.
+    shard occupancy, and the audit/replay verification tallies.  With
+    ``replicas > 1`` the report gains a ``failover`` section: after the
+    timed region, ``failover_drills`` shards each run a seeded
+    kill-the-primary campaign against a ``replicas``-strong SC replica
+    set and must keep the logical ledger byte-identical to the
+    fault-free run.
     """
     if rounds <= 0:
         raise InvalidParameterError(f"rounds must be positive, got {rounds}")
+    if failover_drills < 0:
+        raise InvalidParameterError(
+            f"failover_drills must be >= 0, got {failover_drills}"
+        )
     generator = LoadGenerator(sessions, seed=seed, algorithms=algorithms)
     counters = ServiceCounters()
     service = AllocationService(
-        ServiceConfig(num_shards=num_shards, namespace=generator.namespace),
+        ServiceConfig(
+            num_shards=num_shards,
+            namespace=generator.namespace,
+            replicas=replicas,
+        ),
         instrumentation=counters,
     )
     keys = generator.keys()
@@ -65,6 +80,35 @@ def run_self_test(
     replay = service.replay_verify(replay_sample)
     metrics = service.metrics()
     decisions_per_sec = decided / elapsed if elapsed > 0 else float("inf")
+
+    failover: Optional[Dict[str, object]] = None
+    if replicas > 1 and failover_drills:
+        # Verification, not serving: drills run outside the timed
+        # region and never touch live session state.
+        drills = [
+            service.failover_drill(
+                shard_index % num_shards, seed=seed * 1009 + shard_index
+            )
+            for shard_index in range(failover_drills)
+        ]
+        latencies = [
+            latency for drill in drills
+            for latency in drill["failover_latencies"]
+        ]
+        failover = {
+            "replicas": replicas,
+            "drills": len(drills),
+            "failovers": sum(drill["failovers"] for drill in drills),
+            "kills_skipped": sum(drill["kills_skipped"] for drill in drills),
+            "byte_identical": all(drill["byte_identical"] for drill in drills),
+            "mean_failover_latency": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "overhead_messages": sum(
+                drill["overhead_messages"] for drill in drills
+            ),
+        }
+
     return {
         "sessions": sessions,
         "rounds": rounds,
@@ -81,4 +125,5 @@ def run_self_test(
         "shard_drains": counters.shard_drains,
         "audit": audit,
         "replay": replay,
+        "failover": failover,
     }

@@ -38,6 +38,12 @@ from .faults import (
 )
 from .kernel import EventKernel
 from .ledger import TrafficLedger, TransportOverhead
+from .replica import (
+    CircuitBreaker,
+    ReplicaConfig,
+    ReplicatedNetwork,
+    SCReplicaSet,
+)
 from .runner import ProtocolRunResult, simulate_protocol
 
 __all__ = [
@@ -53,4 +59,8 @@ __all__ = [
     "DroppingNetwork",
     "LossyNetwork",
     "ReliableNetwork",
+    "CircuitBreaker",
+    "ReplicaConfig",
+    "ReplicatedNetwork",
+    "SCReplicaSet",
 ]

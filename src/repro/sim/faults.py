@@ -35,8 +35,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import (
     InvalidParameterError,
+    PeerUnreachableError,
     ProtocolError,
-    TransportError,
 )
 from .kernel import EventKernel
 from .ledger import TrafficLedger
@@ -59,6 +59,15 @@ class FaultConfig:
     Rates are independent per-frame probabilities.  ``episodes`` are
     ``(start, duration)`` intervals of MC disconnection: every frame
     sent while an episode is active — in either direction — is lost.
+
+    The node-fault fields drive replica-set campaigns (see
+    :mod:`repro.sim.replica`): ``crashes`` kills a replica for good,
+    ``pauses`` freezes one for an interval (frames addressed to it are
+    lost while paused), ``partitions`` splits the replica LAN into two
+    groups for an interval, and ``primary_kills`` schedules that many
+    seeded random kills of whoever is primary, uniformly over
+    ``[0, kill_horizon)`` — skipping any kill that would destroy the
+    quorum.
     """
 
     #: Probability a transmitted frame is destroyed.
@@ -75,6 +84,18 @@ class FaultConfig:
     episodes: Tuple[Tuple[float, float], ...] = ()
     #: Retry budget per frame before the transport gives up.
     max_attempts: int = 60
+    #: Permanent replica crashes as (replica_id, time) pairs.
+    crashes: Tuple[Tuple[int, float], ...] = ()
+    #: Replica freezes as (replica_id, start, end) triples.
+    pauses: Tuple[Tuple[int, float, float], ...] = ()
+    #: LAN splits as (group_a_ids, group_b_ids, start, end) tuples.
+    partitions: Tuple[
+        Tuple[Tuple[int, ...], Tuple[int, ...], float, float], ...
+    ] = ()
+    #: Seeded random kills of the current primary.
+    primary_kills: int = 0
+    #: Kill times are drawn uniformly from [0, kill_horizon).
+    kill_horizon: float = 0.0
 
     def __post_init__(self):
         for name in ("drop", "duplicate", "reorder"):
@@ -97,17 +118,67 @@ class FaultConfig:
                     f"episode ({start!r}, {duration!r}) must have "
                     "start >= 0 and duration > 0"
                 )
+        for replica, time in self.crashes:
+            if replica < 0 or time < 0:
+                raise InvalidParameterError(
+                    f"crash ({replica!r}, {time!r}) must have "
+                    "replica >= 0 and time >= 0"
+                )
+        for replica, start, end in self.pauses:
+            if replica < 0 or start < 0 or end <= start:
+                raise InvalidParameterError(
+                    f"pause ({replica!r}, {start!r}, {end!r}) must have "
+                    "replica >= 0, start >= 0 and end > start"
+                )
+        for group_a, group_b, start, end in self.partitions:
+            if not group_a or not group_b:
+                raise InvalidParameterError(
+                    "partition groups must both be non-empty"
+                )
+            if set(group_a) & set(group_b):
+                raise InvalidParameterError(
+                    f"partition groups {group_a!r} and {group_b!r} overlap"
+                )
+            if start < 0 or end <= start:
+                raise InvalidParameterError(
+                    f"partition window ({start!r}, {end!r}) must have "
+                    "start >= 0 and end > start"
+                )
+        if self.primary_kills < 0:
+            raise InvalidParameterError(
+                f"primary_kills must be >= 0, got {self.primary_kills!r}"
+            )
+        if self.primary_kills and self.kill_horizon <= 0:
+            raise InvalidParameterError(
+                "primary_kills needs kill_horizon > 0, got "
+                f"{self.kill_horizon!r}"
+            )
+
+    @property
+    def has_node_faults(self) -> bool:
+        """True when any replica-level (node) fault is scheduled."""
+        return bool(
+            self.crashes
+            or self.pauses
+            or self.partitions
+            or self.primary_kills
+        )
+
+    @property
+    def has_frame_faults(self) -> bool:
+        """True when any frame-level (link) fault is configured."""
+        return (
+            self.drop != 0.0
+            or self.duplicate != 0.0
+            or self.reorder != 0.0
+            or self.delay_jitter != 0.0
+            or bool(self.episodes)
+        )
 
     @property
     def is_clean(self) -> bool:
         """True when this config injects no faults at all."""
-        return (
-            self.drop == 0.0
-            and self.duplicate == 0.0
-            and self.reorder == 0.0
-            and self.delay_jitter == 0.0
-            and not self.episodes
-        )
+        return not self.has_frame_faults and not self.has_node_faults
 
     def disconnected(self, time: float) -> bool:
         """Whether a disconnection episode is active at ``time``."""
@@ -127,14 +198,52 @@ _SPEC_KEYS = {
 }
 
 
+def _split_at(value: str, key: str) -> Tuple[str, str]:
+    head, sep, tail = value.partition("@")
+    if not sep:
+        raise InvalidParameterError(
+            f"{key} wants WHO@WHEN, got {value!r}"
+        )
+    return head.strip(), tail.strip()
+
+
+def _parse_window(text: str, key: str) -> Tuple[float, float]:
+    start, sep, end = text.partition("..")
+    if not sep:
+        raise InvalidParameterError(
+            f"{key} wants a START..END window, got {text!r}"
+        )
+    return float(start), float(end)
+
+
+def _parse_group(text: str, key: str) -> Tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split("+") if part != "")
+    except ValueError:
+        raise InvalidParameterError(
+            f"{key} group {text!r} is not '+'-joined replica ids"
+        ) from None
+
+
 def parse_fault_spec(text: str) -> FaultConfig:
     """Parse a CLI fault spec like ``drop=0.05,seed=7,disconnect=2:1``.
 
-    Keys: ``drop``, ``dup``, ``reorder``, ``delay`` (jitter bound),
-    ``seed``, and ``disconnect=START:DURATION`` (repeatable).
+    Frame-level keys: ``drop``, ``dup``, ``reorder``, ``delay`` (jitter
+    bound), ``seed``, and ``disconnect=START:DURATION`` (repeatable).
+
+    Node-level keys (replica campaigns, all repeatable except
+    ``kills``): ``crash=ID@T``, ``pause=ID@T..T2``,
+    ``partition=A+B|C@T..T2`` (replica ids joined with ``+``, the two
+    sides separated by ``|``), and ``kills=N@T`` (N seeded random
+    primary kills drawn uniformly before time T).
     """
     kwargs: Dict[str, object] = {}
     episodes: List[Tuple[float, float]] = []
+    crashes: List[Tuple[int, float]] = []
+    pauses: List[Tuple[int, float, float]] = []
+    partitions: List[
+        Tuple[Tuple[int, ...], Tuple[int, ...], float, float]
+    ] = []
     for part in text.split(","):
         part = part.strip()
         if not part:
@@ -154,14 +263,47 @@ def parse_fault_spec(text: str) -> FaultConfig:
                 )
             episodes.append((float(start), float(duration)))
             continue
+        if key == "crash":
+            who, when = _split_at(value, "crash")
+            crashes.append((int(who), float(when)))
+            continue
+        if key == "pause":
+            who, when = _split_at(value, "pause")
+            start, end = _parse_window(when, "pause")
+            pauses.append((int(who), start, end))
+            continue
+        if key == "partition":
+            groups, when = _split_at(value, "partition")
+            side_a, sep, side_b = groups.partition("|")
+            if not sep:
+                raise InvalidParameterError(
+                    f"partition wants A|B groups, got {groups!r}"
+                )
+            start, end = _parse_window(when, "partition")
+            partitions.append((
+                _parse_group(side_a, "partition"),
+                _parse_group(side_b, "partition"),
+                start,
+                end,
+            ))
+            continue
+        if key == "kills":
+            count, horizon = _split_at(value, "kills")
+            kwargs["primary_kills"] = int(count)
+            kwargs["kill_horizon"] = float(horizon)
+            continue
         field = _SPEC_KEYS.get(key)
         if field is None:
             raise InvalidParameterError(
                 f"unknown fault spec key {key!r}; "
-                f"known: {sorted(_SPEC_KEYS)} and 'disconnect'"
+                f"known: {sorted(_SPEC_KEYS)}, 'disconnect', 'crash', "
+                "'pause', 'partition', 'kills'"
             )
         kwargs[field] = int(value) if field == "seed" else float(value)
     kwargs["episodes"] = tuple(episodes)
+    kwargs["crashes"] = tuple(crashes)
+    kwargs["pauses"] = tuple(pauses)
+    kwargs["partitions"] = tuple(partitions)
     return FaultConfig(**kwargs)
 
 
@@ -309,9 +451,17 @@ class ReliableNetwork(PointToPointNetwork):
         ledger: TrafficLedger,
         faults: FaultConfig,
         latency: float = 0.0,
+        max_retries: Optional[int] = None,
     ):
         super().__init__(kernel, ledger, latency)
         self._config = faults
+        self._max_retries = (
+            faults.max_attempts if max_retries is None else max_retries
+        )
+        if self._max_retries < 1:
+            raise InvalidParameterError(
+                f"max_retries must be >= 1, got {max_retries!r}"
+            )
         self._medium = _FaultyMedium(kernel, ledger, faults, latency)
         self._directions: Dict[str, _ArqDirection] = {
             "mc": _ArqDirection(),
@@ -319,6 +469,9 @@ class ReliableNetwork(PointToPointNetwork):
         }
         self._sync_providers: Dict[str, Callable[[], SyncState]] = {}
         self.resyncs_verified = 0
+        #: Payloads that exhausted the retry budget, as
+        #: (destination, seq, payload) triples, oldest first.
+        self.dead_letters: List[Tuple[str, int, object]] = []
         # Worst-case round trip (max data delay + max ack delay) plus
         # headroom; below this the timer would retransmit acked frames.
         worst_one_way = (
@@ -391,10 +544,17 @@ class ReliableNetwork(PointToPointNetwork):
         if seq not in direction.unacked:
             return
         direction.attempts[seq] += 1
-        if direction.attempts[seq] > self._config.max_attempts:
-            raise TransportError(
-                f"frame {seq} -> {destination!r} undelivered after "
-                f"{self._config.max_attempts} attempts; giving up"
+        if direction.attempts[seq] > self._max_retries:
+            # Dead-letter escalation: park the payload where a
+            # supervisor can find it, then surface the typed failure.
+            payload = direction.unacked.pop(seq)
+            direction.attempts.pop(seq, None)
+            self.dead_letters.append((destination, seq, payload))
+            self._ledger.overhead.dead_letters += 1
+            raise PeerUnreachableError(
+                destination,
+                self._max_retries,
+                f"frame {seq} dead-lettered",
             )
         self._transmit_frame(destination, seq, retransmission=True)
         self._schedule_retry(destination, seq)

@@ -68,11 +68,43 @@ class TransportOverhead:
     frames_lost: int = 0
     #: Reconnection-handshake frames transmitted.
     handshakes: int = 0
+    #: Undeliverable payloads escalated past the retry budget.
+    dead_letters: int = 0
+    #: Log-shipping frames between SC replicas (append + commit fan-out).
+    replication_frames: int = 0
+    #: Quorum acknowledgements for shipped log entries.
+    replication_acks: int = 0
+    #: Heartbeat probes and their responses inside the replica set.
+    heartbeat_frames: int = 0
+    #: Election probes, votes and leadership announcements.
+    election_frames: int = 0
+    #: Snapshot/log frames shipped to catch a lagging replica up.
+    catchup_frames: int = 0
+    #: Client-side re-sends of a request whose exchange stalled.
+    client_retries: int = 0
+    #: Circuit-breaker trial probes sent while the breaker was open.
+    breaker_probes: int = 0
+    #: Completed primary promotions (one per successful failover).
+    failovers: int = 0
+    #: Election rounds started (including ones that failed on quorum).
+    elections: int = 0
 
     @property
     def overhead_messages(self) -> int:
-        """Transmissions that exist only because the link is unreliable."""
-        return self.retransmissions + self.acks + self.handshakes
+        """Transmissions that exist only because the link is unreliable
+        (or, with a replica set, because the SC is replicated)."""
+        return (
+            self.retransmissions
+            + self.acks
+            + self.handshakes
+            + self.replication_frames
+            + self.replication_acks
+            + self.heartbeat_frames
+            + self.election_frames
+            + self.catchup_frames
+            + self.client_retries
+            + self.breaker_probes
+        )
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (report/JSON friendly)."""
@@ -83,6 +115,16 @@ class TransportOverhead:
             "duplicates_suppressed": self.duplicates_suppressed,
             "frames_lost": self.frames_lost,
             "handshakes": self.handshakes,
+            "dead_letters": self.dead_letters,
+            "replication_frames": self.replication_frames,
+            "replication_acks": self.replication_acks,
+            "heartbeat_frames": self.heartbeat_frames,
+            "election_frames": self.election_frames,
+            "catchup_frames": self.catchup_frames,
+            "client_retries": self.client_retries,
+            "breaker_probes": self.breaker_probes,
+            "failovers": self.failovers,
+            "elections": self.elections,
             "overhead_messages": self.overhead_messages,
         }
 

@@ -1,0 +1,1211 @@
+"""SC replica set with failover: the stationary computer, replicated.
+
+The paper's stationary computer never fails (section 8.1 delegates
+availability to the stationary system).  This module supplies that
+availability: an :class:`SCReplicaSet` of 2–5
+:class:`~repro.sim.nodes.StationaryItemCore`-backed replicas behind one
+logical "sc" endpoint, plus the MC-side resilience that keeps clients
+honest while the set fails over.
+
+Design, in one breath: the protocol deciders are deterministic state
+machines, so the replicas form a replicated state machine.  The primary
+appends every client input (an MC message or a locally issued write) to
+a log, ships it to the backups, and only *applies* it — emitting
+wireless replies and completion callbacks — once a quorum holds the
+entry.  Because the serialized dispatcher admits at most one relevant
+request at a time, the log has at most one in-doubt tail entry, which
+is what makes exactly-once accounting provable rather than probable.
+
+Failure handling:
+
+* **Heartbeats** — the primary probes every backup each
+  ``heartbeat_interval``; probes piggyback the commit index so backups
+  apply in lock-step.  A backup that hears nothing for
+  ``failure_timeout`` becomes a candidate after a seeded jitter; a
+  primary that loses quorum contact for as long steps down (the
+  minority side of a partition demotes itself before the majority can
+  elect, so there is never a moment with two serving primaries).
+* **Election** — a candidate probes the set; among reachable replicas
+  the winner is the one with the longest log, ties broken by lowest
+  id.  The new epoch fences stale leadership.
+* **Promotion** — the winner silently applies its uncommitted tail,
+  *capturing* the outbound messages instead of sending them, then
+  ships its full log to every reachable replica.  A replica that
+  receives the snapshot rebuilds from scratch — fresh core, fresh
+  decider, silent replay — and the rebuilt state is verified against
+  the primary's shipped summary (the
+  :class:`~repro.sim.messages.SyncState` handshake of the ARQ layer,
+  reused).  When the client retries the in-doubt request, the captured
+  messages are released — and charged to the logical ledger exactly
+  once, since the old primary never sent them.
+* **Circuit breaker** — the MC front door counts routing and RPC
+  failures; past ``breaker_threshold`` it opens, parks traffic in a
+  bounded buffer, and probes on a timer.  A successful probe half-opens
+  the breaker, a completed exchange closes it and flushes the buffer.
+  Reads the MC can serve from its cached replica never touch the
+  network at all, which is the graceful-degradation story for reads;
+  writes queue in the bounded buffer until a primary answers.
+
+The two-book accounting contract of :mod:`repro.sim.ledger` extends
+unchanged: the logical book is charged exactly once per protocol
+message, while replication frames, heartbeats, election traffic,
+catch-up snapshots, client retries and breaker probes all land in the
+overhead book.  After any campaign that leaves a quorum alive, the
+logical ledger and the event stream are byte-identical to the
+fault-free run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..engine.versioning import INITIAL_VALUE
+from ..exceptions import (
+    InvalidParameterError,
+    PeerUnreachableError,
+    ProtocolError,
+)
+from .faults import FaultConfig
+from .kernel import EventKernel
+from .ledger import TrafficLedger
+from .messages import Message, SyncState
+from .network import PointToPointNetwork
+from .nodes import StationaryItemCore
+from .policies import make_deciders
+
+__all__ = [
+    "ReplicaConfig",
+    "CircuitBreaker",
+    "SCReplicaSet",
+    "ReplicatedNetwork",
+]
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """Tuning knobs for one replica set.
+
+    The defaults are sized for the runner's default wireless latency
+    (0.05): detection is a few heartbeats, elections settle well under
+    a client retry period, and ``failure_timeout`` exceeds a wireless
+    round trip by a wide margin — the structural guarantee that a
+    reply sent by a dying primary lands (completing the request and
+    cancelling the retry) before any new primary could re-serve it.
+    """
+
+    #: Replica count, primary included (2–5; quorum is a majority).
+    num_replicas: int = 3
+    #: One-way latency on the replica LAN (log shipping, heartbeats).
+    rpc_latency: float = 0.01
+    #: Primary-to-backup probe period on the simulated clock.
+    heartbeat_interval: float = 0.5
+    #: Silence longer than this marks the peer suspect (detection).
+    failure_timeout: float = 1.75
+    #: Candidacy fires after a seeded delay in (jitter/2, jitter].
+    election_jitter: float = 0.2
+    #: Client-side retry period for a stalled exchange.
+    retry_interval: float = 2.0
+    #: Client attempts per request before dead-lettering.
+    max_retries: int = 25
+    #: Consecutive client-side failures that open the breaker.
+    breaker_threshold: int = 3
+    #: Open-breaker probe period.
+    breaker_reset_timeout: float = 1.0
+    #: Parked client payloads the open breaker will hold.
+    write_buffer_limit: int = 8
+
+    def __post_init__(self):
+        if not 2 <= self.num_replicas <= 5:
+            raise InvalidParameterError(
+                f"num_replicas must be in [2, 5], got {self.num_replicas!r}"
+            )
+        for name in (
+            "rpc_latency",
+            "heartbeat_interval",
+            "failure_timeout",
+            "election_jitter",
+            "retry_interval",
+            "breaker_reset_timeout",
+        ):
+            if getattr(self, name) <= 0:
+                raise InvalidParameterError(
+                    f"{name} must be > 0, got {getattr(self, name)!r}"
+                )
+        for name in ("max_retries", "breaker_threshold",
+                     "write_buffer_limit"):
+            if getattr(self, name) < 1:
+                raise InvalidParameterError(
+                    f"{name} must be >= 1, got {getattr(self, name)!r}"
+                )
+        if self.failure_timeout <= 2 * self.heartbeat_interval:
+            raise InvalidParameterError(
+                "failure_timeout must exceed two heartbeat intervals "
+                f"({self.failure_timeout!r} <= "
+                f"{2 * self.heartbeat_interval!r})"
+            )
+
+    @property
+    def quorum(self) -> int:
+        """Majority size: replication and election both need this many."""
+        return self.num_replicas // 2 + 1
+
+    def validate_for(self, latency: float) -> None:
+        """Check the timing relations against the wireless latency.
+
+        ``failure_timeout`` must exceed a full wireless round trip so a
+        reply in flight from a dying primary always completes the
+        request before a new primary exists to re-serve it, and the
+        client retry period must exceed a whole exchange (wireless
+        round trip plus a replication round) so a retry implies a
+        genuinely stalled exchange, not an in-progress one.
+        """
+        if self.failure_timeout <= 2.0 * latency:
+            raise InvalidParameterError(
+                f"failure_timeout {self.failure_timeout!r} must exceed a "
+                f"wireless round trip (2 * {latency!r})"
+            )
+        if self.retry_interval <= 2.0 * (latency + 2.0 * self.rpc_latency):
+            raise InvalidParameterError(
+                f"retry_interval {self.retry_interval!r} must exceed a "
+                "full exchange: wireless round trip plus a replication "
+                f"round (2 * ({latency!r} + 2 * {self.rpc_latency!r}))"
+            )
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure gate for the MC front door.
+
+    Pure state machine with injected side effects: ``record_failure``
+    past the threshold (or any failure while half-open) opens it and
+    fires ``on_open`` exactly once per opening; ``probe_ok`` moves an
+    open breaker to half-open; ``record_success`` closes it from any
+    state and resets the failure count.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        threshold: int,
+        on_open: Optional[Callable[[], None]] = None,
+    ):
+        if threshold < 1:
+            raise InvalidParameterError(
+                f"threshold must be >= 1, got {threshold!r}"
+            )
+        self._threshold = threshold
+        self._on_open = on_open
+        self.state = self.CLOSED
+        self.failures = 0
+        self.times_opened = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == self.OPEN
+
+    @property
+    def is_closed(self) -> bool:
+        return self.state == self.CLOSED
+
+    def record_failure(self) -> None:
+        """One failed routing attempt or stalled exchange."""
+        self.failures += 1
+        should_open = (
+            self.state == self.HALF_OPEN
+            or (self.state == self.CLOSED
+                and self.failures >= self._threshold)
+        )
+        if should_open:
+            self.state = self.OPEN
+            self.times_opened += 1
+            if self._on_open is not None:
+                self._on_open()
+
+    def probe_ok(self) -> None:
+        """An open-state probe found the service routable again."""
+        if self.state == self.OPEN:
+            self.state = self.HALF_OPEN
+
+    def record_success(self) -> None:
+        """A request completed; trust the service again."""
+        self.state = self.CLOSED
+        self.failures = 0
+
+
+@dataclass(frozen=True)
+class _LogEntry:
+    """One replicated client input.
+
+    ``key`` identifies the input for retry deduplication:
+    ``('m', request_index)`` for an MC message, ``('w', request_index)``
+    for a locally issued write.
+    """
+
+    index: int
+    key: Tuple[str, int]
+    message: Optional[Message] = None
+    write_value: object = None
+
+
+@dataclass
+class _Captured:
+    """Outbound effects of one applied entry, held for replay.
+
+    Each message carries its per-request frame sequence number so a
+    replay can be recognised as a retransmission by the MC's network
+    layer: the new primary cannot know which frames the old primary
+    got onto the wire before dying, but the receiver can.
+    """
+
+    messages: List[Tuple[int, Message]] = field(default_factory=list)
+    completes: Optional[int] = None
+    #: True once the effects reached the client (charged logically).
+    sent: bool = False
+
+
+class _ReplicaNode:
+    """One replica: a stationary core plus replication bookkeeping."""
+
+    def __init__(self, replica_id: int, core: StationaryItemCore):
+        self.id = replica_id
+        self.core = core
+        self.alive = True
+        self.paused = False
+        self.role = "backup"
+        self.epoch = 0
+        self.log: List[_LogEntry] = []
+        self.log_keys: Dict[Tuple[str, int], int] = {}
+        self.committed = 0
+        self.applied = 0
+        self.records: Dict[Tuple[str, int], _Captured] = {}
+        #: request index -> frames this core has emitted toward the MC,
+        #: assigned in log order (identical on every replica by replay).
+        self.frame_seq: Dict[int, int] = {}
+        self.last_primary_contact = 0.0
+        self.last_quorum_contact = 0.0
+        #: (entry_index, ack-sender ids) for the primary's in-doubt entry.
+        self.pending: Optional[Tuple[int, set]] = None
+        self.election_scheduled = False
+        self.resynced_epoch = -1
+
+    @property
+    def can_act(self) -> bool:
+        return self.alive and not self.paused
+
+    def tail_key(self) -> Optional[Tuple[str, int]]:
+        if self.pending is None:
+            return None
+        return self.log[self.pending[0]].key
+
+
+class SCReplicaSet:
+    """A quorum-replicated stationary computer on the simulated clock."""
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        ledger: TrafficLedger,
+        algorithm_name: str,
+        config: ReplicaConfig,
+        *,
+        faults: Optional[FaultConfig] = None,
+        initial_value: object = INITIAL_VALUE,
+    ):
+        self._kernel = kernel
+        self._ledger = ledger
+        self._config = config
+        self._algorithm = algorithm_name
+        self._initial_value = initial_value
+        seed = 0 if faults is None else faults.seed
+        self._rng = random.Random((seed << 4) ^ 0x5EED)
+        deciders = make_deciders(algorithm_name)
+        self._algorithm_name = deciders.name
+        self._initial_subscribed = deciders.initial_mobile_has_copy
+        self.replicas: List[_ReplicaNode] = []
+        for replica_id in range(config.num_replicas):
+            self.replicas.append(self._build_node(replica_id))
+        self.replicas[0].role = "primary"
+        self.announced_primary: Optional[int] = 0
+        self._stopped = False
+        self._complete_cb: Callable[[int], None] = lambda index: None
+        self._deliver_mc: Callable[[Message], None] = self._no_mc
+        self._replay_mc: Callable[[int, Message], None] = self._no_replay
+        self._apply_ctx: Optional[Tuple[_ReplicaNode, str, _Captured]] = None
+        self._mc_sync_provider: Optional[Callable[[], SyncState]] = None
+        self._outstanding_exchange = False
+        self._last_primary_down: Optional[float] = None
+        self.failover_latencies: List[float] = []
+        self.election_history: List[Tuple[int, int]] = []
+        self.kills_skipped = 0
+        self.resyncs_verified = 0
+        if faults is not None:
+            self._schedule_campaign(faults)
+        kernel.schedule_after(config.heartbeat_interval, self._tick)
+
+    # -- wiring ----------------------------------------------------------
+
+    def bind(
+        self,
+        complete: Callable[[int], None],
+        deliver_mc: Callable[[Message], None],
+        replay_mc: Callable[[int, Message], None],
+    ) -> None:
+        """Wire the completion callback and the MC delivery paths:
+        ``deliver_mc`` for first transmissions, ``replay_mc`` for
+        possibly-retransmitted frames released after a failover."""
+        self._complete_cb = complete
+        self._deliver_mc = deliver_mc
+        self._replay_mc = replay_mc
+
+    def register_sync_provider(
+        self, endpoint: str, provider: Callable[[], SyncState]
+    ) -> None:
+        """Register the MC's replica summary for the resync handshake
+        (same contract as :meth:`ReliableNetwork.register_sync_provider`).
+        """
+        if endpoint != "mc":
+            raise ProtocolError(
+                f"the replica set only syncs against 'mc', not {endpoint!r}"
+            )
+        self._mc_sync_provider = provider
+
+    @staticmethod
+    def _no_mc(message: Message) -> None:
+        raise ProtocolError("replica set used before bind()")
+
+    @staticmethod
+    def _no_replay(seq: int, message: Message) -> None:
+        raise ProtocolError("replica set used before bind()")
+
+    def _build_node(self, replica_id: int) -> _ReplicaNode:
+        decider = make_deciders(self._algorithm).stationary
+        node_box: List[_ReplicaNode] = []
+        core = StationaryItemCore(
+            "x",
+            decider,
+            send=lambda message: self._core_send(node_box[0], message),
+            complete=lambda index: self._core_complete(node_box[0], index),
+            mc_initially_subscribed=self._initial_subscribed,
+            initial_value=self._initial_value,
+        )
+        node = _ReplicaNode(replica_id, core)
+        node_box.append(node)
+        return node
+
+    # -- public views ----------------------------------------------------
+
+    @property
+    def quorum(self) -> int:
+        return self._config.quorum
+
+    def live_count(self) -> int:
+        """Replicas currently able to act (alive and not paused)."""
+        return sum(1 for node in self.replicas if node.can_act)
+
+    def primary_node(self) -> Optional[_ReplicaNode]:
+        """The announced primary, if it is in a state to serve."""
+        if self.announced_primary is None:
+            return None
+        node = self.replicas[self.announced_primary]
+        if node.can_act and node.role == "primary":
+            return node
+        return None
+
+    @property
+    def failovers(self) -> int:
+        return len(self.failover_latencies)
+
+    def shutdown(self) -> None:
+        """Stop all periodic machinery so the kernel can drain."""
+        self._stopped = True
+
+    def note_exchange(self, outstanding: bool) -> None:
+        """The front door's view of whether an exchange is in flight."""
+        self._outstanding_exchange = outstanding
+
+    # -- fault campaign --------------------------------------------------
+
+    def _schedule_campaign(self, faults: FaultConfig) -> None:
+        for replica_id, time in faults.crashes:
+            self._check_replica_id(replica_id)
+            self._kernel.schedule_at(
+                time, lambda rid=replica_id: self._crash(rid)
+            )
+        for replica_id, start, end in faults.pauses:
+            self._check_replica_id(replica_id)
+            self._kernel.schedule_at(
+                start, lambda rid=replica_id: self._pause(rid)
+            )
+            self._kernel.schedule_at(
+                end, lambda rid=replica_id: self._resume(rid)
+            )
+        self._active_partitions: List[Tuple[frozenset, frozenset]] = []
+        for group_a, group_b, start, end in faults.partitions:
+            for replica_id in tuple(group_a) + tuple(group_b):
+                self._check_replica_id(replica_id)
+            split = (frozenset(group_a), frozenset(group_b))
+            self._kernel.schedule_at(
+                start, lambda s=split: self._active_partitions.append(s)
+            )
+            self._kernel.schedule_at(
+                end, lambda s=split: self._active_partitions.remove(s)
+            )
+        kill_times = sorted(
+            self._rng.uniform(0.0, faults.kill_horizon)
+            for _ in range(faults.primary_kills)
+        )
+        for time in kill_times:
+            self._kernel.schedule_at(time, self._kill_primary)
+
+    def _check_replica_id(self, replica_id: int) -> None:
+        if not 0 <= replica_id < len(self.replicas):
+            raise InvalidParameterError(
+                f"fault names replica {replica_id}, but the set has "
+                f"{len(self.replicas)} replicas"
+            )
+
+    def _crash(self, replica_id: int) -> None:
+        # Campaign events landing after the workload drained are moot;
+        # leaving the final primary untouched keeps the end-of-run
+        # quorum check meaningful.
+        if self._stopped:
+            return
+        node = self.replicas[replica_id]
+        if not node.alive:
+            return
+        node.alive = False
+        if replica_id == self.announced_primary:
+            self._last_primary_down = self._kernel.now
+
+    def _pause(self, replica_id: int) -> None:
+        if self._stopped:
+            return
+        node = self.replicas[replica_id]
+        node.paused = True
+        if replica_id == self.announced_primary:
+            self._last_primary_down = self._kernel.now
+
+    def _resume(self, replica_id: int) -> None:
+        node = self.replicas[replica_id]
+        if not node.alive:
+            return
+        node.paused = False
+        # Give the incumbent a full detection window before this
+        # replica suspects anyone; a heartbeat will resync it.
+        node.last_primary_contact = self._kernel.now
+
+    def _kill_primary(self) -> None:
+        if self._stopped:
+            return
+        node = self.primary_node()
+        if node is None:
+            node_id = self.announced_primary
+            node = None if node_id is None else self.replicas[node_id]
+        if node is None or not node.alive:
+            self.kills_skipped += 1
+            return
+        if self.live_count() - 1 < self.quorum:
+            self.kills_skipped += 1
+            return
+        self._crash(node.id)
+
+    def _connected(self, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        for group_a, group_b in getattr(self, "_active_partitions", ()):
+            if (a in group_a and b in group_b) or (
+                a in group_b and b in group_a
+            ):
+                return False
+        return True
+
+    # -- the periodic tick: heartbeats + failure detection ---------------
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        now = self._kernel.now
+        overhead = self._ledger.overhead
+        for node in self.replicas:
+            if node.role != "primary" or not node.can_act:
+                continue
+            acks = {node.id}
+            for peer in self.replicas:
+                if peer.id == node.id:
+                    continue
+                overhead.heartbeat_frames += 1
+                if not (peer.can_act and self._connected(node.id, peer.id)):
+                    overhead.frames_lost += 1
+                    continue
+                self._kernel.schedule_after(
+                    self._config.rpc_latency,
+                    lambda p=peer, n=node: self._on_heartbeat(p, n),
+                )
+                overhead.heartbeat_frames += 1  # the ack
+                acks.add(peer.id)
+            if len(acks) >= self.quorum:
+                self._kernel.schedule_after(
+                    2.0 * self._config.rpc_latency,
+                    lambda n=node, t=now: self._note_quorum_contact(n, t),
+                )
+        for node in self.replicas:
+            if not node.can_act:
+                continue
+            stale = now - node.last_primary_contact
+            if (
+                node.role == "primary"
+                and now - node.last_quorum_contact
+                > self._config.failure_timeout
+            ):
+                # Lost the majority (partition minority side): demote
+                # before the other side can possibly elect.
+                node.role = "backup"
+                if self.announced_primary == node.id:
+                    self._last_primary_down = now
+            elif (
+                node.role == "backup"
+                and stale > self._config.failure_timeout
+                and not node.election_scheduled
+            ):
+                node.election_scheduled = True
+                jitter = self._config.election_jitter * (
+                    0.5 + 0.5 * self._rng.random()
+                )
+                self._kernel.schedule_after(
+                    jitter, lambda n=node: self._start_election(n)
+                )
+        self._kernel.schedule_after(
+            self._config.heartbeat_interval, self._tick
+        )
+
+    def _note_quorum_contact(self, node: _ReplicaNode, time: float) -> None:
+        if node.can_act and node.role == "primary":
+            node.last_quorum_contact = max(node.last_quorum_contact, time)
+
+    def _on_heartbeat(self, node: _ReplicaNode, sender: _ReplicaNode) -> None:
+        if self._stopped or not node.can_act or not sender.can_act:
+            return
+        if sender.epoch < node.epoch:
+            return  # stale leader; fenced by the epoch
+        if sender.epoch > node.epoch or node.role == "primary":
+            node.epoch = sender.epoch
+            node.role = "backup"
+            self._request_resync(node, sender)
+        node.last_primary_contact = self._kernel.now
+        node.election_scheduled = False
+        if len(node.log) < sender.committed:
+            self._request_resync(node, sender)
+        else:
+            self._advance_applied(node, sender.committed)
+
+    # -- client input path (primary side) --------------------------------
+
+    def receive_client_input(
+        self,
+        replica_id: int,
+        key: Tuple[str, int],
+        message: Optional[Message],
+        write_value: object,
+    ) -> None:
+        """A client payload arrived at the replica it was routed to."""
+        if self._stopped:
+            return
+        node = self.replicas[replica_id]
+        if not node.can_act or node.role != "primary":
+            self._ledger.overhead.frames_lost += 1
+            return
+        existing = node.log_keys.get(key)
+        if existing is not None:
+            if existing >= node.committed:
+                return  # in-doubt tail: still being replicated
+            record = node.records.get(key)
+            if record is not None and not record.sent:
+                self._release_captured(record)
+            else:
+                self._ledger.overhead.duplicates_suppressed += 1
+            return
+        entry = _LogEntry(
+            index=len(node.log),
+            key=key,
+            message=message,
+            write_value=write_value,
+        )
+        node.log.append(entry)
+        node.log_keys[key] = entry.index
+        node.pending = (entry.index, {node.id})
+        self._replicate(node, entry)
+
+    def _replicate(self, node: _ReplicaNode, entry: _LogEntry) -> None:
+        overhead = self._ledger.overhead
+        for peer in self.replicas:
+            if peer.id == node.id:
+                continue
+            overhead.replication_frames += 1
+            if not (peer.can_act and self._connected(node.id, peer.id)):
+                overhead.frames_lost += 1
+                continue
+            self._kernel.schedule_after(
+                self._config.rpc_latency,
+                lambda p=peer, n=node, e=entry: self._on_append(p, n, e),
+            )
+        self._maybe_commit(node)
+
+    def _on_append(
+        self, node: _ReplicaNode, sender: _ReplicaNode, entry: _LogEntry
+    ) -> None:
+        if self._stopped or not node.can_act or not sender.can_act:
+            return
+        if sender.epoch < node.epoch:
+            return
+        node.epoch = sender.epoch
+        node.last_primary_contact = self._kernel.now
+        if entry.index > len(node.log):
+            self._request_resync(node, sender)
+            return
+        if entry.index == len(node.log):
+            node.log.append(entry)
+            node.log_keys[entry.key] = entry.index
+        self._ledger.overhead.replication_acks += 1
+        self._kernel.schedule_after(
+            self._config.rpc_latency,
+            lambda n=sender, p=node, i=entry.index: self._on_append_ack(
+                n, p.id, i
+            ),
+        )
+
+    def _on_append_ack(
+        self, node: _ReplicaNode, peer_id: int, index: int
+    ) -> None:
+        if self._stopped or not node.can_act or node.role != "primary":
+            return
+        if node.pending is None or node.pending[0] != index:
+            return
+        node.pending[1].add(peer_id)
+        self._maybe_commit(node)
+
+    def _maybe_commit(self, node: _ReplicaNode) -> None:
+        if node.pending is None:
+            return
+        index, acks = node.pending
+        if len(acks) < self.quorum:
+            return
+        node.pending = None
+        node.committed = index + 1
+        self._apply_entry(node, node.log[index], serving=True)
+
+    # -- applying entries -------------------------------------------------
+
+    def _apply_entry(
+        self, node: _ReplicaNode, entry: _LogEntry, *, serving: bool
+    ) -> None:
+        if entry.index != node.applied:
+            raise ProtocolError(
+                f"replica {node.id} applying entry {entry.index} "
+                f"out of order (applied={node.applied})"
+            )
+        captured = _Captured(sent=serving)
+        mode = "serving" if serving else "silent"
+        previous = self._apply_ctx
+        self._apply_ctx = (node, mode, captured)
+        try:
+            if entry.message is not None:
+                node.core.handle(entry.message)
+            else:
+                node.core.issue_write(entry.key[1], entry.write_value)
+        finally:
+            self._apply_ctx = previous
+        node.applied += 1
+        node.records[entry.key] = captured
+        if serving and captured.completes is not None:
+            self._complete_cb(captured.completes)
+
+    def _core_send(self, node: _ReplicaNode, message: Message) -> None:
+        # A rebuilt core is bound to a throwaway node object, so the
+        # apply context, not the bound node, is the source of truth.
+        if self._apply_ctx is None:
+            raise ProtocolError(
+                f"replica {node.id} core sent outside an apply context"
+            )
+        ctx_node, mode, captured = self._apply_ctx
+        index = message.request_index
+        seq = ctx_node.frame_seq.get(index, 0)
+        ctx_node.frame_seq[index] = seq + 1
+        if mode == "serving":
+            self._deliver_mc(message)
+        else:
+            captured.messages.append((seq, message))
+
+    def _core_complete(self, node: _ReplicaNode, index: int) -> None:
+        if self._apply_ctx is None:
+            raise ProtocolError(
+                f"replica {node.id} core completed outside an apply context"
+            )
+        self._apply_ctx[2].completes = index
+
+    def _release_captured(self, record: _Captured) -> None:
+        """Serve a promoted-tail entry on the client's retry.
+
+        The new primary cannot tell whether the old one got these
+        frames onto the air before dying (its commit index may have
+        lagged), so they go out through the replay path: the MC's
+        network layer drops any frame it has already received and the
+        logical charge still lands exactly once."""
+        record.sent = True
+        for seq, message in record.messages:
+            self._replay_mc(seq, message)
+        if record.completes is not None:
+            self._complete_cb(record.completes)
+
+    def _advance_applied(self, node: _ReplicaNode, committed: int) -> None:
+        committed = min(committed, len(node.log))
+        if committed > node.committed:
+            node.committed = committed
+        while node.applied < node.committed:
+            self._apply_entry(
+                node, node.log[node.applied], serving=False
+            )
+
+    # -- election ---------------------------------------------------------
+
+    def _start_election(self, candidate: _ReplicaNode) -> None:
+        candidate.election_scheduled = False
+        if self._stopped or not candidate.can_act:
+            return
+        now = self._kernel.now
+        if (
+            now - candidate.last_primary_contact
+            <= self._config.failure_timeout
+        ):
+            return  # leadership re-established while we waited
+        overhead = self._ledger.overhead
+        overhead.elections += 1
+        epoch = candidate.epoch + 1
+        voters = [candidate]
+        for peer in self.replicas:
+            if peer.id == candidate.id:
+                continue
+            overhead.election_frames += 1  # the probe
+            if not (
+                peer.can_act and self._connected(candidate.id, peer.id)
+            ):
+                overhead.frames_lost += 1
+                continue
+            overhead.election_frames += 1  # the vote
+            voters.append(peer)
+        if len(voters) < self.quorum:
+            # Minority side: no quorum, no leader.  Try again later.
+            candidate.election_scheduled = True
+            self._kernel.schedule_after(
+                self._config.failure_timeout,
+                lambda n=candidate: self._start_election(n),
+            )
+            return
+        winner = min(voters, key=lambda node: (-len(node.log), node.id))
+        if winner.id != candidate.id:
+            overhead.election_frames += 1  # the promotion order
+        self._kernel.schedule_after(
+            2.0 * self._config.rpc_latency,
+            lambda w=winner, e=epoch: self._promote(w, e),
+        )
+
+    def _promote(self, winner: _ReplicaNode, epoch: int) -> None:
+        if self._stopped or not winner.can_act or epoch <= winner.epoch:
+            return
+        now = self._kernel.now
+        winner.epoch = epoch
+        winner.role = "primary"
+        winner.pending = None
+        winner.last_primary_contact = now
+        winner.last_quorum_contact = now
+        winner.election_scheduled = False
+        # Entries below the commit point were served by the old
+        # primary; their effects must never be re-sent.
+        for entry in winner.log[: winner.committed]:
+            record = winner.records.get(entry.key)
+            if record is not None:
+                record.sent = True
+        # Silently apply the in-doubt tail, capturing its effects for
+        # the client's retry.
+        while winner.applied < len(winner.log):
+            self._apply_entry(
+                winner, winner.log[winner.applied], serving=False
+            )
+        self.announced_primary = winner.id
+        self.election_history.append((epoch, winner.id))
+        if self._last_primary_down is not None:
+            self.failover_latencies.append(now - self._last_primary_down)
+            self._last_primary_down = None
+        self._ledger.overhead.failovers += 1
+        # Leadership announcement doubles as catch-up: ship the full
+        # log so every reachable replica converges on this history.
+        acks = {winner.id}
+        for peer in self.replicas:
+            if peer.id == winner.id:
+                continue
+            self._ledger.overhead.election_frames += 1
+            if not (peer.can_act and self._connected(winner.id, peer.id)):
+                self._ledger.overhead.frames_lost += 1
+                continue
+            self._kernel.schedule_after(
+                self._config.rpc_latency,
+                lambda p=peer, w=winner: self._ship_snapshot(w, p),
+            )
+            acks.add(peer.id)
+        if len(acks) >= self.quorum:
+            # The snapshot replicates the tail to a quorum; commit it.
+            self._kernel.schedule_after(
+                2.0 * self._config.rpc_latency,
+                lambda w=winner: self._commit_tail(w, epoch),
+            )
+        self._run_mc_resync(winner)
+
+    def _commit_tail(self, node: _ReplicaNode, epoch: int) -> None:
+        if self._stopped or not node.can_act:
+            return
+        if node.role != "primary" or node.epoch != epoch:
+            return
+        node.committed = len(node.log)
+
+    # -- resync (replica catch-up + MC handshake) ------------------------
+
+    def _request_resync(
+        self, node: _ReplicaNode, primary: _ReplicaNode
+    ) -> None:
+        if node.resynced_epoch >= primary.epoch:
+            return
+        node.resynced_epoch = primary.epoch
+        self._ledger.overhead.catchup_frames += 1  # the request
+        self._kernel.schedule_after(
+            2.0 * self._config.rpc_latency,
+            lambda n=node, p=primary: self._ship_snapshot(p, n),
+        )
+
+    def _ship_snapshot(
+        self, primary: _ReplicaNode, node: _ReplicaNode
+    ) -> None:
+        if self._stopped or not primary.can_act or not node.can_act:
+            return
+        if not self._connected(primary.id, node.id):
+            return
+        if primary.role != "primary":
+            return
+        self._ledger.overhead.catchup_frames += 1
+        log = list(primary.log)
+        applied = primary.applied
+        committed = primary.committed
+        expected = primary.core.sync_state()
+        self._rebuild(node, log, applied, committed, primary.epoch)
+        rebuilt = node.core.sync_state()
+        if rebuilt != expected:
+            raise ProtocolError(
+                f"replica {node.id} resync diverged from primary "
+                f"{primary.id}: {rebuilt!r} != {expected!r}"
+            )
+        self.resyncs_verified += 1
+        node.resynced_epoch = primary.epoch
+
+    def _rebuild(
+        self,
+        node: _ReplicaNode,
+        log: List[_LogEntry],
+        applied: int,
+        committed: int,
+        epoch: int,
+    ) -> None:
+        """Reset to a fresh core and silently replay the shipped log."""
+        fresh = self._build_node(node.id)
+        node.core = fresh.core
+        node.log = list(log)
+        node.log_keys = {entry.key: entry.index for entry in node.log}
+        node.records = {}
+        node.frame_seq = {}
+        node.applied = 0
+        node.committed = committed
+        node.epoch = epoch
+        node.role = "backup"
+        node.pending = None
+        node.last_primary_contact = self._kernel.now
+        for entry in node.log[:applied]:
+            self._apply_entry(node, entry, serving=False)
+
+    def _run_mc_resync(self, primary: _ReplicaNode) -> None:
+        """The MC↔new-primary handshake: the breaker's recovery path
+        ships the MC's replica summary and the primary cross-checks it
+        (version dominance always; state agreement when quiescent)."""
+        if self._mc_sync_provider is None:
+            return
+        self._ledger.overhead.handshakes += 1
+        mc_state = self._mc_sync_provider()
+        sc_state = primary.core.sync_state()
+        if (
+            mc_state.version is not None
+            and sc_state.version is not None
+            and mc_state.version > sc_state.version
+        ):
+            raise ProtocolError(
+                f"failover resync failed: the MC replica is at version "
+                f"{mc_state.version}, ahead of the new primary's "
+                f"{sc_state.version}"
+            )
+        if not self._outstanding_exchange and primary.pending is None:
+            if mc_state.owns_window and sc_state.owns_window:
+                raise ProtocolError(
+                    "failover resync failed: both sides claim the window"
+                )
+            if mc_state.has_copy != sc_state.has_copy:
+                raise ProtocolError(
+                    f"failover resync failed: MC has_copy="
+                    f"{mc_state.has_copy} but the new primary believes "
+                    f"mc_subscribed={sc_state.has_copy}"
+                )
+        self.resyncs_verified += 1
+
+
+class ReplicatedNetwork(PointToPointNetwork):
+    """The MC's front door to the replica set.
+
+    Looks like the usual two-endpoint network to the protocol nodes:
+    the MC attaches as ``"mc"`` and sends to ``"sc"``; the replica set
+    is the other endpoint.  Underneath, every client payload is routed
+    to the announced primary, retried on a timer while its exchange
+    stalls, gated by a :class:`CircuitBreaker` during failover, and
+    dead-lettered (raising
+    :class:`~repro.exceptions.PeerUnreachableError`) when the retry
+    budget runs out — which only happens when no quorum survives.
+    """
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        ledger: TrafficLedger,
+        cluster: SCReplicaSet,
+        config: ReplicaConfig,
+        latency: float = 0.05,
+    ):
+        super().__init__(kernel, ledger, latency)
+        config.validate_for(latency)
+        self._cluster = cluster
+        self._config = config
+        self.breaker = CircuitBreaker(
+            config.breaker_threshold, on_open=self._on_breaker_open
+        )
+        #: key -> [payload, attempts, timer_pending]
+        self._outstanding: Dict[Tuple[str, int], list] = {}
+        self._completed: set = set()
+        #: request index -> frames received from the SC side, the
+        #: receiver's half of the retransmission-suppression contract.
+        self._frames_seen: Dict[int, int] = {}
+        self._probe_budget = config.max_retries
+        self._probe_scheduled = False
+        self.dead_letters: List[Tuple[str, int, object]] = []
+        #: The runner's completion chain (dispatcher + shutdown); the
+        #: cluster's serving applies complete requests through it.
+        self.on_request_complete: Callable[[int], None] = (
+            self._unwired_complete
+        )
+        cluster.bind(
+            complete=self._cluster_complete,
+            deliver_mc=self._to_mc,
+            replay_mc=self._replay_to_mc,
+        )
+
+    @staticmethod
+    def _unwired_complete(index: int) -> None:
+        raise ProtocolError(
+            "ReplicatedNetwork.on_request_complete was never wired"
+        )
+
+    def _cluster_complete(self, index: int) -> None:
+        self.on_request_complete(index)
+
+    # -- endpoint API (what the protocol nodes see) ----------------------
+
+    def send(self, destination: str, message: Message) -> None:
+        if destination != "sc":
+            raise ProtocolError(
+                f"only the MC sends through the front door, not "
+                f"{destination!r}"
+            )
+        self._ledger.record(message)
+        self._enqueue(("m", message.request_index), message)
+
+    def submit_write(self, request_index: int, value: object) -> None:
+        """A locally issued write enters the replication pipeline."""
+        self._enqueue(("w", request_index), value)
+
+    def notify_complete(self, index: int) -> None:
+        """A request's exchange ended; stop retrying and trust again."""
+        self._completed.add(index)
+        for kind in ("m", "w"):
+            self._outstanding.pop((kind, index), None)
+        if not self._outstanding:
+            self._cluster.note_exchange(False)
+        was_open = not self.breaker.is_closed
+        self.breaker.record_success()
+        if was_open:
+            self._flush_parked()
+
+    # -- delivery to the MC ----------------------------------------------
+
+    def _to_mc(self, message: Message) -> None:
+        index = message.request_index
+        self._frames_seen[index] = self._frames_seen.get(index, 0) + 1
+        self._ledger.record(message)
+        self._ledger.overhead.physical_frames += 1
+        handler = self._handler_for("mc")
+        self._kernel.schedule_after(
+            self._latency, lambda m=message: handler(m)
+        )
+
+    def _replay_to_mc(self, seq: int, message: Message) -> None:
+        """A frame released from a new primary's promoted tail.  The
+        old primary may already have transmitted it — its commit index
+        can run ahead of what the successor learned — so frames below
+        the per-request receive count are dropped as retransmissions:
+        the air time is overhead, the logical charge already landed."""
+        if seq < self._frames_seen.get(message.request_index, 0):
+            self._ledger.overhead.physical_frames += 1
+            self._ledger.overhead.duplicates_suppressed += 1
+            return
+        self._to_mc(message)
+
+    # -- client attempt/retry machinery ----------------------------------
+
+    def _enqueue(self, key: Tuple[str, int], payload: object) -> None:
+        if key[1] in self._completed:
+            return
+        record = [payload, 0, False]
+        self._outstanding[key] = record
+        self._cluster.note_exchange(True)
+        if self.breaker.is_open:
+            self._check_buffer_bound()
+            self._on_breaker_open()  # make sure a probe is coming
+            return
+        self._attempt(key)
+
+    def _check_buffer_bound(self) -> None:
+        if len(self._outstanding) > self._config.write_buffer_limit:
+            overflow = sorted(self._outstanding)[
+                self._config.write_buffer_limit:
+            ]
+            for key in overflow:
+                record = self._outstanding.pop(key)
+                self.dead_letters.append((key[0], key[1], record[0]))
+                self._ledger.overhead.dead_letters += 1
+            raise PeerUnreachableError(
+                "sc",
+                self._config.write_buffer_limit,
+                f"buffer overflow: {len(overflow)} payloads dead-lettered",
+            )
+
+    def _attempt(self, key: Tuple[str, int]) -> None:
+        record = self._outstanding.get(key)
+        if record is None:
+            return
+        record[1] += 1
+        if record[1] > self._config.max_retries:
+            self._dead_letter(key, record)
+            return
+        if record[1] > 1:
+            self._ledger.overhead.client_retries += 1
+        primary = self._cluster.primary_node()
+        if primary is None:
+            self.breaker.record_failure()
+            self._arm_retry(key)
+            return
+        payload = record[0]
+        is_message = key[0] == "m"
+        hop = self._latency if is_message else self._config.rpc_latency
+        self._ledger.overhead.physical_frames += 1
+        self._kernel.schedule_after(
+            hop,
+            lambda k=key, p=payload, rid=primary.id: self._arrive(
+                k, p, rid
+            ),
+        )
+        self._arm_retry(key)
+
+    def _arrive(
+        self, key: Tuple[str, int], payload: object, replica_id: int
+    ) -> None:
+        if key not in self._outstanding and key[1] in self._completed:
+            return
+        message = payload if key[0] == "m" else None
+        value = None if key[0] == "m" else payload
+        self._cluster.receive_client_input(replica_id, key, message, value)
+
+    def _arm_retry(self, key: Tuple[str, int]) -> None:
+        record = self._outstanding.get(key)
+        if record is None or record[2]:
+            return
+        record[2] = True
+        self._kernel.schedule_after(
+            self._config.retry_interval,
+            lambda k=key: self._on_retry_timer(k),
+        )
+
+    def _on_retry_timer(self, key: Tuple[str, int]) -> None:
+        record = self._outstanding.get(key)
+        if record is None:
+            return
+        record[2] = False
+        # The exchange is still open a whole retry period after the
+        # attempt: that is the RPC-failure signal.
+        self.breaker.record_failure()
+        if self.breaker.is_open:
+            return  # parked; the probe loop resumes it
+        self._attempt(key)
+
+    def _dead_letter(self, key: Tuple[str, int], record: list) -> None:
+        self._outstanding.pop(key, None)
+        self.dead_letters.append((key[0], key[1], record[0]))
+        self._ledger.overhead.dead_letters += 1
+        raise PeerUnreachableError(
+            "sc",
+            self._config.max_retries,
+            f"request {key[1]} exhausted its retry budget",
+        )
+
+    # -- circuit breaker glue --------------------------------------------
+
+    def _on_breaker_open(self) -> None:
+        if not self._probe_scheduled:
+            self._probe_scheduled = True
+            self._kernel.schedule_after(
+                self._config.breaker_reset_timeout, self._probe
+            )
+
+    def _probe(self) -> None:
+        self._probe_scheduled = False
+        if not self.breaker.is_open or not self._outstanding:
+            return
+        self._ledger.overhead.breaker_probes += 1
+        self._probe_budget -= 1
+        if self._cluster.primary_node() is not None:
+            self.breaker.probe_ok()
+            self._flush_parked()
+            return
+        if self._probe_budget <= 0:
+            for key in sorted(self._outstanding):
+                record = self._outstanding.pop(key)
+                self.dead_letters.append((key[0], key[1], record[0]))
+                self._ledger.overhead.dead_letters += 1
+            raise PeerUnreachableError(
+                "sc",
+                self._config.max_retries,
+                "no primary answered any breaker probe",
+            )
+        self._probe_scheduled = True
+        self._kernel.schedule_after(
+            self._config.breaker_reset_timeout, self._probe
+        )
+
+    def _flush_parked(self) -> None:
+        for key in sorted(self._outstanding):
+            record = self._outstanding.get(key)
+            if record is not None and not record[2]:
+                self._attempt(key)

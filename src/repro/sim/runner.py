@@ -22,7 +22,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..costmodels.base import CostEventKind, CostModel
 from ..engine.versioning import INITIAL_VALUE, value_for_write
-from ..exceptions import ProtocolError
+from ..exceptions import InvalidParameterError, ProtocolError
 from ..types import Operation, Request, Schedule, write_bits
 from .faults import FaultConfig, ReliableNetwork
 from .kernel import EventKernel
@@ -30,6 +30,7 @@ from .ledger import TrafficLedger, TransportOverhead
 from .network import PointToPointNetwork
 from .nodes import MobileComputer, ReadObservation, StationaryComputer
 from .policies import make_deciders
+from .replica import ReplicaConfig, ReplicatedNetwork, SCReplicaSet
 
 __all__ = ["ProtocolRunResult", "SerializedDispatcher", "simulate_protocol"]
 
@@ -117,6 +118,20 @@ class ProtocolRunResult:
     overhead: Optional[TransportOverhead] = None
     #: Post-disconnection handshakes that verified state agreement.
     resyncs_verified: int = 0
+    #: SC replica count (1 = the paper's single stationary computer).
+    replicas: int = 1
+    #: Completed primary promotions during the run.
+    failovers: int = 0
+    #: Election rounds started (including quorum-less failures).
+    elections: int = 0
+    #: Simulated time from primary loss to the replacement serving.
+    failover_latencies: Tuple[float, ...] = ()
+    #: (epoch, winner_id) of every promotion, in order.
+    election_history: Tuple[Tuple[int, int], ...] = ()
+    #: Seeded primary kills skipped to preserve the quorum.
+    kills_skipped: int = 0
+    #: Replica id of the primary at the end of the run (replica mode).
+    final_primary: Optional[int] = None
 
     def total_cost(self, cost_model: CostModel) -> float:
         """Price the run's traffic under a cost model."""
@@ -157,6 +172,8 @@ def simulate_protocol(
     faults: Optional[FaultConfig] = None,
     check_invariants: bool = True,
     max_events: Optional[int] = None,
+    replicas: int = 1,
+    replica_config: Optional[ReplicaConfig] = None,
 ) -> ProtocolRunResult:
     """Run ``schedule`` through the distributed protocol of an algorithm.
 
@@ -184,7 +201,36 @@ def simulate_protocol(
         default — pass ``False`` for throughput benchmarks.
     max_events:
         Kernel runaway guard for chaos runs; ``None`` means unbounded.
+    replicas:
+        SC replica count.  ``1`` keeps the paper's single stationary
+        computer; 2–5 replaces it with an
+        :class:`~repro.sim.replica.SCReplicaSet` behind a circuit-
+        breaker front door.  In replica mode ``faults`` carries node
+        campaigns (crashes, pauses, partitions, seeded primary kills);
+        frame-level faults are the ARQ layer's regime and rejected.
+    replica_config:
+        Tuning for the replica set; implies replica mode.  When both
+        are given, ``replicas`` must match its ``num_replicas``.
     """
+    if replica_config is not None and replicas == 1:
+        replicas = replica_config.num_replicas
+    if replicas != 1:
+        return _simulate_replicated(
+            algorithm_name,
+            schedule,
+            latency=latency,
+            initial_value=initial_value,
+            faults=faults,
+            check_invariants=check_invariants,
+            max_events=max_events,
+            replicas=replicas,
+            replica_config=replica_config,
+        )
+    if faults is not None and faults.has_node_faults:
+        raise InvalidParameterError(
+            "node-fault campaigns (crash/pause/partition/kills) need a "
+            "replica set; pass replicas >= 2"
+        )
     kernel = EventKernel()
     ledger = TrafficLedger()
     if faults is None:
@@ -240,6 +286,102 @@ def simulate_protocol(
             if isinstance(network, ReliableNetwork)
             else 0
         ),
+    )
+    result.verify_consistency(schedule)
+    return result
+
+
+def _simulate_replicated(
+    algorithm_name: str,
+    schedule: Schedule,
+    *,
+    latency: float,
+    initial_value: object,
+    faults: Optional[FaultConfig],
+    check_invariants: bool,
+    max_events: Optional[int],
+    replicas: int,
+    replica_config: Optional[ReplicaConfig],
+) -> ProtocolRunResult:
+    """Run a schedule against an SC replica set with failover."""
+    if replica_config is None:
+        replica_config = ReplicaConfig(num_replicas=replicas)
+    elif replica_config.num_replicas != replicas:
+        raise InvalidParameterError(
+            f"replicas={replicas} disagrees with "
+            f"replica_config.num_replicas={replica_config.num_replicas}"
+        )
+    if faults is not None and faults.has_frame_faults:
+        raise InvalidParameterError(
+            "replica mode injects node faults; frame-level faults "
+            "(drop/dup/reorder/delay/disconnect) belong to the ARQ "
+            "transport and cannot be combined with a replica set"
+        )
+    kernel = EventKernel()
+    ledger = TrafficLedger()
+    deciders = make_deciders(algorithm_name)
+    cluster = SCReplicaSet(
+        kernel,
+        ledger,
+        algorithm_name,
+        replica_config,
+        faults=faults,
+        initial_value=initial_value,
+    )
+    network = ReplicatedNetwork(
+        kernel, ledger, cluster, replica_config, latency=latency
+    )
+    requests = list(schedule)
+    dispatcher = SerializedDispatcher(kernel, ledger, requests)
+
+    def complete(index: int) -> None:
+        network.notify_complete(index)
+        dispatcher.on_complete(index)
+        if len(dispatcher.completed) == len(requests):
+            cluster.shutdown()
+
+    network.on_request_complete = complete
+    mobile = MobileComputer(
+        network,
+        deciders.mobile,
+        complete,
+        initially_has_copy=deciders.initial_mobile_has_copy,
+        initial_value=initial_value,
+    )
+    cluster.register_sync_provider("mc", mobile.sync_state)
+
+    def issue(index: int, request: Request) -> None:
+        if request.operation is Operation.READ:
+            mobile.issue_read(index)
+        else:
+            network.submit_write(index, value_for_write(index))
+
+    dispatcher.bind(issue)
+    dispatcher.run(max_events=max_events)
+    if check_invariants:
+        ledger.check_conservation(dispatcher.completed)
+    primary = cluster.primary_node()
+    if primary is None:
+        raise ProtocolError(
+            "the run ended without a serving primary; no surviving quorum"
+        )
+    event_kinds = tuple(ledger.classify_all())
+    result = ProtocolRunResult(
+        algorithm_name=deciders.name,
+        ledger=ledger,
+        event_kinds=event_kinds,
+        read_observations=tuple(mobile.observations),
+        final_time=kernel.now,
+        final_version=primary.core.version,
+        overhead=ledger.overhead,
+        resyncs_verified=cluster.resyncs_verified,
+        replicas=replica_config.num_replicas,
+        failovers=cluster.failovers,
+        elections=ledger.overhead.elections,
+        failover_latencies=tuple(cluster.failover_latencies),
+        election_history=tuple(cluster.election_history),
+        kills_skipped=cluster.kills_skipped,
+        final_primary=primary.id,
     )
     result.verify_consistency(schedule)
     return result

@@ -47,6 +47,34 @@ class TestCommands:
         assert code == 0
         assert "message" in capsys.readouterr().out
 
+    def test_simulate_replicas_failover_campaign(self, capsys):
+        code = main(
+            ["simulate", "sw3", "--length", "300", "--seed", "7",
+             "--replicas", "3", "--faults", "crash=0@5,seed=3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replica set" in out
+        assert "1 failover(s)" in out
+        assert "promoted" in out
+
+    def test_simulate_replicas_matches_single_sc(self, capsys):
+        main(["simulate", "sw3", "--length", "300", "--seed", "7",
+              "--backend", "protocol"])
+        single = capsys.readouterr().out
+        main(["simulate", "sw3", "--length", "300", "--seed", "7",
+              "--replicas", "3"])
+        replicated = capsys.readouterr().out
+        # The logical cost lines are byte-identical; only the wire
+        # summary differs.
+        for line in single.splitlines():
+            if "cost" in line:
+                assert line in replicated
+
+    def test_simulate_rejects_bad_replica_count(self, capsys):
+        assert main(["simulate", "sw3", "--length", "100",
+                     "--replicas", "7"]) == 2
+
     def test_simulate_deterministic_with_seed(self, capsys):
         main(["simulate", "st1", "--length", "500", "--seed", "9"])
         first = capsys.readouterr().out
@@ -85,6 +113,17 @@ class TestCommands:
     def test_choose_no_worst_case(self, capsys):
         assert main(["choose", "--theta", "0.8", "--no-worst-case"]) == 0
         assert "st1" in capsys.readouterr().out
+
+    def test_serve_self_test_with_replicas(self, capsys):
+        code = main(
+            ["serve", "--self-test", "--sessions", "100", "--rounds", "1",
+             "--ops-per-round", "5", "--shards", "4", "--replay-sample", "2",
+             "--replicas", "3", "--failover-drills", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failover drills" in out
+        assert "byte-identical" in out
 
     def test_trace_command(self, tmp_path, capsys):
         import numpy as np

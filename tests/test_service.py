@@ -179,6 +179,57 @@ class TestBackpressure:
         service.drain_shard(shard_of(key, 1))
         service.submit(key, WRITE)  # queue has room again
 
+    def test_overload_carries_a_retry_after_hint(self):
+        service = AllocationService(
+            ServiceConfig(
+                num_shards=1, drain_threshold=2, max_queue_depth=2,
+                auto_drain=False,
+            )
+        )
+        key = _key(0)
+        service.open_session(key, "sw3")
+        service.submit(key, WRITE)
+        service.submit(key, WRITE)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            service.submit(key, WRITE)
+        # No drain observed yet: the hint is the conservative default.
+        assert excinfo.value.retry_after > 0
+        assert excinfo.value.shard == 0
+        assert excinfo.value.depth == 2
+        service.drain_all()
+        service.submit(key, WRITE)
+        service.submit(key, WRITE)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            service.submit(key, WRITE)
+        # After a drain the hint is depth over the observed drain rate.
+        assert 0 < excinfo.value.retry_after < 10.0
+
+    def test_shed_submissions_do_not_corrupt_the_ledgers(self):
+        # Graceful shedding: a rejected submission must leave session
+        # state, queues and the decision log untouched, so the audit
+        # and the engine replay still pass afterwards.
+        service = AllocationService(
+            ServiceConfig(
+                num_shards=1, drain_threshold=2, max_queue_depth=2,
+                auto_drain=False,
+            )
+        )
+        key = _key(0)
+        service.open_session(key, "sw3")
+        accepted = 0
+        for index in range(20):
+            try:
+                service.submit(key, WRITE if index % 3 else READ)
+                accepted += 1
+            except ServiceOverloadError:
+                service.drain_all()
+        service.drain_all()
+        assert service.decisions == accepted
+        audit = service.audit()
+        assert audit["requests_audited"] == accepted
+        replay = service.replay_verify(sample=1)
+        assert replay["decisions_replayed"] == accepted
+
 
 class TestInstrumentation:
     def test_counters_stay_bounded_and_accurate(self):
@@ -223,6 +274,42 @@ class TestLoadGenerator:
         assert not np.array_equal(a, b)
 
 
+class TestFailoverDrill:
+    def test_drill_needs_a_replica_set(self):
+        service = AllocationService(ServiceConfig(num_shards=2))
+        with pytest.raises(ServiceError, match="replica set"):
+            service.failover_drill(0)
+
+    def test_drill_reports_byte_identity(self):
+        counters = ServiceCounters()
+        service = AllocationService(
+            ServiceConfig(num_shards=2, replicas=3),
+            instrumentation=counters,
+        )
+        service.open_session(_key(0), "sw3")
+        report = service.failover_drill(0, requests=150)
+        assert report["byte_identical"] is True
+        assert report["replicas"] == 3
+        assert report["failovers"] + report["kills_skipped"] == 1
+        assert counters.failover_drills == 1
+        assert counters.failover_divergences == 0
+
+    def test_drill_is_seeded_and_repeatable(self):
+        service = AllocationService(ServiceConfig(num_shards=2, replicas=3))
+        first = service.failover_drill(1, requests=150, seed=42)
+        second = service.failover_drill(1, requests=150, seed=42)
+        assert first == second
+
+    def test_drill_rejects_bad_shard(self):
+        service = AllocationService(ServiceConfig(num_shards=2, replicas=3))
+        with pytest.raises(InvalidParameterError):
+            service.failover_drill(7)
+
+    def test_config_validates_replica_count(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(replicas=9)
+
+
 class TestSelfTest:
     def test_small_self_test_verifies(self):
         report = run_self_test(
@@ -232,3 +319,15 @@ class TestSelfTest:
         assert report["audit"]["shards_audited"] == 8
         assert report["replay"]["sessions_replayed"] == 8
         assert report["decisions_per_sec"] > 0
+        assert report["failover"] is None
+
+    def test_self_test_with_replicas_drills_failover(self):
+        report = run_self_test(
+            100, rounds=1, ops_per_round=5, num_shards=4,
+            replay_sample=2, audit_sessions_per_shard=2,
+            replicas=3, failover_drills=2,
+        )
+        failover = report["failover"]
+        assert failover["drills"] == 2
+        assert failover["byte_identical"] is True
+        assert failover["failovers"] + failover["kills_skipped"] == 2

@@ -16,6 +16,7 @@ import pytest
 from repro.exceptions import (
     InvalidParameterError,
     LedgerInvariantError,
+    PeerUnreachableError,
     ProtocolError,
     SimulationError,
 )
@@ -143,6 +144,39 @@ class TestReliableTransportSurvives:
         assert result.event_kinds == clean.event_kinds
         assert result.overhead.duplicates_suppressed > 0
 
+    def test_retry_budget_exhaustion_dead_letters(self):
+        # A permanently disconnected MC defeats every retransmission;
+        # the transport must escalate with a typed error instead of
+        # retrying forever, and the abandoned frame must be recorded.
+        faults = FaultConfig(episodes=((0.0, 1e9),), max_attempts=4)
+        dispatcher, network = run_with_network(
+            "st1",
+            "r",
+            lambda kernel, ledger: ReliableNetwork(kernel, ledger, faults),
+        )
+        with pytest.raises(PeerUnreachableError) as excinfo:
+            dispatcher.run()
+        assert excinfo.value.attempts == 4
+        assert len(network.dead_letters) == 1
+        assert network._ledger.overhead.dead_letters == 1
+
+    def test_explicit_max_retries_overrides_fault_budget(self):
+        faults = FaultConfig(episodes=((0.0, 1e9),))
+        dispatcher, network = run_with_network(
+            "st1",
+            "r",
+            lambda kernel, ledger: ReliableNetwork(
+                kernel, ledger, faults, max_retries=2
+            ),
+        )
+        with pytest.raises(PeerUnreachableError) as excinfo:
+            dispatcher.run()
+        assert excinfo.value.attempts == 2
+        with pytest.raises(InvalidParameterError):
+            ReliableNetwork(
+                EventKernel(), TrafficLedger(), faults, max_retries=0
+            )
+
     def test_logical_book_rejects_double_charges(self):
         from repro.sim.messages import ReadRequest as RR
 
@@ -197,6 +231,57 @@ class TestFaultConfig:
             parse_fault_spec("drop")
         with pytest.raises(InvalidParameterError, match="START:DURATION"):
             parse_fault_spec("disconnect=5")
+
+    def test_parse_empty_spec_is_clean(self):
+        config = parse_fault_spec("")
+        assert config.is_clean
+        assert not config.has_frame_faults
+        assert not config.has_node_faults
+        assert parse_fault_spec("  ,, ").is_clean
+
+    def test_overlapping_episodes_union(self):
+        config = FaultConfig(episodes=((0.0, 5.0), (2.0, 5.0)))
+        assert config.disconnected(4.0)
+        assert config.disconnected(6.0)
+        assert not config.disconnected(7.5)
+
+    def test_disconnected_boundaries_are_half_open(self):
+        config = FaultConfig(episodes=((2.0, 1.0),))
+        assert not config.disconnected(1.999999)
+        assert config.disconnected(2.0)
+        assert not config.disconnected(3.0)
+
+    def test_parse_node_fault_spec(self):
+        config = parse_fault_spec(
+            "crash=0@5,pause=1@2..4.5,partition=0+1|2@3..9,kills=2@60,seed=9"
+        )
+        assert config.crashes == ((0, 5.0),)
+        assert config.pauses == ((1, 2.0, 4.5),)
+        assert config.partitions == (((0, 1), (2,), 3.0, 9.0),)
+        assert config.primary_kills == 2
+        assert config.kill_horizon == 60.0
+        assert config.seed == 9
+        assert config.has_node_faults
+        assert not config.has_frame_faults
+        assert not config.is_clean
+
+    def test_parse_node_fault_spec_rejects_malformed(self):
+        with pytest.raises(InvalidParameterError):
+            parse_fault_spec("crash=0")
+        with pytest.raises(InvalidParameterError):
+            parse_fault_spec("pause=1@5")
+        with pytest.raises(InvalidParameterError):
+            parse_fault_spec("partition=0+1@3..9")
+        with pytest.raises(InvalidParameterError):
+            parse_fault_spec("pause=1@5..2")
+        with pytest.raises(InvalidParameterError):
+            FaultConfig(primary_kills=1)  # needs a horizon
+
+    def test_node_and_frame_fault_flags_are_disjoint(self):
+        frame = FaultConfig(drop=0.1)
+        node = FaultConfig(crashes=((0, 1.0),))
+        assert frame.has_frame_faults and not frame.has_node_faults
+        assert node.has_node_faults and not node.has_frame_faults
 
 
 class TestInvariantChecker:

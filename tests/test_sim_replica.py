@@ -1,0 +1,258 @@
+"""Replicated SC with failover: the byte-identity contract under chaos.
+
+The replica set exists to make the stationary computer's availability
+real without changing a single logical ledger entry: after any fault
+campaign that leaves a quorum alive, the logical traffic book, the
+event-kind stream, the read observations and the final version must be
+byte-identical to the fault-free single-SC run.  Every failover frame
+— replication, heartbeats, elections, catch-up snapshots, client
+retries, breaker probes — lands in the overhead book instead.  These
+tests drive seeded crash/pause/partition/kill campaigns through the
+public :func:`repro.sim.runner.simulate_protocol` entry point and
+compare fingerprints, plus unit coverage of the circuit breaker and
+the configuration validators, and a hypothesis property that elections
+are deterministic functions of the seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    InvalidParameterError,
+    PeerUnreachableError,
+)
+from repro.sim import CircuitBreaker, ReplicaConfig
+from repro.sim.faults import FaultConfig
+from repro.sim.runner import simulate_protocol
+from repro.workload import bernoulli_schedule
+
+ALGORITHMS = ["st1", "st2", "sw1", "sw5", "t1_3", "t2_3"]
+
+SCHEDULE = bernoulli_schedule(0.6, 200, 7)
+
+
+def fingerprint(result):
+    """Everything the byte-identity contract covers, as one tuple."""
+    return (
+        result.event_kinds,
+        result.ledger.total_breakdown(),
+        result.ledger.logical_message_count(),
+        result.read_observations,
+        result.final_version,
+    )
+
+
+_BASELINES = {}
+
+
+def baseline(algorithm: str):
+    """The fault-free single-SC fingerprint, computed once per algorithm."""
+    if algorithm not in _BASELINES:
+        _BASELINES[algorithm] = fingerprint(
+            simulate_protocol(algorithm, SCHEDULE)
+        )
+    return _BASELINES[algorithm]
+
+
+class TestReplicaConfig:
+    def test_defaults_are_valid(self):
+        config = ReplicaConfig()
+        assert config.num_replicas == 3
+        assert config.quorum == 2
+        config.validate_for(0.05)
+
+    def test_quorum_is_a_majority(self):
+        assert ReplicaConfig(num_replicas=2).quorum == 2
+        assert ReplicaConfig(num_replicas=4).quorum == 3
+        assert ReplicaConfig(num_replicas=5).quorum == 3
+
+    def test_replica_count_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            ReplicaConfig(num_replicas=1)
+        with pytest.raises(InvalidParameterError):
+            ReplicaConfig(num_replicas=6)
+
+    def test_detection_needs_two_heartbeats(self):
+        with pytest.raises(InvalidParameterError, match="heartbeat"):
+            ReplicaConfig(heartbeat_interval=1.0, failure_timeout=1.5)
+
+    def test_validate_for_rejects_slow_links(self):
+        # A wireless round trip longer than the failure timeout would
+        # let a new primary re-serve a request whose reply is still in
+        # flight from the old one.
+        with pytest.raises(InvalidParameterError, match="round trip"):
+            ReplicaConfig().validate_for(1.0)
+        # A retry period shorter than a full exchange would retry
+        # requests that are merely in progress.
+        with pytest.raises(InvalidParameterError, match="retry_interval"):
+            ReplicaConfig(
+                failure_timeout=5.0, retry_interval=2.0
+            ).validate_for(0.99)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_fires_once(self):
+        openings = []
+        breaker = CircuitBreaker(3, on_open=lambda: openings.append(1))
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.is_closed and not openings
+        breaker.record_failure()
+        assert breaker.is_open
+        assert breaker.times_opened == 1
+        assert openings == [1]
+        # Further failures while already open do not re-fire the hook.
+        breaker.record_failure()
+        assert openings == [1]
+
+    def test_half_open_failure_reopens(self):
+        openings = []
+        breaker = CircuitBreaker(2, on_open=lambda: openings.append(1))
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.probe_ok()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.is_open
+        assert breaker.times_opened == 2
+        assert openings == [1, 1]
+
+    def test_success_closes_and_resets(self):
+        breaker = CircuitBreaker(2)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.probe_ok()
+        breaker.record_success()
+        assert breaker.is_closed
+        assert breaker.failures == 0
+
+    def test_probe_only_moves_an_open_breaker(self):
+        breaker = CircuitBreaker(2)
+        breaker.probe_ok()
+        assert breaker.is_closed
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(0)
+
+
+class TestCleanReplicatedEquivalence:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_replicated_equals_single_sc(self, algorithm):
+        result = simulate_protocol(algorithm, SCHEDULE, replicas=3)
+        assert fingerprint(result) == baseline(algorithm)
+        assert result.replicas == 3
+        assert result.failovers == 0
+        assert result.final_primary == 0
+
+    def test_replica_count_must_agree_with_config(self):
+        with pytest.raises(InvalidParameterError, match="disagrees"):
+            simulate_protocol(
+                "sw3",
+                SCHEDULE,
+                replicas=3,
+                replica_config=ReplicaConfig(num_replicas=5),
+            )
+
+    def test_node_faults_need_a_replica_set(self):
+        with pytest.raises(InvalidParameterError):
+            simulate_protocol(
+                "sw3", SCHEDULE, faults=FaultConfig(crashes=((0, 1.0),))
+            )
+
+    def test_frame_faults_reject_a_replica_set(self):
+        with pytest.raises(InvalidParameterError, match="frame-level"):
+            simulate_protocol(
+                "sw3", SCHEDULE, replicas=3, faults=FaultConfig(drop=0.1)
+            )
+
+
+class TestFailoverCampaigns:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_primary_crash_is_invisible_in_the_ledger(self, algorithm):
+        result = simulate_protocol(
+            algorithm,
+            SCHEDULE,
+            replicas=3,
+            faults=FaultConfig(crashes=((0, 5.0),), seed=3),
+        )
+        assert fingerprint(result) == baseline(algorithm)
+        assert result.failovers == 1
+        assert result.final_primary != 0
+        assert result.overhead.failovers == 1
+        assert result.overhead.elections >= 1
+        # The failover traffic is real and all of it is overhead.
+        assert result.overhead.heartbeat_frames > 0
+        assert result.overhead.replication_frames > 0
+        assert len(result.failover_latencies) == 1
+        assert result.failover_latencies[0] > 0
+
+    def test_minority_partition_of_the_primary(self):
+        result = simulate_protocol(
+            "sw3",
+            SCHEDULE,
+            replicas=3,
+            faults=FaultConfig(
+                partitions=(((0,), (1, 2), 3.0, 9.0),), seed=5
+            ),
+        )
+        assert fingerprint(result) == baseline("sw3")
+        assert result.failovers >= 1
+
+    def test_paused_primary_resumes_as_backup(self):
+        result = simulate_protocol(
+            "sw3",
+            SCHEDULE,
+            replicas=3,
+            faults=FaultConfig(pauses=((0, 3.0, 8.0),), seed=5),
+        )
+        assert fingerprint(result) == baseline("sw3")
+        assert result.failovers == 1
+        # The resumed ex-primary is caught up via a verified resync.
+        assert result.resyncs_verified > 0
+
+    def test_seeded_kill_campaign_with_five_replicas(self):
+        faults = FaultConfig(primary_kills=2, kill_horizon=10.0, seed=11)
+        result = simulate_protocol(
+            "sw3", SCHEDULE, replicas=5, faults=faults
+        )
+        assert fingerprint(result) == baseline("sw3")
+        assert result.failovers + result.kills_skipped == 2
+
+    def test_quorum_loss_surfaces_as_peer_unreachable(self):
+        config = ReplicaConfig(max_retries=3)
+        with pytest.raises(PeerUnreachableError) as excinfo:
+            simulate_protocol(
+                "sw3",
+                SCHEDULE,
+                replicas=3,
+                replica_config=config,
+                faults=FaultConfig(
+                    crashes=((0, 2.0), (1, 2.5)), seed=1
+                ),
+            )
+        assert excinfo.value.destination == "sc"
+        assert excinfo.value.attempts == 3
+
+
+class TestElectionDeterminism:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16), kills=st.integers(min_value=1, max_value=2))
+    def test_seeded_kill_orders_elect_deterministically(self, seed, kills):
+        faults = FaultConfig(
+            primary_kills=kills, kill_horizon=8.0, seed=seed
+        )
+        first = simulate_protocol("sw3", SCHEDULE, replicas=5, faults=faults)
+        second = simulate_protocol("sw3", SCHEDULE, replicas=5, faults=faults)
+        # Same seed, same kill times, same winners, same overhead.
+        assert first.election_history == second.election_history
+        assert first.failover_latencies == second.failover_latencies
+        assert first.overhead.as_dict() == second.overhead.as_dict()
+        # And the logical ledger never notices any of it.
+        assert fingerprint(first) == baseline("sw3")
+        assert fingerprint(second) == baseline("sw3")
