@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 from pathlib import Path
@@ -39,7 +38,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro._version import __version__  # noqa: E402
 
-from history import host_metadata  # noqa: E402  (sibling module)
+from history import append_history, host_metadata  # noqa: E402  (sibling module)
 from repro.core.batched import (  # noqa: E402
     batched_counts,
     batched_run_arrays,
@@ -211,10 +210,11 @@ def collect(quick: bool = False) -> dict:
     """Run every benchmark leg and return the report dict."""
     points = 64 if quick else 256
     length = 20_000 if quick else 100_000
+    host = host_metadata()
     report = {
         "version": __version__,
-        "cpu_count": os.cpu_count(),
-        "host": host_metadata(),
+        "cpu_count": host["cpu_count"],
+        "host": host,
         "quick": quick,
         "end_to_end": bench_end_to_end(points, length),
         "reference": bench_reference(2_000 if quick else 10_000),
@@ -235,6 +235,8 @@ def main(argv=None) -> int:
                              "falls below this factor (default 5.0)")
     parser.add_argument("--out", default="BENCH_kernels.json",
                         help="output JSON path")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending a dated BENCH_history/ entry")
     args = parser.parse_args(argv)
 
     report = collect(quick=args.quick)
@@ -243,6 +245,8 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(json.dumps(report, indent=2))
     print(f"wrote {args.out}")
+    if not args.no_history:
+        print(f"history: {append_history(report, 'kernels')}")
 
     speedup = report["end_to_end"]["speedup"]
     identical = (

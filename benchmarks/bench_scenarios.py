@@ -1,0 +1,185 @@
+"""Scenario generators and the adaptive allocator, as one JSON artifact.
+
+Measures three things and (via ``main``) writes ``BENCH_scenarios.json``:
+
+1. **Generation throughput** — every registered scenario generator
+   timed producing a seeded workload, in requests/second, so a slow
+   generator cannot silently dominate the property-test harness.
+2. **Adaptive decision throughput** — the online-adaptive allocator
+   replaying a regime-switching stream end to end (detector + periodic
+   scan-oracle retunes included), the artifact's headline metric
+   (``adaptive.decisions_per_sec``).
+3. **Regret summary** — on the rotating adversarial scenario, the
+   adaptive allocator against every static/dynamic single-policy
+   baseline and the exact offline floor; ``verified`` asserts that the
+   floor holds, that adaptive beats the best baseline outright, and
+   that it stays inside the (k+1)-competitive frame.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._version import __version__  # noqa: E402
+
+from history import append_history, host_metadata  # noqa: E402
+from repro.core.offline import OfflineOptimal  # noqa: E402
+from repro.core.registry import make_algorithm  # noqa: E402
+from repro.costmodels import ConnectionCostModel  # noqa: E402
+from repro.workload.scenarios import (  # noqa: E402
+    available_scenarios,
+    get_scenario,
+)
+
+#: Baselines the regret summary prices against the adaptive allocator.
+BASELINES = ("st1", "st2", "sw1", "sw3", "sw9", "t1_4", "t2_4")
+
+#: Largest window in the adaptive default candidate set; SWk is
+#: (k+1)-competitive, so this frames the verified bound.
+K_MAX = 15
+
+REGRET_SCENARIO = "adversarial-rotating"
+SEED = 20_260_808
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def _replay_cost(name: str, schedule, model) -> float:
+    algorithm = make_algorithm(name)
+    return sum(
+        model.price(algorithm.process(request.operation))
+        for request in schedule
+    )
+
+
+def bench_generation(length: int) -> dict:
+    """Seeded generation throughput for every registered scenario."""
+    rows = {}
+    for name in available_scenarios():
+        scenario = get_scenario(name)
+        run, seconds = _timed(lambda: scenario.generate(length, seed=SEED))
+        rows[name] = {
+            "requests": len(run.schedule),
+            "segments": len(run.segments),
+            "seconds": round(seconds, 4),
+            "rps": round(length / max(seconds, 1e-9)),
+        }
+    return rows
+
+
+def bench_adaptive(length: int) -> dict:
+    """End-to-end adaptive replay on regime-switching traffic."""
+    schedule = get_scenario(REGRET_SCENARIO).generate(
+        length, seed=SEED
+    ).schedule
+    model = ConnectionCostModel()
+    allocator = make_algorithm("adaptive")
+
+    def replay():
+        return sum(
+            model.price(allocator.process(request.operation))
+            for request in schedule
+        )
+
+    cost, seconds = _timed(replay)
+    return {
+        "scenario": REGRET_SCENARIO,
+        "requests": length,
+        "seconds": round(seconds, 3),
+        "decisions_per_sec": round(length / max(seconds, 1e-9)),
+        "retunes": allocator.retunes,
+        "regime_changes": allocator.regime_changes,
+        "total_cost": cost,
+    }
+
+
+def bench_regret(length: int) -> dict:
+    """Adaptive vs every baseline vs the offline floor, one scenario."""
+    model = ConnectionCostModel()
+    schedule = get_scenario(REGRET_SCENARIO).generate(
+        length, seed=SEED
+    ).schedule
+    floor = OfflineOptimal(model).optimal_cost(schedule)
+    adaptive = _replay_cost("adaptive", schedule, model)
+    baselines = {
+        name: _replay_cost(name, schedule, model) for name in BASELINES
+    }
+    best = min(baselines.values())
+    verified = (
+        adaptive >= floor - 1e-9
+        and adaptive < best
+        and adaptive <= (K_MAX + 1) * floor + K_MAX
+    )
+    return {
+        "scenario": REGRET_SCENARIO,
+        "requests": length,
+        "offline_floor": floor,
+        "adaptive_cost": adaptive,
+        "baseline_costs": baselines,
+        "best_baseline": min(baselines, key=baselines.get),
+        "adaptive_regret": round(adaptive - floor, 6),
+        "best_baseline_regret": round(best - floor, 6),
+        "verified": verified,
+    }
+
+
+def collect(quick: bool = False) -> dict:
+    """Run every benchmark leg and return the report dict."""
+    gen_length = 20_000 if quick else 100_000
+    adaptive_length = 5_000 if quick else 20_000
+    return {
+        "version": __version__,
+        "host": host_metadata(),
+        "quick": quick,
+        "generation": bench_generation(gen_length),
+        "adaptive": bench_adaptive(adaptive_length),
+        "regret": bench_regret(6_000 if quick else 20_000),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke sizes instead of the full lengths")
+    parser.add_argument("--out", default="BENCH_scenarios.json",
+                        help="output JSON path")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending a dated BENCH_history/ entry")
+    args = parser.parse_args(argv)
+
+    report = collect(quick=args.quick)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.out}")
+    if not args.no_history:
+        print(f"history: {append_history(report, 'scenarios')}")
+
+    if not report["regret"]["verified"]:
+        print("FAIL: adaptive allocator did not beat every baseline "
+              "inside the competitive frame")
+        return 1
+    print(f"OK: adaptive {report['adaptive']['decisions_per_sec']:,} "
+          f"decisions/s; regret {report['regret']['adaptive_regret']} vs "
+          f"best baseline {report['regret']['best_baseline_regret']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

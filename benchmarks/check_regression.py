@@ -30,6 +30,7 @@ METRICS = {
     "service": "decisions_per_sec",
     "kernels": "end_to_end.batched_rps",
     "engine": "engine_task_sweep.speedup",
+    "scenarios": "adaptive.decisions_per_sec",
 }
 
 

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import tempfile
 import time
@@ -46,6 +45,7 @@ from repro.workload import spawn_seeds  # noqa: E402
 
 import bench_batched_kernels  # noqa: E402  (sibling module)
 import bench_failover  # noqa: E402  (sibling module)
+import bench_scenarios  # noqa: E402  (sibling module)
 import bench_service  # noqa: E402  (sibling module)
 from history import append_history, host_metadata  # noqa: E402
 
@@ -166,14 +166,18 @@ def main(argv=None) -> int:
     parser.add_argument("--failover-out", default="BENCH_failover.json",
                         help="output path for the replica-failover report "
                              "('' skips it)")
+    parser.add_argument("--scenarios-out", default="BENCH_scenarios.json",
+                        help="output path for the scenario/adaptive report "
+                             "('' skips it)")
     parser.add_argument("--no-history", action="store_true",
                         help="skip appending dated BENCH_history/ entries")
     args = parser.parse_args(argv)
 
+    host = host_metadata()
     report = {
         "version": __version__,
-        "cpu_count": os.cpu_count(),
-        "host": host_metadata(),
+        "cpu_count": host["cpu_count"],
+        "host": host,
         "quick": args.quick,
         "engine_task_sweep": bench_sweep(args.jobs, args.quick),
         "run_all": bench_run_all(args.jobs, args.quick),
@@ -231,6 +235,19 @@ def main(argv=None) -> int:
             print(f"history: {append_history(failover, 'failover')}")
         failover_ok = failover["byte_identical"]
 
+    scenarios_ok = True
+    if args.scenarios_out:
+        scenarios = bench_scenarios.collect(quick=args.quick)
+        with open(args.scenarios_out, "w") as handle:
+            json.dump(scenarios, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.scenarios_out} "
+              f"(adaptive {scenarios['adaptive']['decisions_per_sec']:,} "
+              f"decisions/s)")
+        if not args.no_history:
+            print(f"history: {append_history(scenarios, 'scenarios')}")
+        scenarios_ok = scenarios["regret"]["verified"]
+
     ok = (
         report["engine_task_sweep"]["byte_identical"]
         and report["run_all"]["byte_identical"]
@@ -239,6 +256,7 @@ def main(argv=None) -> int:
         and kernels_ok
         and service_ok
         and failover_ok
+        and scenarios_ok
     )
     return 0 if ok else 1
 

@@ -8,6 +8,8 @@
     repro-mobile run-all [--quick]    # the whole reproduction
     repro-mobile run-all --jobs 4     # fan experiments across workers
     repro-mobile simulate sw9 --theta 0.3 --length 10000
+    repro-mobile simulate adaptive --scenario mmpp --seed 7
+    repro-mobile scenarios            # the non-stationary scenario registry
     repro-mobile advise --target 0.10 # window-size advisor (section 9)
     repro-mobile cache stats          # the content-addressed result cache
 """
@@ -23,7 +25,7 @@ from .analysis.window_choice import recommend_window
 from .costmodels.connection import ConnectionCostModel
 from .costmodels.message import MessageCostModel
 from .engine.cache import ResultCache, default_cache
-from .engine.parallel import EngineTask, ScheduleSpec, SweepExecutor
+from .engine.parallel import EngineTask, ScenarioSpec, ScheduleSpec, SweepExecutor
 from .experiments import all_experiment_ids, get_experiment, run_all
 
 __all__ = ["main", "build_parser"]
@@ -68,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("algorithm", help="e.g. st1, st2, sw9, sw1, t1_15")
     simulate.add_argument("--theta", type=float, default=0.3,
                           help="write fraction (default 0.3)")
+    simulate.add_argument("--scenario", default=None, metavar="NAME",
+                          help="replay a registered non-stationary scenario "
+                               "instead of the i.i.d. --theta stream "
+                               "(see 'repro-mobile scenarios')")
     simulate.add_argument("--length", type=int, default=10_000)
     simulate.add_argument("--model", choices=("connection", "message"),
                           default="connection")
@@ -98,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "mean are printed")
     simulate.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="worker processes for the replicates")
+
+    commands.add_parser(
+        "scenarios", help="list the registered non-stationary scenarios"
+    )
 
     cache_cmd = commands.add_parser(
         "cache", help="inspect or clear the content-addressed result cache"
@@ -152,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=32,
                        help="shard count (default 32)")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--scenario", default=None, metavar="NAME",
+                       help="drive the population through a registered "
+                            "non-stationary scenario's theta profile "
+                            "instead of stationary per-session thetas")
     serve.add_argument("--algorithms", default=None, metavar="LIST",
                        help="comma-separated algorithm mix "
                             "(default: every session-hostable family)")
@@ -283,10 +297,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         seeds = spawn_seeds(args.seed if args.seed is not None else 0,
                             args.replicates)
+    def _spec(seed):
+        if args.scenario is not None:
+            return ScenarioSpec(args.scenario, args.length, seed=seed)
+        return ScheduleSpec(args.theta, args.length, seed=seed)
+
     tasks = [
         EngineTask(
             args.algorithm,
-            ScheduleSpec(args.theta, args.length, seed=seed),
+            _spec(seed),
             model,
             backend=args.backend,
             faults=faults,
@@ -301,6 +320,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     first = outcomes[0]
     print(f"algorithm      : {first.algorithm_name}")
+    if args.scenario is not None:
+        print(f"scenario       : {args.scenario}")
     print(f"cost model     : {model.name}")
     print(f"backend        : {first.backend_name} "
           f"({first.dispatch_reason})")
@@ -352,6 +373,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     grand_mean = sum(means) / len(means)
     spread = (sum((m - grand_mean) ** 2 for m in means) / len(means)) ** 0.5
     print(f"mean cost/req  : {grand_mean:.4f} (std {spread:.4f})")
+    return 0
+
+
+def _cmd_scenarios() -> int:
+    from .workload.scenarios import available_scenarios, get_scenario
+
+    width = max(len(name) for name in available_scenarios())
+    for name in available_scenarios():
+        scenario = get_scenario(name)
+        marker = "regime-switching" if scenario.regime_switching else "stationary-ish"
+        print(f"{name:{width}}  [{marker}]  {scenario.description}")
     return 0
 
 
@@ -423,7 +455,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         replay_sample=args.replay_sample,
         replicas=args.replicas,
         failover_drills=args.failover_drills,
+        scenario=args.scenario,
     )
+    if report.get("scenario"):
+        print(f"scenario        : {report['scenario']}")
     print(f"sessions        : {report['sessions']} "
           f"across {report['occupied_shards']} shards "
           f"(per-shard {report['min_shard_sessions']}"
@@ -503,6 +538,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios()
     if args.command == "advise":
         return _cmd_advise(args)
     if args.command == "choose":

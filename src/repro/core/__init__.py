@@ -19,6 +19,7 @@ interface and are replayed against a cost model by
 :func:`~repro.core.replay.replay`.
 """
 
+from .adaptive import AdaptiveAllocator, OnlineThetaEstimator
 from .base import AllocationAlgorithm
 from .estimators import EwmaAllocator, HysteresisSlidingWindow
 from .offline import OfflineOptimal, OptimalRun
@@ -51,6 +52,8 @@ __all__ = [
     "ThresholdTwoCopies",
     "EwmaAllocator",
     "HysteresisSlidingWindow",
+    "AdaptiveAllocator",
+    "OnlineThetaEstimator",
     "OfflineOptimal",
     "OptimalRun",
     "ReplayResult",

@@ -1,0 +1,394 @@
+"""The online-adaptive allocator: estimate θ, detect regimes, retune.
+
+The paper's static methods each own a parameter (the window size k, the
+threshold m) whose best value depends on the — unknown, shifting —
+write fraction.  :class:`AdaptiveAllocator` closes that loop online:
+
+* an :class:`OnlineThetaEstimator` keeps a windowed write-fraction
+  estimate and a two-window drift test; a detected regime change
+  flushes the history so the next retune sees only the new regime;
+* the recent write-bit history is periodically fed through the
+  sufficient-statistic scans (:func:`repro.core.batched.scan_window_counts`
+  and :func:`repro.core.batched.scan_threshold_counts`) — the *oracle*:
+  one numpy pass prices every candidate k and m on the observed regime
+  and the cheapest configuration wins;
+* the decision core then follows the winning configuration's exact
+  session semantics (the SWk window recurrence or the T1m read-run
+  counter), so each individual decision is one the paper's methods
+  could have made — cost accounting carries over verbatim and a
+  configuration switch never teleports the replica, it only changes
+  the rule used for future transitions.
+
+The allocator runs under the standard
+:class:`~repro.core.base.AllocationAlgorithm` interface (reference
+backend; the vectorized kernels cannot host state that depends on its
+own past decisions), so every analysis tool — replay, engine dispatch,
+the regret harness — applies unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..costmodels.base import CostEventKind, CostModel
+from ..exceptions import InvalidParameterError
+from ..types import AllocationScheme, Operation, ensure_odd_window
+from .base import AllocationAlgorithm
+from .batched import batched_totals, scan_threshold_counts, scan_window_counts
+from .session import ensure_threshold
+
+__all__ = ["AdaptiveAllocator", "OnlineThetaEstimator"]
+
+#: Default window-size candidates offered to the oracle (odd, as SWk
+#: requires); spans the fast-adapting to the noise-immune end.
+DEFAULT_KS: Tuple[int, ...] = (1, 3, 5, 9, 15)
+
+#: Default T1m threshold candidates.
+DEFAULT_MS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+class OnlineThetaEstimator:
+    """Windowed θ estimate plus a two-window regime-change test.
+
+    Keeps the last ``2 * window`` write bits; the estimate is the mean
+    of the most recent ``window`` and a regime change is declared when
+    the recent and the preceding window means differ by more than
+    ``threshold`` (both windows must be full).  After a detection the
+    stale half is dropped, so back-to-back firings need genuinely new
+    evidence — a crude but dependable CUSUM stand-in that is exact to
+    test and cheap to run per request.
+    """
+
+    def __init__(self, window: int = 48, threshold: float = 0.35):
+        if window < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {window}")
+        if not 0.0 < threshold <= 1.0:
+            raise InvalidParameterError(
+                f"threshold must be in (0, 1], got {threshold!r}"
+            )
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self._bits: Deque[bool] = deque(maxlen=2 * self.window)
+        self._recent_writes = 0
+        self._older_writes = 0
+
+    @property
+    def observations(self) -> int:
+        return len(self._bits)
+
+    @property
+    def estimate(self) -> float:
+        """Mean of the most recent window (0.5 before any evidence)."""
+        recent = min(len(self._bits), self.window)
+        if recent == 0:
+            return 0.5
+        return self._recent_writes / recent
+
+    def observe(self, is_write: bool) -> bool:
+        """Ingest one request; True when a regime change is declared."""
+        bits = self._bits
+        if len(bits) == 2 * self.window:
+            if bits[0]:
+                self._older_writes -= 1
+        if len(bits) >= self.window:
+            boundary = bits[len(bits) - self.window]
+            if boundary:
+                self._recent_writes -= 1
+                self._older_writes += 1
+        bits.append(bool(is_write))
+        if is_write:
+            self._recent_writes += 1
+        if len(bits) < 2 * self.window:
+            return False
+        recent = self._recent_writes / self.window
+        older = self._older_writes / self.window
+        if abs(recent - older) <= self.threshold:
+            return False
+        # Drop the stale half so the detector re-arms on fresh data.
+        for _ in range(self.window):
+            removed = bits.popleft()
+            if removed:
+                self._older_writes -= 1
+        return True
+
+    def reset(self) -> None:
+        """Forget all observations and disarm the detector."""
+        self._bits.clear()
+        self._recent_writes = 0
+        self._older_writes = 0
+
+
+class AdaptiveAllocator(AllocationAlgorithm):
+    """SW/T with the parameter chosen online per regime.
+
+    Parameters
+    ----------
+    ks, ms:
+        Candidate window sizes (odd) and T1 thresholds the oracle may
+        pick from.  An empty ``ms`` restricts the oracle to the SWk
+        family.
+    oracle_model:
+        Cost model the oracle prices candidates under.  Defaults to the
+        connection model; the decision vocabulary is model-agnostic, so
+        this is a tuning input, not a correctness one.
+    retune_interval:
+        Requests between periodic oracle runs (regime detections retune
+        immediately).
+    history:
+        Write-bit history cap fed to the oracle — the effective memory
+        of a regime.
+    detector_window, detector_threshold:
+        The :class:`OnlineThetaEstimator` configuration.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        ks: Sequence[int] = DEFAULT_KS,
+        ms: Sequence[int] = DEFAULT_MS,
+        oracle_model: Optional[CostModel] = None,
+        retune_interval: int = 128,
+        history: int = 512,
+        detector_window: int = 48,
+        detector_threshold: float = 0.35,
+    ):
+        ks = tuple(int(ensure_odd_window(int(k))) for k in ks)
+        ms = tuple(int(ensure_threshold(int(m))) for m in ms)
+        if not ks:
+            raise InvalidParameterError("need at least one candidate k")
+        if retune_interval < 1:
+            raise InvalidParameterError(
+                f"retune_interval must be >= 1, got {retune_interval}"
+            )
+        if history < max(ks + ms):
+            raise InvalidParameterError(
+                f"history ({history}) must cover the largest candidate "
+                f"parameter ({max(ks + ms)})"
+            )
+        if oracle_model is None:
+            from ..costmodels.connection import ConnectionCostModel
+
+            oracle_model = ConnectionCostModel()
+        self._ks = ks
+        self._ms = ms
+        self._oracle_model = oracle_model
+        self._retune_interval = int(retune_interval)
+        self._history_cap = int(history)
+        self._detector_window = int(detector_window)
+        self._detector_threshold = float(detector_threshold)
+        self._init_state()
+        super().__init__(initial_scheme=AllocationScheme.ONE_COPY)
+        self.name = "adaptive"
+
+    # -- configuration surface ------------------------------------------
+
+    @property
+    def ks(self) -> Tuple[int, ...]:
+        return self._ks
+
+    @property
+    def ms(self) -> Tuple[int, ...]:
+        return self._ms
+
+    @property
+    def family(self) -> str:
+        """Decision family currently in force (``"swk"`` or ``"t1"``)."""
+        return self._family
+
+    @property
+    def param(self) -> int:
+        """The active window size or threshold."""
+        return self._param
+
+    @property
+    def theta_estimate(self) -> float:
+        return self._estimator.estimate
+
+    @property
+    def retunes(self) -> int:
+        """Oracle runs so far (periodic + detector-triggered)."""
+        return self._retunes
+
+    @property
+    def regime_changes(self) -> int:
+        """Detector firings so far."""
+        return self._regime_changes
+
+    # -- state ----------------------------------------------------------
+
+    def _init_state(self) -> None:
+        self._family = "swk"
+        self._param = self._ks[len(self._ks) // 2]
+        self._estimator = OnlineThetaEstimator(
+            self._detector_window, self._detector_threshold
+        )
+        self._history: Deque[bool] = deque(maxlen=self._history_cap)
+        self._since_retune = 0
+        self._read_run = 0
+        self._retunes = 0
+        self._regime_changes = 0
+
+    def _reset_extra_state(self) -> None:
+        self._init_state()
+
+    def _configured_copy(self) -> "AdaptiveAllocator":
+        return AdaptiveAllocator(
+            ks=self._ks,
+            ms=self._ms,
+            oracle_model=self._oracle_model,
+            retune_interval=self._retune_interval,
+            history=self._history_cap,
+            detector_window=self._detector_window,
+            detector_threshold=self._detector_threshold,
+        )
+
+    def _extra_state_signature(self) -> tuple:
+        return (
+            self._family,
+            self._param,
+            self._read_run,
+            tuple(self._history),
+            self._since_retune,
+        )
+
+    # -- the oracle ------------------------------------------------------
+
+    def _window_write_count(self, k: int) -> int:
+        """Writes in the last-k window, short history padded with writes.
+
+        The padding convention matches a fresh SWk session (window all
+        writes) and the batched kernels' virtual-write lead-in, so the
+        count is exactly what an SWk session holding this history would
+        hold in its ring buffer.
+        """
+        history = self._history
+        observed = min(len(history), k)
+        writes = 0
+        for position in range(len(history) - observed, len(history)):
+            if history[position]:
+                writes += 1
+        return writes + (k - observed)
+
+    def _trailing_read_run(self) -> int:
+        run = 0
+        for bit in reversed(self._history):
+            if bit:
+                break
+            run += 1
+        return run
+
+    def _retune(self) -> None:
+        """Price every candidate on the regime history; adopt the argmin.
+
+        One ``(1, N)`` write matrix through the two sufficient-statistic
+        scans prices all k and all m at once; ties prefer the incumbent
+        (no churn), then the smaller parameter (faster adaptation).
+        """
+        self._since_retune = 0
+        self._retunes += 1
+        if len(self._history) < 2:
+            return
+        writes = np.fromiter(
+            self._history, dtype=bool, count=len(self._history)
+        )[None, :]
+        candidates = []
+        k_counts = scan_window_counts(writes, self._ks)
+        k_totals = batched_totals(k_counts, self._oracle_model)
+        for slot, k in enumerate(self._ks):
+            candidates.append((float(k_totals[slot, 0]), "swk", k))
+        if self._ms:
+            m_counts = scan_threshold_counts("t1", writes, self._ms)
+            m_totals = batched_totals(m_counts, self._oracle_model)
+            for slot, m in enumerate(self._ms):
+                candidates.append((float(m_totals[slot, 0]), "t1", m))
+        best_cost = min(cost for cost, _family, _param in candidates)
+        best = [
+            (family, param)
+            for cost, family, param in candidates
+            if cost <= best_cost
+        ]
+        if (self._family, self._param) in best:
+            return
+        family, param = min(best, key=lambda pair: (pair[0] != "swk", pair[1]))
+        self._adopt(family, param)
+
+    def _adopt(self, family: str, param: int) -> None:
+        self._family = family
+        self._param = param
+        if family == "t1":
+            # Resume the threshold rule mid-run: credit the trailing
+            # read run (clipped at m; with the copy held the counter
+            # is irrelevant and stays 0).
+            self._read_run = (
+                0 if self._mobile_has_copy
+                else min(self._trailing_read_run(), param)
+            )
+
+    def _observe(self, operation: Operation) -> None:
+        is_write = operation is Operation.WRITE
+        changed = self._estimator.observe(is_write)
+        self._history.append(is_write)
+        self._since_retune += 1
+        if changed:
+            # New regime: forget the old one and retune on what the
+            # detector kept (the fresh window).
+            self._regime_changes += 1
+            recent = list(self._history)[-self._detector_window:]
+            self._history.clear()
+            self._history.extend(recent)
+            self._retune()
+        elif self._since_retune >= self._retune_interval:
+            self._retune()
+
+    # -- the decision core ----------------------------------------------
+
+    def _serve_read(self) -> CostEventKind:
+        had_copy = self._mobile_has_copy
+        self._observe(Operation.READ)
+        if self._family == "swk":
+            if had_copy:
+                return CostEventKind.LOCAL_READ
+            k = self._param
+            writes = self._window_write_count(k)
+            if k - writes > writes:  # window majority flipped to reads
+                self._allocate()
+                return CostEventKind.REMOTE_READ
+            return CostEventKind.REMOTE_READ
+        # t1
+        if had_copy:
+            return CostEventKind.LOCAL_READ
+        self._read_run += 1
+        if self._read_run >= self._param:
+            self._allocate()
+            self._read_run = 0
+        return CostEventKind.REMOTE_READ
+
+    def _serve_write(self) -> CostEventKind:
+        had_copy = self._mobile_has_copy
+        self._observe(Operation.WRITE)
+        if self._family == "swk":
+            if not had_copy:
+                return CostEventKind.WRITE_NO_COPY
+            k = self._param
+            writes = self._window_write_count(k)
+            if k - writes > writes:  # reads still hold the majority
+                return CostEventKind.WRITE_PROPAGATED
+            self._deallocate()
+            return CostEventKind.WRITE_PROPAGATED_DEALLOCATE
+        # t1
+        self._read_run = 0
+        if not had_copy:
+            return CostEventKind.WRITE_NO_COPY
+        self._deallocate()
+        return CostEventKind.WRITE_DELETE_REQUEST
+
+    def describe(self) -> str:
+        return (
+            f"adaptive allocator (ks={list(self._ks)}, ms={list(self._ms)}, "
+            f"retune every {self._retune_interval}, "
+            f"history {self._history_cap})"
+        )

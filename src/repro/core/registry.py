@@ -56,11 +56,17 @@ def make_algorithm(name: str) -> AllocationAlgorithm:
     * ``t1_M`` / ``t2_M`` — the modified static methods, e.g. ``t1_15``.
     * ``ewma_P`` — EWMA estimator allocator with alpha = P percent.
     * ``hswK_H`` — hysteresis sliding window, size K, deadband H.
+    * ``adaptive`` — the online-adaptive allocator (regime detection
+      plus scan-oracle retuning of k/m).
     """
     lowered = name.strip().lower()
     spec = parse_algorithm_name(lowered)
     if spec is not None:
         return algorithm_from_spec(spec)
+    if lowered == "adaptive":
+        from .adaptive import AdaptiveAllocator
+
+        return AdaptiveAllocator()
     match = _EWMA_PATTERN.match(lowered)
     if match:
         percent = int(match.group(1))
@@ -89,4 +95,5 @@ def available_algorithms() -> List[str]:
         "t2_<m> (e.g. t2_15)",
         "ewma_<percent> (e.g. ewma_20 for alpha=0.2)",
         "hsw<k>_<margin> (hysteresis window, e.g. hsw9_2)",
+        "adaptive (online regime detection + scan-oracle retuning)",
     ]

@@ -48,6 +48,7 @@ from .batched import (
 from .parallel import (
     EngineTask,
     FunctionTask,
+    ScenarioSpec,
     ScheduleSpec,
     SweepExecutor,
     SweepOutcome,
@@ -96,6 +97,7 @@ __all__ = [
     "run_batched_masks",
     "EngineTask",
     "FunctionTask",
+    "ScenarioSpec",
     "ScheduleSpec",
     "SweepExecutor",
     "SweepOutcome",

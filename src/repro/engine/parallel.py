@@ -72,6 +72,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
 __all__ = [
     "EngineTask",
     "FunctionTask",
+    "ScenarioSpec",
     "ScheduleSpec",
     "SweepExecutor",
     "SweepOutcome",
@@ -133,6 +134,67 @@ class ScheduleSpec:
 
 
 @dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered non-stationary scenario, generated inside the worker.
+
+    The scenario-aware counterpart of :class:`ScheduleSpec`: the task
+    ships the registry name plus ``(length, seed)`` and the worker
+    rebuilds the exact stream through
+    :func:`repro.workload.scenarios.get_scenario`.  The cache key folds
+    in the scenario's configuration fingerprint, so re-registering a
+    name with different parameters can never resurrect stale sweep
+    results.
+    """
+
+    scenario: str
+    length: int
+    seed: SeedLike = None
+
+    def __post_init__(self):
+        if isinstance(self.seed, np.random.Generator):
+            raise InvalidParameterError(
+                "a ScenarioSpec must be rebuildable; seed it with an int "
+                "or a SeedSequence, not a live Generator"
+            )
+        from ..workload.scenarios import get_scenario
+
+        get_scenario(self.scenario)  # fail fast on unknown names
+
+    def generate(self):
+        """The full :class:`~repro.workload.scenarios.ScenarioRun`."""
+        from ..workload.scenarios import get_scenario
+
+        return get_scenario(self.scenario).generate(self.length, self.seed)
+
+    def build(self) -> Schedule:
+        """Generate the concrete schedule (identical on every build)."""
+        return self.generate().schedule
+
+    def build_mask(self) -> np.ndarray:
+        """The schedule's write mask without the request objects."""
+        return self.build().write_mask()
+
+    def fingerprint(self) -> Optional[Tuple]:
+        """Content-addressable form, or ``None`` when unseeded."""
+        seed_part = seed_fingerprint(self.seed)
+        if seed_part is None:
+            return None
+        from ..workload.scenarios import get_scenario
+
+        return (
+            "scenario",
+            get_scenario(self.scenario).fingerprint(),
+            int(self.length),
+            seed_part,
+        )
+
+
+#: Spec-shaped schedule sources a task may carry instead of a concrete
+#: :class:`~repro.types.Schedule`.
+_SPEC_TYPES = (ScheduleSpec, ScenarioSpec)
+
+
+@dataclass(frozen=True)
 class EngineTask:
     """One :func:`repro.engine.run` invocation, sweep-ready.
 
@@ -146,7 +208,7 @@ class EngineTask:
     """
 
     algorithm: str
-    schedule: Union[Schedule, ScheduleSpec]
+    schedule: Union[Schedule, ScheduleSpec, ScenarioSpec]
     cost_model: CostModel
     backend: str = AUTO
     stream: bool = True
@@ -306,7 +368,7 @@ def _task_key(task: SweepTask) -> Optional[str]:
             return None
         return digest_parts("function-task", CACHE_SCHEMA, __version__,
                             task.cache_key)
-    if isinstance(task.schedule, ScheduleSpec):
+    if isinstance(task.schedule, _SPEC_TYPES):
         schedule_part: Optional[Tuple] = task.schedule.fingerprint()
         if schedule_part is None:
             return None
@@ -459,7 +521,7 @@ def _execute_engine_tasks(entries, counters) -> List[Tuple[int, SweepOutcome]]:
 
 def _task_sources(task: EngineTask, schedule) -> Tuple[Callable, Callable, int]:
     """(schedule thunk, mask thunk, length) for an in-process schedule."""
-    if isinstance(schedule, ScheduleSpec):
+    if isinstance(schedule, _SPEC_TYPES):
         return schedule.build, schedule.build_mask, schedule.length
     return (lambda: schedule), schedule.write_mask, len(schedule)
 
@@ -842,7 +904,7 @@ class SweepExecutor:
                 items.append((index, task, None))
                 continue
             schedule = task.schedule
-            if isinstance(schedule, ScheduleSpec):
+            if isinstance(schedule, _SPEC_TYPES):
                 sched_ref = ("spec", schedule)
             elif not _shippable_via_arena(schedule):
                 sched_ref = ("inline", schedule)

@@ -108,3 +108,7 @@ class UnknownAlgorithmError(ReproError, KeyError):
 
 class UnknownExperimentError(ReproError, KeyError):
     """An experiment id was not found in the experiment registry."""
+
+
+class UnknownScenarioError(ReproError, KeyError):
+    """A workload scenario name was not found in the scenario registry."""

@@ -29,6 +29,7 @@ from .message_average import MessageAverageCost
 from .message_competitive import MessageCompetitive
 from .message_expected import MessageExpectedCost
 from .multi_object import MultiObjectAllocation
+from .scenarios import ScenarioRegretGrid
 from .threshold_methods import ThresholdMethods
 
 __all__ = ["all_experiment_ids", "get_experiment", "run_all"]
@@ -51,6 +52,7 @@ _EXPERIMENTS = [
     BurstinessSweep,
     AdaptationProfiles,
     FaultToleranceSweep,
+    ScenarioRegretGrid,
 ]
 
 _BY_ID: Dict[str, type] = {cls.experiment_id: cls for cls in _EXPERIMENTS}
@@ -78,6 +80,7 @@ def get_experiment(experiment_id: str) -> Experiment:
 _RUNTIME_WEIGHTS = {
     "t-adaptation": 78,
     "t-estimators": 64,
+    "t-scenarios": 30,
     "t-msg-avg": 12,
     "t-bursty": 8,
     "t-loss-rate": 6,

@@ -27,6 +27,10 @@ DEFAULT_ALGORITHMS: Tuple[str, ...] = (
 #: Sub-stream of the seed reserved for the static session parameters.
 _THETA_STREAM = 0
 
+#: Sub-stream reserved for scenario θ-profile generation (kept clear of
+#: the per-round streams ``1 + round_index``).
+_SCENARIO_STREAM = 2**31
+
 
 class LoadGenerator:
     """A deterministic session population and its operation stream.
@@ -37,6 +41,13 @@ class LoadGenerator:
     independent Bernoulli(θ) write matrix drawn from the sub-stream
     ``[seed, 1 + t]``, so rounds are reproducible individually (no need
     to replay earlier rounds to regenerate a later one).
+
+    With ``scenario`` set to a registered scenario name, the stationary
+    per-session θ is replaced per round by that scenario's nominal
+    θ-profile: round ``t`` covers requests ``[t·ops, (t+1)·ops)`` of one
+    long scenario stream, so every session experiences the same regime
+    trajectory (through its own private Bernoulli draws) and a
+    multi-round self-test sweeps the full non-stationary arc.
     """
 
     def __init__(
@@ -46,6 +57,7 @@ class LoadGenerator:
         seed: int = 0,
         algorithms: Optional[Sequence[str]] = None,
         namespace: str = "alloc",
+        scenario: Optional[str] = None,
     ):
         if sessions <= 0:
             raise InvalidParameterError(
@@ -61,6 +73,11 @@ class LoadGenerator:
         self.namespace = namespace
         rng = np.random.default_rng([seed, _THETA_STREAM])
         self.thetas = rng.uniform(0.05, 0.95, sessions)
+        self.scenario = scenario
+        if scenario is not None:
+            from ..workload.scenarios import get_scenario
+
+            get_scenario(scenario)  # fail fast on unknown names
 
     def keys(self) -> List[SessionKey]:
         """The population's session keys, in open order."""
@@ -85,4 +102,30 @@ class LoadGenerator:
             )
         rng = np.random.default_rng([self.seed, 1 + round_index])
         draws = rng.random((self.sessions, ops_per_session))
+        if self.scenario is not None:
+            profile = self._scenario_profile(round_index, ops_per_session)
+            return draws < profile[None, :]
         return draws < self.thetas[:, None]
+
+    def _scenario_profile(
+        self, round_index: int, ops_per_session: int
+    ) -> np.ndarray:
+        """Nominal per-request θ for one round of the scenario stream.
+
+        The scenario is generated once at the length the rounds have
+        consumed so far plus this round — segment boundaries are
+        length-proportional for the profile scenarios, so regenerating
+        a prefix-extended run keeps earlier rounds' θ values intact for
+        the piecewise profiles whose segments scale with length.  To
+        keep rounds individually reproducible regardless, the profile
+        is always drawn from the round's own absolute request range of
+        a fixed-length generation.
+        """
+        from ..workload.scenarios import get_scenario
+
+        start = round_index * ops_per_session
+        length = start + ops_per_session
+        run = get_scenario(self.scenario).generate(
+            length, seed=[self.seed, _SCENARIO_STREAM]
+        )
+        return run.theta_profile()[start:length]

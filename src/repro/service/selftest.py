@@ -34,6 +34,7 @@ def run_self_test(
     replay_sample: int = 32,
     replicas: int = 1,
     failover_drills: int = 4,
+    scenario: Optional[str] = None,
 ) -> Dict[str, object]:
     """Drive a seeded population through the service and verify it.
 
@@ -51,7 +52,9 @@ def run_self_test(
         raise InvalidParameterError(
             f"failover_drills must be >= 0, got {failover_drills}"
         )
-    generator = LoadGenerator(sessions, seed=seed, algorithms=algorithms)
+    generator = LoadGenerator(
+        sessions, seed=seed, algorithms=algorithms, scenario=scenario
+    )
     counters = ServiceCounters()
     service = AllocationService(
         ServiceConfig(
@@ -115,6 +118,7 @@ def run_self_test(
         "ops_per_round": ops_per_round,
         "num_shards": num_shards,
         "seed": seed,
+        "scenario": scenario,
         "algorithms": list(generator.algorithms),
         "decisions": decided,
         "elapsed_seconds": elapsed,

@@ -14,6 +14,11 @@ competitiveness theorem plus a greedy adaptive adversary.
 
 The *average expected cost* measure models θ changing across periods;
 :mod:`repro.workload.regimes` builds those piecewise-θ workloads.
+
+:mod:`repro.workload.scenarios` names complete non-stationary
+workloads — MMPP regime switching, diurnal/flash-crowd/churn profiles,
+rotating adversaries, trace replay — in a registry the engine, CLI,
+experiments and the scenario test harness all share.
 """
 
 from .adversary import (
@@ -30,6 +35,16 @@ from .catalog import CatalogWorkload, ItemRates
 from .multi_object import MultiObjectWorkload
 from .poisson import PoissonWorkload, bernoulli_mask, bernoulli_schedule, theta_from_rates
 from .regimes import RegimePeriod, RegimeWorkload, uniform_theta_regimes
+from .scenarios import (
+    Scenario,
+    ScenarioRun,
+    ScenarioSegment,
+    available_scenarios,
+    get_scenario,
+    piecewise_schedule,
+    regime_switching_scenarios,
+    register_scenario,
+)
 from .seeding import SeedLike, resolve_rng, seed_fingerprint, spawn_seeds
 from .trace import (
     TraceProfile,
@@ -59,6 +74,14 @@ __all__ = [
     "RegimePeriod",
     "RegimeWorkload",
     "uniform_theta_regimes",
+    "Scenario",
+    "ScenarioRun",
+    "ScenarioSegment",
+    "available_scenarios",
+    "get_scenario",
+    "piecewise_schedule",
+    "regime_switching_scenarios",
+    "register_scenario",
     "SeedLike",
     "resolve_rng",
     "seed_fingerprint",

@@ -1,0 +1,575 @@
+"""Non-stationary and adversarial workload scenarios, as a registry.
+
+Everything the repository benchmarked before this module was i.i.d.
+Bernoulli at a fixed θ, while the paper's whole point — and the AVG
+measure of equation 1 — is allocation when the read/write mix is
+unknown and *shifting*.  A :class:`Scenario` packages one way the mix
+can shift (Markov-modulated phases, diurnal drift, a flash crowd of
+readers, clients joining and leaving, a replayed trace, the tight
+adversaries of the competitiveness theorems) behind one uniform
+contract::
+
+    run = get_scenario("mmpp").generate(length=50_000, seed=7)
+    run.schedule        # a concrete Schedule
+    run.segments        # the piecewise-stationary ground truth
+    run.theta_profile() # per-request nominal write probability
+
+Generation is a pure function of ``(scenario, length, seed)`` — the
+property the engine's :class:`~repro.engine.parallel.ScenarioSpec`
+relies on for scenario-aware cache keys and for byte-identical
+serial/parallel sweeps.  Scenarios therefore never hold RNG state;
+every ``generate`` call derives a fresh generator from its seed.
+
+The *segments* are the scenario's own account of its regimes: the
+regret experiment uses them to size transient allowances, and the
+hypothesis harness uses the same :func:`piecewise_schedule` builder to
+generate arbitrary piecewise-stationary workloads from a single seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, UnknownScenarioError
+from ..types import Operation, Request, Schedule, ensure_probability
+from .adversary import swk_tight_schedule, threshold_tight_schedule
+from .poisson import bernoulli_schedule
+from .seeding import SeedLike, resolve_rng
+from .trace import dumps_trace, loads_trace
+
+__all__ = [
+    "Scenario",
+    "ScenarioRun",
+    "ScenarioSegment",
+    "available_scenarios",
+    "get_scenario",
+    "piecewise_schedule",
+    "register_scenario",
+    "regime_switching_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSegment:
+    """One stationary stretch: ``length`` requests at nominal θ."""
+
+    theta: float
+    length: int
+    label: str = ""
+
+    def __post_init__(self):
+        ensure_probability(self.theta)
+        if self.length < 0:
+            raise InvalidParameterError(
+                f"segment length must be >= 0, got {self.length}"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One generated workload plus its piecewise-stationary ground truth."""
+
+    scenario: str
+    schedule: Schedule
+    segments: Tuple[ScenarioSegment, ...]
+
+    def __post_init__(self):
+        covered = sum(segment.length for segment in self.segments)
+        if covered != len(self.schedule):
+            raise InvalidParameterError(
+                f"segments cover {covered} requests but the schedule has "
+                f"{len(self.schedule)}"
+            )
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    def theta_profile(self) -> np.ndarray:
+        """Per-request nominal write probability (length = schedule).
+
+        For stochastic scenarios this is the segment θ repeated over
+        the segment; deterministic (adversarial/trace) scenarios carry
+        their exact write bits in their segments, so the profile is
+        faithful there too.
+        """
+        if not self.segments:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate([
+            np.full(segment.length, segment.theta, dtype=np.float64)
+            for segment in self.segments
+        ])
+
+
+def piecewise_schedule(
+    segments: Sequence[ScenarioSegment], seed: SeedLike
+) -> Schedule:
+    """One Bernoulli schedule spanning ``segments``, one shared stream.
+
+    The single generator makes the whole workload a pure function of
+    ``(segments, seed)`` — the builder both the built-in stochastic
+    scenarios and the hypothesis strategies use.
+    """
+    rng = resolve_rng(seed)
+    schedule = Schedule()
+    for segment in segments:
+        schedule = schedule + bernoulli_schedule(
+            segment.theta, segment.length, rng=rng
+        )
+    return schedule
+
+
+def _mask_segments(mask: np.ndarray, label: str) -> Tuple[ScenarioSegment, ...]:
+    """Exact segments of a deterministic write mask (runs of equal bits)."""
+    if mask.size == 0:
+        return ()
+    boundaries = np.flatnonzero(np.diff(mask.astype(np.int8))) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [mask.size]))
+    return tuple(
+        ScenarioSegment(float(mask[start]), int(end - start), label)
+        for start, end in zip(starts, ends)
+    )
+
+
+class Scenario(abc.ABC):
+    """One registered workload shape.
+
+    Subclasses implement :meth:`_generate`; the public :meth:`generate`
+    validates the length and the segment bookkeeping.  ``regime_switching``
+    marks scenarios whose θ genuinely shifts between sustained regimes —
+    the subset the adaptive-allocator regret claims quantify over.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+    regime_switching: bool = False
+
+    def generate(self, length: int, seed: SeedLike = None) -> ScenarioRun:
+        """A :class:`ScenarioRun` of exactly ``length`` requests."""
+        if length < 0:
+            raise InvalidParameterError(f"length must be >= 0, got {length}")
+        schedule, segments = self._generate(length, seed)
+        return ScenarioRun(self.name, schedule, tuple(segments))
+
+    @abc.abstractmethod
+    def _generate(
+        self, length: int, seed: SeedLike
+    ) -> Tuple[Schedule, Sequence[ScenarioSegment]]:
+        """Produce the schedule and its segment decomposition."""
+
+    def fingerprint(self) -> Tuple:
+        """Content-addressable identity (name + configuration)."""
+        state = vars(self) if hasattr(self, "__dict__") else {}
+        return (self.name,) + tuple(sorted(
+            (key, repr(value)) for key, value in state.items()
+        ))
+
+    def __repr__(self) -> str:
+        return f"<Scenario {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenarios
+# ---------------------------------------------------------------------------
+
+
+class MmppScenario(Scenario):
+    """Markov-modulated phases: the ``analysis/modulated`` chain, realized.
+
+    The stream alternates between a read-heavy phase (θ = ``theta_a``)
+    and a write-heavy phase (θ = ``theta_b``); sojourn lengths are
+    geometric with the given mean, drawn as explicit segments so the
+    ground truth is exact.  Long sojourns are where the paper's
+    piecewise-static optimum separates from every single static method.
+    """
+
+    name = "mmpp"
+    description = "two-phase MMPP: geometric sojourns between extreme thetas"
+    regime_switching = True
+
+    def __init__(
+        self,
+        theta_a: float = 0.1,
+        theta_b: float = 0.9,
+        mean_sojourn: int = 2_000,
+    ):
+        self.theta_a = ensure_probability(theta_a, "theta_a")
+        self.theta_b = ensure_probability(theta_b, "theta_b")
+        if mean_sojourn < 1:
+            raise InvalidParameterError(
+                f"mean_sojourn must be >= 1, got {mean_sojourn}"
+            )
+        self.mean_sojourn = int(mean_sojourn)
+
+    def _generate(self, length, seed):
+        rng = resolve_rng(seed)
+        in_phase_a = bool(rng.random() < 0.5)
+        segments: List[ScenarioSegment] = []
+        remaining = length
+        while remaining > 0:
+            sojourn = min(remaining, 1 + int(rng.geometric(
+                1.0 / self.mean_sojourn
+            )))
+            theta = self.theta_a if in_phase_a else self.theta_b
+            segments.append(ScenarioSegment(
+                theta, sojourn, "phase-a" if in_phase_a else "phase-b"
+            ))
+            remaining -= sojourn
+            in_phase_a = not in_phase_a
+        return piecewise_schedule(segments, rng), segments
+
+
+class RegimeUniformScenario(Scenario):
+    """The AVG-measure construction: periods with θ_i ~ Uniform[0, 1]."""
+
+    name = "regime-uniform"
+    description = "equation-1 periods with theta drawn uniformly per period"
+    regime_switching = True
+
+    def __init__(self, period_length: int = 2_500):
+        if period_length < 1:
+            raise InvalidParameterError(
+                f"period_length must be >= 1, got {period_length}"
+            )
+        self.period_length = int(period_length)
+
+    def _generate(self, length, seed):
+        rng = resolve_rng(seed)
+        segments: List[ScenarioSegment] = []
+        remaining = length
+        while remaining > 0:
+            period = min(remaining, self.period_length)
+            segments.append(ScenarioSegment(
+                float(rng.random()), period, "period"
+            ))
+            remaining -= period
+        return piecewise_schedule(segments, rng), segments
+
+
+class DiurnalScenario(Scenario):
+    """Sinusoidal θ(t): market-hours writes, commute-time reads.
+
+    θ sweeps ``center ± amplitude`` over each cycle; segments quantize
+    the sine into ``buckets_per_cycle`` stationary steps so the ground
+    truth stays piecewise while the drift stays smooth at scale.
+    """
+
+    name = "diurnal"
+    description = "sinusoidal theta drift quantized into stationary buckets"
+    regime_switching = True
+
+    def __init__(
+        self,
+        cycle_length: int = 8_000,
+        buckets_per_cycle: int = 8,
+        center: float = 0.5,
+        amplitude: float = 0.45,
+    ):
+        if cycle_length < buckets_per_cycle or buckets_per_cycle < 2:
+            raise InvalidParameterError(
+                "need cycle_length >= buckets_per_cycle >= 2, got "
+                f"{cycle_length}/{buckets_per_cycle}"
+            )
+        if not 0.0 <= center - amplitude <= center + amplitude <= 1.0:
+            raise InvalidParameterError(
+                f"center +/- amplitude must stay in [0, 1], got "
+                f"{center} +/- {amplitude}"
+            )
+        self.cycle_length = int(cycle_length)
+        self.buckets_per_cycle = int(buckets_per_cycle)
+        self.center = float(center)
+        self.amplitude = float(amplitude)
+
+    def _generate(self, length, seed):
+        rng = resolve_rng(seed)
+        bucket_length = self.cycle_length // self.buckets_per_cycle
+        segments: List[ScenarioSegment] = []
+        remaining, position = length, 0
+        while remaining > 0:
+            step = min(remaining, bucket_length)
+            midpoint = position + step / 2.0
+            theta = self.center + self.amplitude * float(
+                np.sin(2.0 * np.pi * midpoint / self.cycle_length)
+            )
+            segments.append(ScenarioSegment(
+                min(1.0, max(0.0, theta)), step, "bucket"
+            ))
+            remaining -= step
+            position += step
+        return piecewise_schedule(segments, rng), segments
+
+
+class FlashCrowdScenario(Scenario):
+    """A read storm: balanced traffic, then a crowd of readers, then writes.
+
+    The classic mobile-news shape — a balanced baseline, a flash crowd
+    where nearly everything is a read, and a write-heavy recovery while
+    the SC re-ingests updates.  The θ gap between the crowd and the
+    recovery is what a static method cannot straddle.
+    """
+
+    name = "flash-crowd"
+    description = "balanced baseline, read-storm crowd, write-heavy recovery"
+    regime_switching = True
+
+    def __init__(
+        self,
+        baseline_theta: float = 0.5,
+        crowd_theta: float = 0.03,
+        recovery_theta: float = 0.92,
+    ):
+        self.baseline_theta = ensure_probability(baseline_theta)
+        self.crowd_theta = ensure_probability(crowd_theta)
+        self.recovery_theta = ensure_probability(recovery_theta)
+
+    def _generate(self, length, seed):
+        rng = resolve_rng(seed)
+        baseline = length // 4
+        crowd = length // 2
+        recovery = length - baseline - crowd
+        segments = [
+            ScenarioSegment(self.baseline_theta, baseline, "baseline"),
+            ScenarioSegment(self.crowd_theta, crowd, "crowd"),
+            ScenarioSegment(self.recovery_theta, recovery, "recovery"),
+        ]
+        segments = [segment for segment in segments if segment.length > 0]
+        return piecewise_schedule(segments, rng), segments
+
+
+class ChurnScenario(Scenario):
+    """Clients joining and leaving mid-run (station reallocation).
+
+    A pool of clients each has a private write fraction; every epoch a
+    seeded subset is active and the stream's θ is the active mean.
+    Joins and leaves therefore move θ in steps — the "Station
+    Assignment with Reallocation" shape from the related work.
+    """
+
+    name = "churn"
+    description = "clients with private thetas joining/leaving per epoch"
+    regime_switching = True
+
+    def __init__(self, clients: int = 12, epoch_length: int = 2_500):
+        if clients < 2:
+            raise InvalidParameterError(f"clients must be >= 2, got {clients}")
+        if epoch_length < 1:
+            raise InvalidParameterError(
+                f"epoch_length must be >= 1, got {epoch_length}"
+            )
+        self.clients = int(clients)
+        self.epoch_length = int(epoch_length)
+
+    def _generate(self, length, seed):
+        rng = resolve_rng(seed)
+        # Half the pool is read-leaning, half write-leaning, so churn
+        # can actually move the mix instead of averaging to 1/2.
+        half = self.clients // 2
+        thetas = np.concatenate([
+            rng.uniform(0.02, 0.25, half),
+            rng.uniform(0.75, 0.98, self.clients - half),
+        ])
+        segments: List[ScenarioSegment] = []
+        remaining = length
+        while remaining > 0:
+            epoch = min(remaining, self.epoch_length)
+            active = rng.random(self.clients) < rng.uniform(0.2, 0.8)
+            if not active.any():
+                active[int(rng.integers(self.clients))] = True
+            theta = float(thetas[active].mean())
+            segments.append(ScenarioSegment(theta, epoch, "epoch"))
+            remaining -= epoch
+        return piecewise_schedule(segments, rng), segments
+
+
+class TraceReplayScenario(Scenario):
+    """Trace replay at scale: a bursty stream round-tripped as a trace.
+
+    Exercises the ``workload.trace`` serialization on the way in — the
+    schedule the consumers see went through ``dumps_trace`` and
+    ``loads_trace``, exactly like a recorded production log would.
+    """
+
+    name = "trace-replay"
+    description = "bursty stream round-tripped through the trace format"
+    regime_switching = True
+
+    def __init__(self, theta_a: float = 0.15, theta_b: float = 0.85,
+                 phase_length: int = 1_500):
+        self.theta_a = ensure_probability(theta_a, "theta_a")
+        self.theta_b = ensure_probability(theta_b, "theta_b")
+        if phase_length < 1:
+            raise InvalidParameterError(
+                f"phase_length must be >= 1, got {phase_length}"
+            )
+        self.phase_length = int(phase_length)
+
+    def _generate(self, length, seed):
+        rng = resolve_rng(seed)
+        segments: List[ScenarioSegment] = []
+        remaining, in_a = length, True
+        while remaining > 0:
+            phase = min(remaining, self.phase_length)
+            segments.append(ScenarioSegment(
+                self.theta_a if in_a else self.theta_b, phase, "phase"
+            ))
+            remaining -= phase
+            in_a = not in_a
+        schedule = piecewise_schedule(segments, rng)
+        replayed = loads_trace(dumps_trace(schedule, include_timestamps=False))
+        return replayed, segments
+
+
+class AdversarialTightScenario(Scenario):
+    """One tight competitive adversary, tiled to the requested length."""
+
+    regime_switching = False
+
+    def __init__(self, name: str, description: str, kind: str, param: int):
+        self.name = name
+        self.description = description
+        self.kind = kind
+        self.param = int(param)
+
+    def _cycle(self) -> Schedule:
+        if self.kind == "swk":
+            return swk_tight_schedule(self.param, 1)
+        return threshold_tight_schedule(self.param, 1)
+
+    def _generate(self, length, seed):
+        cycle = self._cycle()
+        operations = [request.operation for request in cycle]
+        requests = [
+            Request(operations[index % len(operations)])
+            for index in range(length)
+        ]
+        schedule = Schedule(requests)
+        segments = _mask_segments(
+            np.asarray(schedule.write_mask(), dtype=bool), self.kind
+        )
+        return schedule, segments
+
+
+class RotatingAdversaryScenario(Scenario):
+    """Round-robin regimes, each the nemesis of a different method.
+
+    Five sustained regimes: the SW9 tight adversary (kills large
+    windows), strict alternation (kills SW1/T1_1), the SW3 tight
+    adversary (kills small windows), a read flood (kills ST1) and a
+    write flood (kills ST2).  Every *fixed* configuration owns a regime
+    that charges it ~1 per request, so only per-regime retuning can be
+    simultaneously cheap everywhere — the scenario the adaptive
+    allocator's headline claim is measured on.
+    """
+
+    name = "adversarial-rotating"
+    description = "rotating tight adversaries; every static owns a bad regime"
+    regime_switching = True
+
+    def __init__(self, flood_theta: float = 0.02):
+        self.flood_theta = ensure_probability(flood_theta)
+
+    def _pattern(self, regime: int, length: int, rng) -> List[Operation]:
+        if regime == 0:  # SW9 tight: bursts of 5 reads / 5 writes
+            cycle = ([Operation.READ] * 5 + [Operation.WRITE] * 5)
+            return [cycle[i % 10] for i in range(length)]
+        if regime == 1:  # strict alternation
+            return [
+                Operation.READ if i % 2 == 0 else Operation.WRITE
+                for i in range(length)
+            ]
+        if regime == 2:  # SW3 tight: bursts of 2 reads / 2 writes
+            cycle = ([Operation.READ] * 2 + [Operation.WRITE] * 2)
+            return [cycle[i % 4] for i in range(length)]
+        if regime == 3:  # read flood
+            draws = rng.random(length) < self.flood_theta
+            return [
+                Operation.WRITE if bit else Operation.READ for bit in draws
+            ]
+        draws = rng.random(length) < 1.0 - self.flood_theta  # write flood
+        return [Operation.WRITE if bit else Operation.READ for bit in draws]
+
+    def _generate(self, length, seed):
+        rng = resolve_rng(seed)
+        labels = ("sw9-tight", "alternating", "sw3-tight",
+                  "read-flood", "write-flood")
+        thetas = (0.5, 0.5, 0.5, self.flood_theta, 1.0 - self.flood_theta)
+        base = length // 5
+        requests: List[Request] = []
+        segments: List[ScenarioSegment] = []
+        for regime in range(5):
+            span = base if regime < 4 else length - 4 * base
+            if span <= 0:
+                continue
+            operations = self._pattern(regime, span, rng)
+            requests.extend(Request(op) for op in operations)
+            segments.append(ScenarioSegment(
+                thetas[regime], span, labels[regime]
+            ))
+        return Schedule(requests), segments
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (``replace`` guards collisions)."""
+    if not isinstance(scenario, Scenario):
+        raise InvalidParameterError(
+            f"expected a Scenario instance, got {scenario!r}"
+        )
+    if scenario.name in _REGISTRY and not replace:
+        raise InvalidParameterError(
+            f"scenario {scenario.name!r} is already registered"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    scenario = _REGISTRY.get(name.strip().lower())
+    if scenario is None:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        )
+    return scenario
+
+
+def available_scenarios() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def regime_switching_scenarios() -> List[str]:
+    """The scenarios whose θ shifts between sustained regimes."""
+    return sorted(
+        name for name, scenario in _REGISTRY.items()
+        if scenario.regime_switching
+    )
+
+
+register_scenario(MmppScenario())
+register_scenario(RegimeUniformScenario())
+register_scenario(DiurnalScenario())
+register_scenario(FlashCrowdScenario())
+register_scenario(ChurnScenario())
+register_scenario(TraceReplayScenario())
+register_scenario(RotatingAdversaryScenario())
+register_scenario(AdversarialTightScenario(
+    "adversarial-sw9", "the Theorem-4 tight adversary against SW9, tiled",
+    "swk", 9,
+))
+register_scenario(AdversarialTightScenario(
+    "adversarial-t1", "the section-7.1 tight adversary against T1_4, tiled",
+    "t1", 4,
+))

@@ -1,0 +1,1 @@
+"""Scenario harness: property tests for non-stationary workloads."""

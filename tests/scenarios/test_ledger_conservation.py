@@ -1,0 +1,83 @@
+"""Ledger conservation: scenarios composed with fault campaigns.
+
+The chaos-suite invariant quantified over the scenario registry: a
+seeded fault campaign (drops, duplicates, reordering, a disconnection
+episode) must leave the *logical* ledger of a protocol run on any
+scenario workload byte-identical to the fault-free run, with every
+repair charged to the separate overhead book.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.faults import FaultConfig
+from repro.sim.runner import simulate_protocol
+from repro.workload.scenarios import available_scenarios, get_scenario
+
+#: Small lengths: the wire simulator prices every frame, and the fault
+#: machinery multiplies events; 80 requests exercises several regime
+#: boundaries of every scenario at test-suite speed.
+SCENARIO_LENGTH = 80
+
+#: Kernel runaway guard, far above any legitimate run at this size.
+MAX_KERNEL_EVENTS = 2_000_000
+
+PROTOCOL_ALGORITHMS = ("sw3", "t1_2")
+
+CAMPAIGN = dict(
+    drop=0.15, duplicate=0.1, reorder=0.2, delay_jitter=0.05,
+    episodes=((0.4, 1.5),),
+)
+
+
+@pytest.mark.parametrize("scenario_name", available_scenarios())
+@pytest.mark.parametrize("algorithm_name", PROTOCOL_ALGORITHMS)
+def test_faults_never_leak_into_the_logical_ledger(
+    scenario_name, algorithm_name
+):
+    schedule = get_scenario(scenario_name).generate(
+        SCENARIO_LENGTH, seed=17
+    ).schedule
+    clean = simulate_protocol(algorithm_name, schedule)
+    chaos = simulate_protocol(
+        algorithm_name,
+        schedule,
+        faults=FaultConfig(seed=91, **CAMPAIGN),
+        max_events=MAX_KERNEL_EVENTS,
+    )
+    assert chaos.event_kinds == clean.event_kinds
+    assert chaos.ledger.total_breakdown() == clean.ledger.total_breakdown()
+    assert (chaos.ledger.logical_message_count()
+            == clean.ledger.logical_message_count())
+    assert chaos.final_version == clean.final_version
+    assert chaos.read_observations == clean.read_observations
+    # Conservation: repair traffic exists only in the overhead book.
+    assert (chaos.overhead.physical_frames
+            >= chaos.ledger.logical_message_count())
+
+
+@given(
+    scenario_name=st.sampled_from(available_scenarios()),
+    scenario_seed=st.integers(0, 2**16),
+    fault_seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_conservation_over_seeded_campaigns(
+    scenario_name, scenario_seed, fault_seed
+):
+    schedule = get_scenario(scenario_name).generate(
+        40, seed=scenario_seed
+    ).schedule
+    clean = simulate_protocol("sw3", schedule)
+    chaos = simulate_protocol(
+        "sw3",
+        schedule,
+        faults=FaultConfig(drop=0.2, duplicate=0.1, seed=fault_seed),
+        max_events=MAX_KERNEL_EVENTS,
+    )
+    assert chaos.event_kinds == clean.event_kinds
+    assert chaos.ledger.total_breakdown() == clean.ledger.total_breakdown()

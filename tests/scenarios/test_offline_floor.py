@@ -1,0 +1,69 @@
+"""No online run may undercut the exact offline optimal.
+
+``OfflineOptimal`` computes COST_M(σ) by dynamic programming over the
+two schemes, so it is a hard floor for any online algorithm on the same
+schedule — adaptive included, under every scenario.  A violation would
+mean the adaptive allocator's cost accounting invented a transition the
+paper's protocol does not offer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.offline import OfflineOptimal
+from repro.core.registry import make_algorithm
+from repro.costmodels.connection import ConnectionCostModel
+from repro.costmodels.message import MessageCostModel
+from repro.workload.scenarios import available_scenarios, get_scenario
+from .conftest import case_seeds
+
+ONLINE_ALGORITHMS = ("adaptive", "st1", "st2", "sw1", "sw3", "sw9", "t1_4")
+
+
+def total_cost(name, schedule, model) -> float:
+    algorithm = make_algorithm(name)
+    return sum(
+        model.price(algorithm.process(request.operation))
+        for request in schedule
+    )
+
+
+@pytest.mark.parametrize("scenario_name", available_scenarios())
+def test_floor_holds_for_every_scenario(scenario_name):
+    model = ConnectionCostModel()
+    schedule = get_scenario(scenario_name).generate(1_500, seed=23).schedule
+    floor = OfflineOptimal(model).optimal_cost(schedule)
+    for name in ONLINE_ALGORITHMS:
+        cost = total_cost(name, schedule, model)
+        assert cost >= floor - 1e-9, (
+            f"{name} undercut the offline floor on {scenario_name}: "
+            f"{cost} < {floor}"
+        )
+
+
+class TestFloorOnGeneratedWorkloads:
+    @given(case_seed=case_seeds)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_adaptive_never_undercuts_floor(
+        self, case_seed, piecewise_case, connection_model
+    ):
+        schedule, _segments = piecewise_case(
+            case_seed, min_length=150, max_length=400, extreme=False
+        )
+        floor = OfflineOptimal(connection_model).optimal_cost(schedule)
+        assert total_cost("adaptive", schedule, connection_model) >= floor - 1e-9
+
+    @given(case_seed=case_seeds)
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_floor_holds_under_the_message_model(self, case_seed, piecewise_case):
+        model = MessageCostModel(0.4)
+        schedule, _segments = piecewise_case(
+            case_seed, min_length=100, max_length=300, extreme=False
+        )
+        floor = OfflineOptimal(model).optimal_cost(schedule)
+        for name in ("adaptive", "sw3", "t1_4"):
+            assert total_cost(name, schedule, model) >= floor - 1e-9

@@ -1,0 +1,96 @@
+"""Regret properties on arbitrary piecewise-stationary workloads.
+
+The harness's headline claims, quantified over hypothesis-generated
+regime-switching traffic (see ``conftest`` for the one-seed-per-case
+reproduction scheme):
+
+* the adaptive allocator's regret is no worse than every *static*
+  method's regret (ST1/ST2 — the paper's static allocations) up to a
+  bounded learning transient, on every workload that alternates
+  sustained read-heavy and write-heavy regimes;
+* adaptive cost stays inside the paper's competitive frame relative to
+  the exact offline optimal, with an additive per-regime transient.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.offline import OfflineOptimal
+from repro.core.registry import make_algorithm
+from .conftest import case_seeds
+
+#: Largest window in the adaptive allocator's default candidate set;
+#: SWk is (k+1)-competitive (Theorem 4), so this frames the guarantee.
+K_MAX = 15
+
+#: Per-case learning allowance: a constant per regime switch (detector
+#: latency + retune transient) plus a small rate term for the Bernoulli
+#: noise around each regime's nominal θ.
+TRANSIENT_CONSTANT = 100.0
+TRANSIENT_RATE = 0.02
+
+#: Additive transient allowed by the competitive-frame check, per
+#: regime: bounded by the largest candidate parameter plus detector lag.
+PER_REGIME_TRANSIENT = 50.0
+
+
+def total_cost(name, schedule, model) -> float:
+    algorithm = make_algorithm(name)
+    return sum(
+        model.price(algorithm.process(request.operation))
+        for request in schedule
+    )
+
+
+class TestAdaptiveRegret:
+    @given(case_seed=case_seeds)
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_adaptive_regret_beats_static_regret(
+        self, case_seed, piecewise_case, connection_model
+    ):
+        schedule, segments = piecewise_case(case_seed)
+        adaptive = total_cost("adaptive", schedule, connection_model)
+        static_best = min(
+            total_cost(name, schedule, connection_model)
+            for name in ("st1", "st2")
+        )
+        allowance = TRANSIENT_CONSTANT + TRANSIENT_RATE * len(schedule)
+        # Same offline floor on both sides, so comparing costs compares
+        # regrets exactly.
+        assert adaptive <= static_best + allowance, (
+            f"adaptive={adaptive}, best static={static_best}, "
+            f"allowance={allowance}, segments={len(segments)}"
+        )
+
+    @given(case_seed=case_seeds)
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_adaptive_within_competitive_frame(
+        self, case_seed, piecewise_case, connection_model
+    ):
+        schedule, segments = piecewise_case(case_seed)
+        adaptive = total_cost("adaptive", schedule, connection_model)
+        floor = OfflineOptimal(connection_model).optimal_cost(schedule)
+        bound = (K_MAX + 1) * floor + PER_REGIME_TRANSIENT * len(segments)
+        assert adaptive <= bound, (
+            f"adaptive={adaptive}, floor={floor}, bound={bound}"
+        )
+
+    @given(case_seed=case_seeds)
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_adaptive_beats_worst_static_outright(
+        self, case_seed, piecewise_case, connection_model
+    ):
+        # On alternating extreme regimes the *worse* static method
+        # bleeds on roughly half the stream; the adaptive allocator
+        # must beat it without any allowance.
+        schedule, _segments = piecewise_case(case_seed)
+        adaptive = total_cost("adaptive", schedule, connection_model)
+        static_worst = max(
+            total_cost(name, schedule, connection_model)
+            for name in ("st1", "st2")
+        )
+        assert adaptive < static_worst

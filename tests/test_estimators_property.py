@@ -1,0 +1,126 @@
+"""Property suite for the online θ estimators (``core/estimators.py``).
+
+Two claims a frequency-estimating allocator stands on, driven by
+hypothesis over seeds and rates:
+
+* on a stationary Bernoulli(θ) stream the EWMA write-fraction estimate
+  converges into a neighborhood of the true θ whose width is set by the
+  smoothing factor (stddev ≈ sqrt(α/(2-α)·θ(1-θ))), and stays there;
+* after an abrupt regime switch the estimate tracks the new θ within
+  tolerance once the old regime has decayed (a few 1/α time constants).
+
+The windowed estimator feeding the adaptive allocator
+(:class:`repro.core.adaptive.OnlineThetaEstimator`) gets the same two
+properties with its window playing the role of 1/α.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import OnlineThetaEstimator
+from repro.core.estimators import EwmaAllocator
+from repro.types import Operation
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+thetas = st.floats(min_value=0.05, max_value=0.95,
+                   allow_nan=False, allow_infinity=False)
+
+
+def _feed(algorithm, writes) -> None:
+    for is_write in writes:
+        algorithm.process(Operation.WRITE if is_write else Operation.READ)
+
+
+def _ewma_band(alpha: float, theta: float) -> float:
+    """A ~5-sigma stationary band for the EWMA around θ."""
+    stddev = math.sqrt(alpha / (2.0 - alpha) * theta * (1.0 - theta))
+    return 5.0 * stddev + alpha  # + alpha covers the quantized last step
+
+
+class TestEwmaConvergence:
+    @given(seed=seeds, theta=thetas)
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_converges_on_stationary_stream(self, seed, theta):
+        alpha = 0.05
+        allocator = EwmaAllocator(alpha)
+        rng = np.random.default_rng(seed)
+        # Burn-in: ~8 time constants erase the initial estimate.
+        _feed(allocator, rng.random(int(8 / alpha)) < theta)
+        assert abs(allocator.estimate - theta) <= _ewma_band(alpha, theta)
+
+    @given(seed=seeds, theta=thetas)
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_stays_in_band_once_converged(self, seed, theta):
+        alpha = 0.05
+        allocator = EwmaAllocator(alpha)
+        rng = np.random.default_rng(seed)
+        _feed(allocator, rng.random(int(8 / alpha)) < theta)
+        band = _ewma_band(alpha, theta)
+        for is_write in rng.random(200) < theta:
+            allocator.process(
+                Operation.WRITE if is_write else Operation.READ
+            )
+            assert abs(allocator.estimate - theta) <= band
+
+    @given(
+        seed=seeds,
+        theta_before=st.floats(min_value=0.05, max_value=0.3),
+        theta_after=st.floats(min_value=0.7, max_value=0.95),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_estimate_tracks_an_injected_regime_switch(
+        self, seed, theta_before, theta_after
+    ):
+        alpha = 0.05
+        allocator = EwmaAllocator(alpha)
+        rng = np.random.default_rng(seed)
+        _feed(allocator, rng.random(int(8 / alpha)) < theta_before)
+        assert (abs(allocator.estimate - theta_before)
+                <= _ewma_band(alpha, theta_before))
+        # The switch: after ~8 more time constants the old regime has
+        # decayed by e^-8 and the estimate must sit at the new θ.
+        _feed(allocator, rng.random(int(8 / alpha)) < theta_after)
+        assert (abs(allocator.estimate - theta_after)
+                <= _ewma_band(alpha, theta_after))
+
+    def test_deterministic_saturation(self):
+        # The quantized update has a fixed point a few rounding ulps
+        # from each rail (0.8·2e-6 rounds back to 2e-6), so saturation
+        # means "within quantization of the rail", not exact equality.
+        allocator = EwmaAllocator(0.2)
+        _feed(allocator, [False] * 200)
+        assert allocator.estimate <= 1e-5
+        _feed(allocator, [True] * 200)
+        assert allocator.estimate >= 1.0 - 1e-5
+
+
+class TestWindowedEstimator:
+    @given(seed=seeds, theta=thetas)
+    @settings(max_examples=25, deadline=None)
+    def test_window_mean_converges_on_stationary_stream(self, seed, theta):
+        window = 64
+        estimator = OnlineThetaEstimator(window=window, threshold=0.9)
+        rng = np.random.default_rng(seed)
+        for is_write in rng.random(4 * window) < theta:
+            estimator.observe(bool(is_write))
+        # 5-sigma band for a mean of `window` Bernoulli draws.
+        band = 5.0 * math.sqrt(theta * (1.0 - theta) / window)
+        assert abs(estimator.estimate - theta) <= band
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_tracks_after_switch(self, seed):
+        window = 48
+        estimator = OnlineThetaEstimator(window=window, threshold=0.35)
+        rng = np.random.default_rng(seed)
+        for is_write in rng.random(4 * window) < 0.1:
+            estimator.observe(bool(is_write))
+        for is_write in rng.random(4 * window) < 0.9:
+            estimator.observe(bool(is_write))
+        band = 5.0 * math.sqrt(0.9 * 0.1 / window)
+        assert abs(estimator.estimate - 0.9) <= band

@@ -14,12 +14,20 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core.registry import make_algorithm
 from repro.core.session import AllocationSession
 from repro.costmodels import ConnectionCostModel, MessageCostModel
 from repro.engine import run as engine_run
 from repro.engine.base import total_from_counts
 from repro.sim.faults import FaultConfig
 from repro.types import Operation, Schedule
+from repro.workload.adversary import (
+    GreedyAdversary,
+    alternating,
+    swk_tight_schedule,
+    threshold_tight_schedule,
+)
+from repro.workload.regimes import uniform_theta_regimes
 
 schedule_texts = st.text(alphabet="rw", min_size=0, max_size=100)
 short_texts = st.text(alphabet="rw", min_size=1, max_size=40)
@@ -79,6 +87,74 @@ class TestSessionMatchesEngine:
             backend="reference", stream=False,
         )
         assert result.event_kinds == kinds
+
+
+def _session_kinds_for_schedule(name, schedule):
+    session = AllocationSession.from_name(name)
+    return tuple(
+        session.feed(request.operation).kind for request in schedule
+    )
+
+
+class TestSessionMatchesEngineOnHostileStreams:
+    """Differential replay on adversary- and regime-generated traffic.
+
+    Random ``rw`` text rarely exercises the worst-case request patterns;
+    these cases feed the streams built to hurt each family — greedy
+    adversaries, tight cycles, regime switches — through the session and
+    demand byte-identity with the engine anyway.
+    """
+
+    @given(
+        name=FAMILY_NAMES,
+        seed=st.integers(min_value=0, max_value=2**16),
+        length=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_adversary_stream_identical(self, name, seed, length):
+        model = ConnectionCostModel()
+        schedule = GreedyAdversary(
+            make_algorithm(name), model, seed=seed
+        ).generate(length)
+        kinds = _session_kinds_for_schedule(name, schedule)
+        result = engine_run(name, schedule, model, stream=False)
+        assert result.event_kinds == kinds
+
+    @given(name=FAMILY_NAMES)
+    @settings(max_examples=30, deadline=None)
+    def test_tight_cycles_identical(self, name):
+        model = ConnectionCostModel()
+        for schedule in (
+            swk_tight_schedule(3, cycles=12),
+            swk_tight_schedule(9, cycles=5),
+            threshold_tight_schedule(2, cycles=15),
+            alternating(40),
+            alternating(40, read_first=False),
+        ):
+            kinds = _session_kinds_for_schedule(name, schedule)
+            result = engine_run(name, schedule, model, stream=False)
+            assert result.event_kinds == kinds
+
+    @given(
+        name=FAMILY_NAMES,
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_periods=st.integers(min_value=1, max_value=5),
+        period_length=st.integers(min_value=5, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_regime_switching_stream_identical(
+        self, name, seed, num_periods, period_length
+    ):
+        model = ConnectionCostModel()
+        schedule = uniform_theta_regimes(
+            num_periods, period_length, seed=seed
+        ).generate()
+        kinds = _session_kinds_for_schedule(name, schedule)
+        result = engine_run(name, schedule, model, stream=False)
+        assert result.event_kinds == kinds
+        assert result.total_cost == total_from_counts(
+            _session_counts(kinds), model
+        )
 
 
 class TestSessionMatchesFaultyWire:
