@@ -47,9 +47,10 @@ from repro.core.batched import (  # noqa: E402
     scan_threshold_counts,
     scan_window_counts,
 )
+from repro.core.packed import pack_write_masks  # noqa: E402
 from repro.costmodels import ConnectionCostModel, MessageCostModel  # noqa: E402
 from repro.engine import run as engine_run  # noqa: E402
-from repro.engine import run_batched_masks  # noqa: E402
+from repro.engine import kernel_threads, run_batched_masks  # noqa: E402
 from repro.engine.parallel import ScheduleSpec  # noqa: E402
 
 ALGORITHM = "sw9"
@@ -91,14 +92,42 @@ def bench_end_to_end(points: int, length: int) -> dict:
 
     def batched():
         return run_batched_masks(
-            ALGORITHM, _masks(specs), [model] * len(specs), warmup=WARMUP
+            ALGORITHM, _masks(specs), [model] * len(specs), warmup=WARMUP,
+            threads=1,
+        )
+
+    # Packed and threaded legs time only the kernel launch on a shared,
+    # prebuilt matrix — they gate the execution tier, not mask drawing
+    # (which the unpacked legs above deliberately include, to stay
+    # comparable with the historical batched_rps series).
+    writes = _masks(specs)
+    packed = pack_write_masks(writes)
+    threads = kernel_threads()
+
+    def packed_serial():
+        return run_batched_masks(
+            ALGORITHM, packed, [model] * len(specs), warmup=WARMUP,
+            threads=1,
+        )
+
+    def packed_threaded():
+        return run_batched_masks(
+            ALGORITHM, packed, [model] * len(specs), warmup=WARMUP,
+            threads=threads,
         )
 
     vec_results, vec_seconds = _timed(per_schedule)
     bat_results, bat_seconds = _timed(batched)
+    packed_results, packed_seconds = _timed(packed_serial)
+    threaded_results, threaded_seconds = _timed(packed_threaded)
     identical = all(
-        v.total_cost == b.total_cost and v.event_counts == b.event_counts
-        for v, b in zip(vec_results, bat_results)
+        v.total_cost == b.total_cost == p.total_cost == t.total_cost
+        and v.event_counts == b.event_counts == p.event_counts
+        == t.event_counts
+        and b.scheme_changes == p.scheme_changes == t.scheme_changes
+        for v, b, p, t in zip(
+            vec_results, bat_results, packed_results, threaded_results
+        )
     )
     requests = points * length
     return {
@@ -107,9 +136,23 @@ def bench_end_to_end(points: int, length: int) -> dict:
         "requests_per_schedule": length,
         "vectorized_seconds": round(vec_seconds, 3),
         "batched_seconds": round(bat_seconds, 3),
+        "packed_seconds": round(packed_seconds, 3),
+        "threaded_seconds": round(threaded_seconds, 3),
+        "kernel_threads": threads,
         "vectorized_rps": round(requests / max(vec_seconds, 1e-9)),
         "batched_rps": round(requests / max(bat_seconds, 1e-9)),
+        "packed_rps": round(requests / max(packed_seconds, 1e-9)),
+        "threaded_rps": round(requests / max(threaded_seconds, 1e-9)),
         "speedup": round(vec_seconds / max(bat_seconds, 1e-9), 2),
+        "packed_speedup": round(bat_seconds / max(packed_seconds, 1e-9), 2),
+        "threaded_scaling": round(
+            packed_seconds / max(threaded_seconds, 1e-9), 2
+        ),
+        "unpacked_bytes": int(writes.nbytes),
+        "packed_bytes": int(packed.nbytes),
+        "packed_footprint_ratio": round(
+            packed.nbytes / max(writes.nbytes, 1), 4
+        ),
         "byte_identical": identical,
     }
 
@@ -233,6 +276,14 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=5.0,
                         help="fail when the end-to-end batched speedup "
                              "falls below this factor (default 5.0)")
+    parser.add_argument("--min-packed-ratio", type=float, default=1.0,
+                        help="fail when packed single-thread throughput "
+                             "falls below this multiple of the unpacked "
+                             "batched throughput (default 1.0)")
+    parser.add_argument("--min-threaded-scaling", type=float, default=1.0,
+                        help="fail when threaded/packed scaling falls "
+                             "below this factor; only enforced when the "
+                             "host has more than one core (default 1.0)")
     parser.add_argument("--out", default="BENCH_kernels.json",
                         help="output JSON path")
     parser.add_argument("--no-history", action="store_true",
@@ -248,9 +299,10 @@ def main(argv=None) -> int:
     if not args.no_history:
         print(f"history: {append_history(report, 'kernels')}")
 
-    speedup = report["end_to_end"]["speedup"]
+    end_to_end = report["end_to_end"]
+    speedup = end_to_end["speedup"]
     identical = (
-        report["end_to_end"]["byte_identical"]
+        end_to_end["byte_identical"]
         and report["k_scan"]["identical"]
         and report["m_scan"]["identical"]
         and report["omega_scan"]["identical"]
@@ -262,8 +314,29 @@ def main(argv=None) -> int:
         print(f"FAIL: end-to-end speedup {speedup}x is below the "
               f"--min-speedup gate {args.min_speedup}x")
         return 1
+    if end_to_end["packed_footprint_ratio"] > 1 / 6:
+        print(f"FAIL: packed storage is "
+              f"{end_to_end['packed_footprint_ratio']:.4f} of unpacked, "
+              "above the 1/6 ceiling")
+        return 1
+    packed_ratio = end_to_end["packed_rps"] / max(end_to_end["batched_rps"], 1)
+    if packed_ratio < args.min_packed_ratio:
+        print(f"FAIL: packed throughput is {packed_ratio:.2f}x unpacked "
+              f"batched, below the --min-packed-ratio gate "
+              f"{args.min_packed_ratio}x")
+        return 1
+    cpu_count = report["cpu_count"] or 1
+    if cpu_count > 1 and end_to_end["kernel_threads"] > 1 \
+            and end_to_end["threaded_scaling"] < args.min_threaded_scaling:
+        print(f"FAIL: threaded scaling {end_to_end['threaded_scaling']}x "
+              f"is below the --min-threaded-scaling gate "
+              f"{args.min_threaded_scaling}x")
+        return 1
     print(f"OK: batched {speedup}x over per-schedule vectorized "
-          f"(gate {args.min_speedup}x)")
+          f"(gate {args.min_speedup}x); packed {packed_ratio:.2f}x unpacked "
+          f"at {end_to_end['packed_footprint_ratio']:.4f} footprint; "
+          f"threaded x{end_to_end['kernel_threads']} scaling "
+          f"{end_to_end['threaded_scaling']}x")
     return 0
 
 

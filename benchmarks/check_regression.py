@@ -2,10 +2,14 @@
 
 Compares a current ``BENCH_*.json`` artifact against the most recent
 ``BENCH_history/`` entry of the same benchmark (or an explicit baseline
-file) on that benchmark's headline throughput metric, and exits 1 when
-the current number is more than ``--threshold`` (default 20%) below the
+file) on that benchmark's headline throughput metrics, and exits 1 when
+any current number is more than ``--threshold`` (default 20%) below the
 baseline.  Improvements and small wobbles pass silently; a missing
-baseline passes too — the first recorded run *is* the baseline.
+baseline passes too — the first recorded run *is* the baseline.  A
+metric absent from the baseline (an older artifact predating it) is
+skipped, so new metrics phase in without a flag day; a metric absent
+from the *current* report fails loudly — the benchmark stopped
+producing a number it used to gate.
 
 Usage::
 
@@ -25,18 +29,30 @@ from pathlib import Path
 
 from history import history_entries
 
-#: Headline throughput metric per benchmark, as a dotted path.
+#: Headline throughput metrics per benchmark, as dotted paths.  The
+#: kernels benchmark gates every execution tier — the PR-4 era gate on
+#: the end-to-end speedup alone let ``batched_rps`` drift 20.9x → 5.84x
+#: unnoticed because both legs slowed together.
 METRICS = {
-    "service": "decisions_per_sec",
-    "kernels": "end_to_end.batched_rps",
-    "engine": "engine_task_sweep.speedup",
-    "scenarios": "adaptive.decisions_per_sec",
+    "service": ["decisions_per_sec"],
+    "kernels": [
+        "end_to_end.batched_rps",
+        "end_to_end.packed_rps",
+        "end_to_end.threaded_rps",
+    ],
+    "engine": ["engine_task_sweep.speedup"],
+    "scenarios": ["adaptive.decisions_per_sec"],
 }
 
+_MISSING = object()
 
-def resolve(report: dict, dotted: str) -> float:
+
+def resolve(report: dict, dotted: str):
+    """The value at ``dotted``, or ``_MISSING`` when the path is absent."""
     value = report
     for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return _MISSING
         value = value[part]
     return float(value)
 
@@ -53,49 +69,62 @@ def main(argv=None) -> int:
                              "history entry that is not the current run)")
     parser.add_argument("--metric", default=None,
                         help="dotted metric path (default: the benchmark's "
-                             "registered headline metric)")
+                             "registered headline metrics)")
     parser.add_argument("--threshold", type=float, default=0.2,
                         help="allowed fractional drop (default 0.2 = 20%%)")
     parser.add_argument("--history", default=None,
                         help="history directory (default BENCH_history/)")
     args = parser.parse_args(argv)
 
-    metric = args.metric or METRICS.get(args.name)
-    if metric is None:
+    metrics = [args.metric] if args.metric else METRICS.get(args.name)
+    if not metrics:
         print(f"no registered metric for {args.name!r}; pass --metric",
               file=sys.stderr)
         return 2
 
     with open(args.current) as handle:
         current_report = json.load(handle)
-    current = resolve(current_report, metric)
 
     if args.baseline:
         baseline_path = Path(args.baseline)
     else:
         entries = history_entries(args.name, args.history)
         if not entries:
-            print(f"{args.name}: no history baseline yet; "
-                  f"current {metric} = {current:,.2f} accepted")
+            print(f"{args.name}: no history baseline yet; current run "
+                  "accepted as the baseline")
             return 0
         baseline_path = entries[-1]
     with open(baseline_path) as handle:
-        baseline = resolve(json.load(handle), metric)
+        baseline_report = json.load(handle)
 
-    if baseline <= 0:
-        print(f"{args.name}: baseline {metric} is {baseline}; nothing to "
-              "compare against")
-        return 0
-    drop = (baseline - current) / baseline
-    verdict = "OK" if drop <= args.threshold else "REGRESSION"
-    print(f"{args.name}: {metric} current {current:,.2f} vs baseline "
-          f"{baseline:,.2f} ({baseline_path.name}): "
-          f"{-drop * 100:+.1f}% [{verdict}]")
-    if drop > args.threshold:
-        print(f"FAIL: {drop * 100:.1f}% drop exceeds the "
-              f"{args.threshold * 100:.0f}% threshold", file=sys.stderr)
-        return 1
-    return 0
+    failed = False
+    for metric in metrics:
+        current = resolve(current_report, metric)
+        if current is _MISSING:
+            print(f"FAIL: {args.name}: current report lacks {metric}",
+                  file=sys.stderr)
+            failed = True
+            continue
+        baseline = resolve(baseline_report, metric)
+        if baseline is _MISSING:
+            print(f"{args.name}: {metric} has no baseline yet "
+                  f"({baseline_path.name} predates it); current "
+                  f"{current:,.2f} accepted")
+            continue
+        if baseline <= 0:
+            print(f"{args.name}: baseline {metric} is {baseline}; nothing "
+                  "to compare against")
+            continue
+        drop = (baseline - current) / baseline
+        verdict = "OK" if drop <= args.threshold else "REGRESSION"
+        print(f"{args.name}: {metric} current {current:,.2f} vs baseline "
+              f"{baseline:,.2f} ({baseline_path.name}): "
+              f"{-drop * 100:+.1f}% [{verdict}]")
+        if drop > args.threshold:
+            print(f"FAIL: {drop * 100:.1f}% drop exceeds the "
+                  f"{args.threshold * 100:.0f}% threshold", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ import numpy
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro._version import __version__  # noqa: E402
+from repro.engine.batched import kernel_threads  # noqa: E402
 
 __all__ = ["host_metadata", "append_history", "history_entries"]
 
@@ -32,12 +33,18 @@ DEFAULT_HISTORY_DIR = Path(__file__).resolve().parent.parent / "BENCH_history"
 
 def host_metadata() -> dict:
     """Provenance block embedded in every benchmark artifact."""
+    try:
+        effective_threads = kernel_threads()
+    except Exception:
+        effective_threads = None  # junk REPRO_KERNEL_THREADS: still record raw
     return {
         "version": __version__,
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python_version": platform.python_version(),
         "numpy_version": numpy.__version__,
+        "kernel_threads": effective_threads,
+        "kernel_threads_env": os.environ.get("REPRO_KERNEL_THREADS"),
     }
 
 

@@ -17,6 +17,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -63,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="skip the content-addressed result cache")
     run_all_cmd.add_argument("--json", dest="json_path", metavar="FILE",
                              help="also write all results as a JSON array")
+    run_all_cmd.add_argument("--kernel-threads", type=int, default=None,
+                             metavar="T",
+                             help="threads per batched kernel launch "
+                                  "(default: REPRO_KERNEL_THREADS, then "
+                                  "the core count; workers default to 1)")
 
     simulate = commands.add_parser(
         "simulate", help="replay one algorithm on a Poisson workload"
@@ -82,9 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument("--backend",
                           choices=("auto", "reference", "vectorized",
-                                   "protocol", "batched"),
+                                   "protocol", "batched", "numba"),
                           default="auto",
-                          help="execution backend (default: auto-dispatch)")
+                          help="execution backend (default: auto-dispatch; "
+                               "numba falls back to numpy when absent)")
     simulate.add_argument("--faults", metavar="SPEC", default=None,
                           help="chaos-run the wire protocol under a seeded "
                                "fault schedule, e.g. "
@@ -181,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="DPS",
                        help="fail (exit 1) if the self-test sustains fewer "
                             "decisions/sec")
+    serve.add_argument("--kernel-threads", type=int, default=None,
+                       metavar="T",
+                       help="threads per drain kernel launch (default: "
+                            "REPRO_KERNEL_THREADS, then the core count)")
     serve.add_argument("--json", dest="json_path", metavar="FILE",
                        help="also write the self-test report as JSON")
 
@@ -219,6 +230,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else default_cache()
+    if args.kernel_threads is not None:
+        # Experiments build their own executors internally; the env
+        # override is the one channel that reaches every kernel launch
+        # (and rides into worker processes with the environment).
+        from .engine.batched import kernel_threads as _resolve
+
+        _resolve(args.kernel_threads)  # validate before exporting
+        os.environ["REPRO_KERNEL_THREADS"] = str(args.kernel_threads)
     results = run_all(quick=args.quick, jobs=args.jobs, cache=cache)
     for result in results:
         print(result.render())
@@ -456,6 +475,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         failover_drills=args.failover_drills,
         scenario=args.scenario,
+        kernel_threads=args.kernel_threads,
     )
     if report.get("scenario"):
         print(f"scenario        : {report['scenario']}")

@@ -39,6 +39,15 @@ from ..costmodels.base import CostModel
 from ..costmodels.message import MessageCostModel
 from ..exceptions import InvalidParameterError, UnknownAlgorithmError
 from ..types import Schedule, ensure_odd_window, write_bits
+from .packed import (
+    PackedMasks,
+    _sw1_counts,
+    _swk_counts_from_copy,
+    _window_copy_after,
+    accumulator_dtype,
+    pack_write_masks,
+    packed_cumulative,
+)
 from .vectorized import (
     _LOCAL_READ,
     _REMOTE_READ,
@@ -56,6 +65,8 @@ from .vectorized import supports as supports  # re-export: same coverage
 
 __all__ = [
     "stack_write_masks",
+    "pack_write_masks",
+    "PackedMasks",
     "batched_run_arrays",
     "batched_counts",
     "batched_totals",
@@ -96,6 +107,8 @@ def stack_write_masks(schedules: Sequence[Schedule]) -> np.ndarray:
 
 
 def _as_matrix(writes: np.ndarray) -> np.ndarray:
+    if isinstance(writes, PackedMasks):
+        return writes.to_bool()
     writes = np.asarray(writes)
     if writes.ndim != 2 or writes.dtype != np.bool_:
         raise InvalidParameterError(
@@ -137,16 +150,14 @@ def _batched_sw1(writes):
 
 
 def _swk_copy_after(writes, cumulative, k: int) -> np.ndarray:
-    """``copy_after`` for window size k from a shared row-wise cumsum."""
-    n = (k - 1) // 2
-    length = writes.shape[1]
-    count_after = np.empty(writes.shape, dtype=np.int32)
-    count_after[:, k:] = cumulative[:, k:] - cumulative[:, :-k]
-    lead = min(k, length)
-    count_after[:, :lead] = cumulative[:, :lead] + np.arange(
-        k - 1, k - 1 - lead, -1, dtype=np.int32
-    )
-    return count_after <= n
+    """``copy_after`` for window size k from a shared row-wise cumsum.
+
+    The accumulator dtype follows ``cumulative`` — int32 on every
+    realistic length, promoted to int64 by :func:`accumulator_dtype`
+    once window counts could no longer provably fit (the counting
+    mirror of the simulator's ``max_events`` runaway guard).
+    """
+    return _window_copy_after(cumulative, k)
 
 
 def _swk_codes_from_copy(writes, copy_after):
@@ -164,7 +175,9 @@ def _swk_codes_from_copy(writes, copy_after):
 
 def _batched_swk(writes, k: int):
     ensure_odd_window(k)
-    cumulative = np.cumsum(writes, axis=1, dtype=np.int32)
+    cumulative = np.cumsum(
+        writes, axis=1, dtype=accumulator_dtype(writes.shape[1])
+    )
     return _swk_codes_from_copy(writes, _swk_copy_after(writes, cumulative, k))
 
 
@@ -322,13 +335,21 @@ def scan_window_counts(
     costs one slice-subtract-compare to recover its window majorities.
     ``k = 1`` routes through the SW1 kernel (its delete-request
     optimization is not the k-window recurrence at k=1).
+
+    ``writes`` may be a :class:`~repro.core.packed.PackedMasks`; the
+    scan then runs entirely on the packed bytes — one popcount prefix
+    sum shared by every k, masked popcounts per k, no code matrices.
     """
+    if isinstance(writes, PackedMasks):
+        return _scan_window_counts_packed(writes, ks, warmup)
     writes = _as_matrix(writes)
     out = np.empty((len(ks), writes.shape[0], _NUM_KINDS), dtype=np.int64)
     if writes.shape[1] == 0:
         out[:] = 0
         return out
-    cumulative = np.cumsum(writes, axis=1, dtype=np.int32)
+    cumulative = np.cumsum(
+        writes, axis=1, dtype=accumulator_dtype(writes.shape[1])
+    )
     for slot, k in enumerate(ks):
         ensure_odd_window(int(k))
         if k == 1:
@@ -338,6 +359,27 @@ def scan_window_counts(
                 writes, _swk_copy_after(writes, cumulative, int(k))
             )
         out[slot] = batched_counts(codes, warmup)
+    return out
+
+
+def _scan_window_counts_packed(
+    packed: PackedMasks, ks: Sequence[int], warmup: int
+) -> np.ndarray:
+    """The packed k-scan: popcount prefix sum once, popcounts per k."""
+    out = np.empty((len(ks), packed.batch, _NUM_KINDS), dtype=np.int64)
+    if packed.length == 0:
+        out[:] = 0
+        return out
+    cumulative = packed_cumulative(packed)
+    for slot, k in enumerate(ks):
+        ensure_odd_window(int(k))
+        if k == 1:
+            out[slot] = _sw1_counts(packed, warmup)[0]
+        else:
+            copy_bits = np.packbits(
+                _window_copy_after(cumulative, int(k)), axis=1
+            )
+            out[slot] = _swk_counts_from_copy(packed, copy_bits, warmup)[0]
     return out
 
 

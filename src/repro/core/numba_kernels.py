@@ -1,0 +1,101 @@
+"""Optional numba build of the SWk rolling-count kernel.
+
+The SWk hot loop — a rolling window write count per row — is the one
+batched kernel whose numpy form materializes an int accumulator matrix
+(`cumsum` + shifted subtract).  An ``@njit`` version walks each row
+with an O(1) running count instead: no intermediate matrices, and
+numba parallelizes and vectorizes the inner loop on its own.
+
+numba is strictly optional.  When it is importable the jitted kernel
+is used; when it is not, :func:`swk_copy_after` transparently falls
+back to the numpy recurrence — same arrays, bit for bit, as enforced
+by the byte-identity suite.  The engine exposes this module behind the
+ordinary backend registry as ``backend="numba"`` (see
+:class:`repro.engine.batched.NumbaBackend`), so forcing it in an
+environment without numba still executes correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..types import ensure_odd_window
+
+__all__ = ["numba_available", "swk_copy_after", "run_arrays"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # ImportError, or a broken install
+    _numba = None
+
+_jitted = None
+
+
+def numba_available() -> bool:
+    """Whether the jitted kernel path is importable on this host."""
+    return _numba is not None
+
+
+def _compile():  # pragma: no cover - requires numba
+    """Compile the rolling-count kernel on first use (cached)."""
+    global _jitted
+    if _jitted is None:
+        @_numba.njit(cache=False)
+        def _rolling(writes, k, n, out):
+            batch, length = writes.shape
+            for row in range(batch):
+                # The initial window is all (virtual) writes; each step
+                # admits request i and evicts position i - k, which is
+                # a virtual write while it lies before the schedule.
+                count = k
+                for i in range(length):
+                    count += writes[row, i]
+                    if i >= k:
+                        count -= writes[row, i - k]
+                    else:
+                        count -= 1
+                    out[row, i] = count <= n
+
+        _jitted = _rolling
+    return _jitted
+
+
+def swk_copy_after(writes: np.ndarray, k: int) -> np.ndarray:
+    """SWk replica flags for a ``(B, N)`` bool matrix.
+
+    Jitted rolling count when numba is importable; the numpy
+    cumsum recurrence otherwise.  Identical output either way.
+    """
+    ensure_odd_window(k)
+    if _numba is None:
+        from .batched import _swk_copy_after, accumulator_dtype
+
+        cumulative = np.cumsum(
+            writes, axis=1, dtype=accumulator_dtype(writes.shape[1])
+        )
+        return _swk_copy_after(writes, cumulative, k)
+    out = np.empty(writes.shape, dtype=np.uint8)  # pragma: no cover
+    _compile()(writes.view(np.uint8), k, (k - 1) // 2, out)
+    return out.view(np.bool_)
+
+
+def run_arrays(
+    algorithm_name: str, writes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """`batched_run_arrays` with the SWk window count routed via numba.
+
+    Every family other than SWk (k > 1) delegates to the numpy batched
+    kernels unchanged — the jitted build exists for the one kernel
+    whose accumulator matrix dominates, not as a parallel universe.
+    """
+    from .batched import _swk_codes_from_copy, batched_run_arrays
+    from .vectorized import _SW_PATTERN
+
+    lowered = algorithm_name.strip().lower()
+    match = _SW_PATTERN.match(lowered)
+    if match and lowered != "sw1" and writes.shape[1]:
+        k = int(match.group(1))
+        return _swk_codes_from_copy(writes, swk_copy_after(writes, k))
+    return batched_run_arrays(lowered, writes)

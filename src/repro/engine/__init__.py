@@ -1,8 +1,9 @@
-"""The unified execution engine: one run path, four backends.
+"""The unified execution engine: one run path, five backends.
 
 Every way of executing a schedule — the reference object replay, the
 numpy vectorized kernels, the discrete-event wire protocol, the batched
-multi-schedule kernels — sits behind one dispatching entry point::
+multi-schedule kernels and their optional numba build — sits behind one
+dispatching entry point::
 
     from repro import engine
     from repro.costmodels import ConnectionCostModel
@@ -39,10 +40,13 @@ from .cache import (
     digest_parts,
 )
 from .dispatch import AUTO, run
+from ..core.packed import PackedMasks, pack_write_masks
 from .batched import (
     BatchSpec,
     BatchedBackend,
+    NumbaBackend,
     execute_batch,
+    kernel_threads,
     run_batched_masks,
 )
 from .parallel import (
@@ -65,7 +69,7 @@ from .versioning import INITIAL_VALUE, INITIAL_VERSION, value_for_write
 
 # Importing the backends module registers the three per-schedule
 # implementations (the batched module, imported above, registers the
-# fourth after them).
+# batched and numba backends after them).
 from . import backends as _backends  # noqa: F401  (import for side effect)
 
 __all__ = [
@@ -93,7 +97,11 @@ __all__ = [
     "digest_parts",
     "BatchSpec",
     "BatchedBackend",
+    "NumbaBackend",
+    "PackedMasks",
     "execute_batch",
+    "kernel_threads",
+    "pack_write_masks",
     "run_batched_masks",
     "EngineTask",
     "FunctionTask",

@@ -16,26 +16,49 @@ backend name and dispatch reason of a run must not depend on which
 other runs happened to share its chunk (the sweep executor's
 serial-equals-parallel contract).
 
+Two execution tiers sit under :func:`run_batched_masks`:
+
+* **Packed counts.**  When the caller hands a
+  :class:`~repro.core.packed.PackedMasks` (8 requests per byte) and
+  only aggregates are observable — streaming, no per-request trace, no
+  ``arrays_sink`` — the per-kind counts and scheme flips come straight
+  off the packed bytes via popcounts, never materializing a ``(B, N)``
+  code matrix.
+* **Threaded row tiles.**  The ``(B, N)`` grid splits into row tiles
+  fanned across a ``ThreadPoolExecutor`` — the kernels are
+  embarrassingly parallel over rows and numpy releases the GIL, so
+  threads scale on real cores.  ``threads``/``tile_rows`` arguments and
+  the ``REPRO_KERNEL_THREADS`` environment variable control the fan;
+  every tile writes disjoint slices of preallocated outputs, so the
+  serial and threaded results are identical by construction.
+
 :class:`BatchedBackend` registers the same kernels as a fourth engine
 backend (``backend="batched"``), for forcing and for the cross-backend
-equivalence tests.  The auto dispatcher keeps picking ``vectorized``
-for single runs; batching is the sweep layer's decision.
+equivalence tests; :class:`NumbaBackend` registers the optional
+``@njit`` SWk rolling-count build (``backend="numba"``) with a
+transparent numpy fallback when numba is absent.  The auto dispatcher
+keeps picking ``vectorized`` for single runs; batching is the sweep
+layer's decision.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core import numba_kernels
 from ..core.batched import (
     batched_counts,
     batched_run_arrays,
     stack_write_masks,
 )
 from ..core.batched import supports as batched_supports
+from ..core.packed import PackedMasks, pack_write_masks, packed_run_counts
 from ..core.vectorized import EVENT_KIND_ORDER
 from ..costmodels.base import CostEvent, CostModel
 from ..exceptions import InvalidParameterError
@@ -58,8 +81,10 @@ from . import backends as _backends  # noqa: F401  (import for side effect)
 __all__ = [
     "BatchSpec",
     "BatchedBackend",
+    "NumbaBackend",
     "execute_batch",
     "run_batched_masks",
+    "kernel_threads",
     "supports",
 ]
 
@@ -72,6 +97,54 @@ _NULL_INSTRUMENTATION = Instrumentation()
 #: mention the batch size: a run's outcome (including this string) must
 #: be a pure function of the run alone, not of its chunk-mates.
 _REASON = "batched kernel covers {name!r}"
+
+#: Environment override for the kernel thread budget.
+_ENV_THREADS = "REPRO_KERNEL_THREADS"
+
+#: Default rows per tile; small enough that a tile's transient arrays
+#: stay cache-friendly, large enough that tile dispatch is noise.
+DEFAULT_TILE_ROWS = 32
+
+#: Below this many grid elements an *auto-sized* launch stays serial —
+#: pool startup would dwarf the kernels.  Explicit ``threads=`` or
+#: ``REPRO_KERNEL_THREADS`` requests are always honoured.
+_MIN_AUTO_PARALLEL_ELEMENTS = 1 << 20
+
+#: Auto thread resolution caps at this many threads even on wider
+#: boxes; past it the kernels are memory-bandwidth bound.
+_MAX_AUTO_THREADS = 8
+
+
+def kernel_threads(threads: Optional[int] = None) -> int:
+    """Resolve the kernel thread budget.
+
+    Precedence: an explicit ``threads`` argument, then the
+    ``REPRO_KERNEL_THREADS`` environment variable, then the host core
+    count (capped at ``_MAX_AUTO_THREADS``).  Invalid values raise
+    :class:`~repro.exceptions.InvalidParameterError` — a typo'd budget
+    silently running serial would defeat the knob's purpose.
+    """
+    if threads is not None:
+        if not isinstance(threads, int) or isinstance(threads, bool) \
+                or threads < 1:
+            raise InvalidParameterError(
+                f"kernel threads must be a positive int, got {threads!r}"
+            )
+        return threads
+    env = os.environ.get(_ENV_THREADS)
+    if env is not None and env.strip():
+        try:
+            value = int(env)
+        except ValueError:
+            raise InvalidParameterError(
+                f"{_ENV_THREADS} must be a positive int, got {env!r}"
+            )
+        if value < 1:
+            raise InvalidParameterError(
+                f"{_ENV_THREADS} must be a positive int, got {env!r}"
+            )
+        return value
+    return min(os.cpu_count() or 1, _MAX_AUTO_THREADS)
 
 
 @dataclass(frozen=True)
@@ -99,32 +172,120 @@ def _spec_batchable(spec: RunSpec) -> bool:
     )
 
 
+def _row_tiles(
+    batch: int, tile_rows: Optional[int], threads: int
+) -> List[Tuple[int, int]]:
+    """Split ``batch`` rows into ``[start, stop)`` tiles.
+
+    The default tile height is :data:`DEFAULT_TILE_ROWS`, shrunk so a
+    small batch still yields one tile per thread; an explicit
+    ``tile_rows`` is taken as given (the ragged last tile is fine).
+    """
+    if batch == 0:
+        return []
+    if tile_rows is None:
+        tile_rows = max(
+            1, min(DEFAULT_TILE_ROWS, -(-batch // max(threads, 1)))
+        )
+    elif not isinstance(tile_rows, int) or isinstance(tile_rows, bool) \
+            or tile_rows < 1:
+        raise InvalidParameterError(
+            f"tile_rows must be a positive int, got {tile_rows!r}"
+        )
+    return [
+        (start, min(start + tile_rows, batch))
+        for start in range(0, batch, tile_rows)
+    ]
+
+
+def _map_tiles(fn, tiles: List[Tuple[int, int]], threads: int) -> None:
+    """Run ``fn(start, stop)`` over every tile, threaded when asked.
+
+    Tiles write disjoint row slices of preallocated outputs, so the
+    execution order — and therefore the thread count — cannot change
+    any result byte.  Exceptions propagate (``pool.map`` re-raises).
+    """
+    if threads <= 1 or len(tiles) <= 1:
+        for start, stop in tiles:
+            fn(start, stop)
+        return
+    with ThreadPoolExecutor(max_workers=min(threads, len(tiles))) as pool:
+        for _ in pool.map(lambda tile: fn(*tile), tiles):
+            pass
+
+
 def _kernel_results(
     algorithm_name: str,
-    writes: np.ndarray,
+    writes,
     cost_models: Sequence[CostModel],
     *,
     warmup: int,
     stream: bool,
     instrumentation,
     arrays_sink: Optional[dict] = None,
+    threads: int = 1,
+    tile_rows: Optional[int] = None,
+    run_arrays=None,
+    backend_name: Optional[str] = None,
+    auto_threads: bool = False,
 ) -> List[EngineResult]:
     """Run the batch kernels and build one result per row.
 
-    Fires only the per-request trace hook (when an instrument listens);
-    run lifecycle hooks, timing and dispatch reasons belong to the
-    callers — the dispatcher for single forced runs,
-    :func:`run_batched_masks` for whole groups.
+    ``writes`` is a ``(B, N)`` bool matrix or a
+    :class:`~repro.core.packed.PackedMasks`.  Fires only the
+    per-request trace hook (when an instrument listens); run lifecycle
+    hooks, timing and dispatch reasons belong to the callers — the
+    dispatcher for single forced runs, :func:`run_batched_masks` for
+    whole groups.
     """
-    batch, length = writes.shape
+    packed = writes if isinstance(writes, PackedMasks) else None
+    batch, length = (packed.shape if packed is not None else writes.shape)
     if warmup < 0:
         raise InvalidParameterError(f"warmup must be >= 0, got {warmup}")
     if warmup > length:
         raise InvalidParameterError(
             f"warmup {warmup} exceeds the schedule length {length}"
         )
-    codes, copy_after = batched_run_arrays(algorithm_name, writes)
-    counts_matrix = batched_counts(codes, warmup)
+    trace = wants_per_request(instrumentation)
+    need_codes = trace or not stream or arrays_sink is not None
+    if auto_threads and batch * length < _MIN_AUTO_PARALLEL_ELEMENTS:
+        threads = 1
+    tiles = _row_tiles(batch, tile_rows, threads)
+    kernels = run_arrays if run_arrays is not None else batched_run_arrays
+
+    counts_matrix = np.zeros((batch, len(EVENT_KIND_ORDER)), dtype=np.int64)
+    flips = np.zeros(batch, dtype=np.int64)
+    codes = copy_after = None
+
+    if packed is not None and not need_codes and run_arrays is None:
+        # Packed counts tier: aggregates straight off the bits.
+        def compute_tile(start: int, stop: int) -> None:
+            tile_counts, tile_flips = packed_run_counts(
+                algorithm_name, packed.rows(start, stop), warmup
+            )
+            counts_matrix[start:stop] = tile_counts
+            flips[start:stop] = tile_flips
+    else:
+        codes = np.empty((batch, length), dtype=np.int64)
+        copy_after = np.empty((batch, length), dtype=bool)
+
+        def compute_tile(start: int, stop: int) -> None:
+            tile = (
+                packed.rows(start, stop).to_bool()
+                if packed is not None
+                else writes[start:stop]
+            )
+            tile_codes, tile_copy = kernels(algorithm_name, tile)
+            codes[start:stop] = tile_codes
+            copy_after[start:stop] = tile_copy
+            counts_matrix[start:stop] = batched_counts(tile_codes, warmup)
+            if length:
+                flips[start:stop] = (
+                    tile_copy[:, 1:] != tile_copy[:, :-1]
+                ).sum(axis=1)
+
+    _map_tiles(compute_tile, tiles, threads)
+
     if arrays_sink is not None:
         # Column-level view for callers (the allocation service) that
         # carry state across chunks themselves: the raw decision codes,
@@ -133,12 +294,8 @@ def _kernel_results(
         arrays_sink["codes"] = codes
         arrays_sink["copy_after"] = copy_after
         arrays_sink["counts"] = counts_matrix
-    if length:
-        flips = (copy_after[:, 1:] != copy_after[:, :-1]).sum(axis=1)
-    else:
-        flips = np.zeros(batch, dtype=np.int64)
-    trace = wants_per_request(instrumentation)
     results: List[EngineResult] = []
+    produced_by = backend_name if backend_name else BatchedBackend.name
     for row in range(batch):
         cost_model = cost_models[row]
         counts = {
@@ -182,7 +339,7 @@ def _kernel_results(
         results.append(
             EngineResult(
                 algorithm_name=algorithm_name,
-                backend_name=BatchedBackend.name,
+                backend_name=produced_by,
                 requests=length,
                 warmup=warmup,
                 total_cost=total_from_counts(counts, cost_model),
@@ -196,13 +353,15 @@ def _kernel_results(
 
 def run_batched_masks(
     algorithm_name: str,
-    writes: np.ndarray,
+    writes: Union[np.ndarray, PackedMasks],
     cost_models: Sequence[CostModel],
     *,
     warmup: int = 0,
     stream: bool = True,
     instrumentation: Optional[Instrumentation] = None,
     arrays_sink: Optional[dict] = None,
+    threads: Optional[int] = None,
+    tile_rows: Optional[int] = None,
 ) -> List[EngineResult]:
     """Execute one batch group straight from a ``(B, N)`` write matrix.
 
@@ -213,6 +372,16 @@ def run_batched_masks(
     from.  ``cost_models[b]`` prices row ``b``; models may differ
     across the batch (counts are model-independent).
 
+    ``writes`` may be a :class:`~repro.core.packed.PackedMasks` (8
+    requests per byte).  A packed, streaming, untraced group takes the
+    popcount counts tier — aggregates computed on the packed bytes, no
+    ``(B, N)`` code materialization; anything that needs per-request
+    codes unpacks tile by tile.
+
+    ``threads`` (default: ``REPRO_KERNEL_THREADS``, else the core
+    count) fans row tiles of ``tile_rows`` across a thread pool; the
+    results are identical to serial execution byte for byte.
+
     When ``arrays_sink`` (a plain dict) is given it receives the whole
     group's ``codes`` (``(B, N)`` int64 event-kind codes in
     ``EVENT_KIND_ORDER``), ``copy_after`` (``(B, N)`` bool replica
@@ -221,25 +390,31 @@ def run_batched_masks(
     per-session accumulators without touching the per-row results.
     """
     name = algorithm_name.strip().lower()
-    writes = np.asarray(writes)
-    if len(cost_models) != writes.shape[0]:
+    if not isinstance(writes, PackedMasks):
+        writes = np.asarray(writes)
+    batch, length = (
+        writes.shape if isinstance(writes, PackedMasks) else writes.shape
+    )
+    if len(cost_models) != batch:
         raise InvalidParameterError(
-            f"{writes.shape[0]} schedule rows but {len(cost_models)} "
+            f"{batch} schedule rows but {len(cost_models)} "
             "cost models"
         )
+    auto = threads is None and not os.environ.get(_ENV_THREADS)
+    resolved = kernel_threads(threads)
     instruments = (
         instrumentation if instrumentation is not None
         else _NULL_INSTRUMENTATION
     )
     reason = _REASON.format(name=name)
-    batch, length = writes.shape
     for _ in range(batch):
         instruments.on_run_start(name, BatchedBackend.name, length, reason)
     started = time.perf_counter()
     results = _kernel_results(
         name, writes, cost_models,
         warmup=warmup, stream=stream, instrumentation=instruments,
-        arrays_sink=arrays_sink,
+        arrays_sink=arrays_sink, threads=resolved, tile_rows=tile_rows,
+        auto_threads=auto,
     )
     elapsed = (time.perf_counter() - started) / max(batch, 1)
     for result in results:
@@ -332,4 +507,37 @@ class BatchedBackend(ExecutionBackend):
         return result
 
 
+class NumbaBackend(ExecutionBackend):
+    """The ``@njit`` SWk rolling-count build behind the registry.
+
+    Only the SWk window count differs from the batched backend — the
+    jitted kernel walks each row with an O(1) running count instead of
+    materializing the cumsum matrix (see
+    :mod:`repro.core.numba_kernels`).  Registered unconditionally:
+    without numba installed the kernel transparently falls back to the
+    numpy recurrence, so ``backend="numba"`` always executes and always
+    produces the reference bytes; having numba merely makes it fast.
+    """
+
+    name = "numba"
+
+    def supports(self, algorithm_name: str) -> bool:
+        return batched_supports(algorithm_name)
+
+    def execute(self, spec: RunSpec, instrumentation) -> EngineResult:
+        writes = stack_write_masks([spec.schedule])
+        [result] = _kernel_results(
+            spec.algorithm_name,
+            writes,
+            [spec.cost_model],
+            warmup=spec.warmup,
+            stream=spec.stream,
+            instrumentation=instrumentation,
+            run_arrays=numba_kernels.run_arrays,
+            backend_name=NumbaBackend.name,
+        )
+        return result
+
+
 register_backend(BatchedBackend())
+register_backend(NumbaBackend())

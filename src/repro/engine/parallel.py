@@ -60,7 +60,9 @@ from ..exceptions import InvalidParameterError
 from ..types import Operation, Request, Schedule
 from ..workload.poisson import bernoulli_mask, bernoulli_schedule
 from ..workload.seeding import SeedLike, seed_fingerprint
-from .batched import run_batched_masks
+from ..core.packed import pack_write_masks
+from .batched import _ENV_THREADS, run_batched_masks
+from .batched import kernel_threads as resolve_kernel_threads
 from .batched import supports as batched_supports
 from .cache import CACHE_SCHEMA, ResultCache, digest_parts
 from .dispatch import AUTO, run as engine_run
@@ -480,7 +482,9 @@ def _is_batchable(task: EngineTask) -> bool:
     )
 
 
-def _execute_engine_tasks(entries, counters) -> List[Tuple[int, SweepOutcome]]:
+def _execute_engine_tasks(
+    entries, counters, kernel_threads: Optional[int] = None
+) -> List[Tuple[int, SweepOutcome]]:
     """Execute engine tasks, batching what the kernels can take.
 
     ``entries`` is a list of ``(index, task, source)`` where ``source``
@@ -488,6 +492,12 @@ def _execute_engine_tasks(entries, counters) -> List[Tuple[int, SweepOutcome]]:
     batchable task resolves only its write mask (never building
     ``Request`` objects) while a fallback task materializes the full
     schedule.  Returns ``(index, outcome)`` pairs in entry order.
+
+    Streamed groups hand the kernels a packed (8-per-byte) mask matrix
+    so they take the popcount counts tier; materializing groups keep
+    the bool matrix (their per-request codes would unpack it right
+    back).  ``kernel_threads`` is the tile-scheduler budget, ``None``
+    for ambient resolution (env, then core count).
     """
     outcomes: Dict[int, SweepOutcome] = {}
     groups: Dict[Tuple, List[Tuple[int, EngineTask, Callable]]] = {}
@@ -506,11 +516,12 @@ def _execute_engine_tasks(entries, counters) -> List[Tuple[int, SweepOutcome]]:
             writes[row] = mask_thunk()
         results = run_batched_masks(
             name,
-            writes,
+            pack_write_masks(writes) if stream else writes,
             [task.cost_model for _index, task, _thunk in members],
             warmup=warmup,
             stream=stream,
             instrumentation=counters,
+            threads=kernel_threads,
         )
         for (index, task, _thunk), result in zip(members, results):
             outcomes[index] = _project_result(
@@ -558,7 +569,13 @@ def _worker_sources(sched_ref, shm, shm_cache):
 
 def _run_chunk(payload):
     """Worker entry: execute one chunk, return (results, worker stats)."""
-    shm_name, entries, items = payload
+    shm_name, entries, items, kernel_threads = payload
+    if kernel_threads is None and not os.environ.get(_ENV_THREADS):
+        # Worker processes default to one kernel thread apiece: the
+        # process pool already claims the cores, and jobs × threads
+        # oversubscription only thrashes.  An explicit budget (executor
+        # argument or REPRO_KERNEL_THREADS) overrides.
+        kernel_threads = 1
     shm = None
     if shm_name is not None:
         shm = _attach_shared_memory(shm_name)
@@ -579,7 +596,9 @@ def _run_chunk(payload):
                 engine_entries.append(
                     (index, task, _worker_sources(sched_ref, shm, shm_cache))
                 )
-        results.extend(_execute_engine_tasks(engine_entries, counters))
+        results.extend(
+            _execute_engine_tasks(engine_entries, counters, kernel_threads)
+        )
     finally:
         if shm is not None:
             shm.close()
@@ -740,6 +759,12 @@ class SweepExecutor:
         every task cold.
     chunk_size:
         Tasks per worker chunk; default balances ~4 chunks per worker.
+    kernel_threads:
+        Tile-scheduler thread budget for the batched kernels inside
+        each job.  ``None`` resolves from ``REPRO_KERNEL_THREADS`` (or
+        the core count) in process, while worker processes default to
+        one kernel thread each — ``jobs`` already owns the cores, and
+        jobs × threads oversubscription helps nobody.
     """
 
     def __init__(
@@ -747,6 +772,7 @@ class SweepExecutor:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
+        kernel_threads: Optional[int] = None,
     ):
         if jobs < 1:
             raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
@@ -754,9 +780,12 @@ class SweepExecutor:
             raise InvalidParameterError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if kernel_threads is not None:
+            resolve_kernel_threads(kernel_threads)  # validate eagerly
         self.jobs = jobs
         self.cache = cache
         self.chunk_size = chunk_size
+        self.kernel_threads = kernel_threads
         self.tasks = 0
         self.executed = 0
         self.cache_hits = 0
@@ -847,7 +876,9 @@ class SweepExecutor:
                 engine_entries.append(
                     (index, task, _task_sources(task, task.schedule))
                 )
-        for index, outcome in _execute_engine_tasks(engine_entries, counters):
+        for index, outcome in _execute_engine_tasks(
+            engine_entries, counters, self.kernel_threads
+        ):
             results[index] = outcome
         stats = counters.summary()
         stats["pid"] = os.getpid()
@@ -869,7 +900,10 @@ class SweepExecutor:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(_run_chunk, (shm_name, entries, chunk))
+                    pool.submit(
+                        _run_chunk,
+                        (shm_name, entries, chunk, self.kernel_threads),
+                    )
                     for chunk in chunks
                 ]
                 outstanding = set(futures)

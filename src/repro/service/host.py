@@ -104,8 +104,15 @@ class ServiceConfig:
     namespace: str = "alloc"
     #: SC replica count the failover drills exercise (1 disables them).
     replicas: int = 1
+    #: Kernel thread budget for drain launches (``None``: ambient
+    #: resolution — ``REPRO_KERNEL_THREADS``, then the core count).
+    kernel_threads: Optional[int] = None
 
     def __post_init__(self):
+        if self.kernel_threads is not None and self.kernel_threads < 1:
+            raise InvalidParameterError(
+                f"kernel_threads must be >= 1, got {self.kernel_threads}"
+            )
         if self.num_shards <= 0:
             raise InvalidParameterError(
                 f"num_shards must be positive, got {self.num_shards}"
@@ -387,6 +394,7 @@ class AllocationService:
             stream=True,
             instrumentation=self._instruments,
             arrays_sink=sink,
+            threads=self.config.kernel_threads,
         )
         group.counts[rows] += sink["counts"]
         group.served[rows] += length

@@ -35,6 +35,7 @@ def run_self_test(
     replicas: int = 1,
     failover_drills: int = 4,
     scenario: Optional[str] = None,
+    kernel_threads: Optional[int] = None,
 ) -> Dict[str, object]:
     """Drive a seeded population through the service and verify it.
 
@@ -61,6 +62,7 @@ def run_self_test(
             num_shards=num_shards,
             namespace=generator.namespace,
             replicas=replicas,
+            kernel_threads=kernel_threads,
         ),
         instrumentation=counters,
     )

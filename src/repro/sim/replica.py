@@ -623,7 +623,13 @@ class SCReplicaSet:
             if existing >= node.committed:
                 return  # in-doubt tail: still being replicated
             record = node.records.get(key)
-            if record is not None and not record.sent:
+            if record is not None:
+                # The retry itself proves the exchange never closed at
+                # the MC — a predecessor primary may have committed the
+                # entry and died before any retry released its captured
+                # effects.  Re-releasing is idempotent: the replay path
+                # drops frames the MC already received and completion
+                # is a no-op the second time.
                 self._release_captured(record)
             else:
                 self._ledger.overhead.duplicates_suppressed += 1
@@ -1106,17 +1112,22 @@ class ReplicatedNetwork(PointToPointNetwork):
         record = self._outstanding.get(key)
         if record is None:
             return
+        primary = self._cluster.primary_node()
+        if primary is None:
+            # An election gap is not the peer refusing: nothing leaves
+            # the client, so the send-retry budget is not burned.  The
+            # breaker still counts the failure, and its finite probe
+            # budget bounds how long a primaryless cluster can stall
+            # before escalating.
+            self.breaker.record_failure()
+            self._arm_retry(key)
+            return
         record[1] += 1
         if record[1] > self._config.max_retries:
             self._dead_letter(key, record)
             return
         if record[1] > 1:
             self._ledger.overhead.client_retries += 1
-        primary = self._cluster.primary_node()
-        if primary is None:
-            self.breaker.record_failure()
-            self._arm_retry(key)
-            return
         payload = record[0]
         is_message = key[0] == "m"
         hop = self._latency if is_message else self._config.rpc_latency

@@ -46,9 +46,9 @@ schedule_texts = st.text(alphabet="rw", min_size=0, max_size=100)
 
 
 class TestRegistry:
-    def test_four_backends_registered(self):
+    def test_five_backends_registered(self):
         assert available_backends() == [
-            "reference", "vectorized", "protocol", "batched"
+            "reference", "vectorized", "protocol", "batched", "numba"
         ]
 
     def test_unknown_backend_name(self):
@@ -96,7 +96,8 @@ class TestDispatch:
 
     def test_forced_backend_honoured(self):
         schedule = Schedule.from_string("rwrw")
-        for name in ("reference", "vectorized", "protocol", "batched"):
+        for name in ("reference", "vectorized", "protocol", "batched",
+                     "numba"):
             assert run("sw9", schedule, MODEL, backend=name).backend_name == name
 
     def test_forced_vectorized_rejects_uncovered_algorithm(self):

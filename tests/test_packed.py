@@ -1,0 +1,346 @@
+"""Byte-identity suite for the packed masks and the tile scheduler.
+
+The contract, hypothesis-swept: a :class:`~repro.core.packed.PackedMasks`
+input fed through any thread count and any tile size produces the same
+bytes — counts, totals, flips, materialized events — as the unpacked
+bool matrix on one thread, for every algorithm family the batched
+kernels cover and for all three parameter scans.  Plus unit coverage of
+the packbits layout (roundtrip, footprint, validators), the int32→int64
+accumulator promotion guard, the ``REPRO_KERNEL_THREADS`` resolution
+ladder, and the numba backend's registration-with-fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.core.packed as packed_module
+from repro.core.batched import (
+    batched_counts,
+    batched_run_arrays,
+    scan_threshold_counts,
+    scan_window_counts,
+    stack_write_masks,
+)
+from repro.core.numba_kernels import numba_available
+from repro.core.packed import (
+    PackedMasks,
+    accumulator_dtype,
+    pack_write_masks,
+    packed_cumulative,
+    packed_run_counts,
+)
+from repro.costmodels import ConnectionCostModel, MessageCostModel
+from repro.engine import kernel_threads, run, run_batched_masks
+from repro.engine.batched import _row_tiles
+from repro.exceptions import InvalidParameterError, UnknownAlgorithmError
+from repro.types import Schedule
+
+MODEL = ConnectionCostModel()
+
+#: One representative per family: ST1, ST2, SW1, SWk, T1m, T2m.
+FAMILY_NAMES = ("st1", "st2", "sw1", "sw5", "t1_3", "t2_3")
+
+THREAD_COUNTS = (1, 2, 4)
+
+
+@st.composite
+def schedule_batches(draw, max_rows=5, max_length=60):
+    """A non-ragged batch: B schedule strings of one shared length."""
+    length = draw(st.integers(min_value=0, max_value=max_length))
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    return [
+        draw(st.text(alphabet="rw", min_size=length, max_size=length))
+        for _ in range(rows)
+    ]
+
+
+def _writes_from(texts):
+    return stack_write_masks([Schedule.from_string(text) for text in texts])
+
+
+class TestPackedLayout:
+    @given(texts=schedule_batches(max_rows=4, max_length=40))
+    @settings(max_examples=25, deadline=None)
+    def test_pack_unpack_roundtrip(self, texts):
+        writes = _writes_from(texts)
+        packed = pack_write_masks(writes)
+        assert packed.shape == writes.shape
+        np.testing.assert_array_equal(packed.to_bool(), writes)
+        # Pad bits past ``length`` are zero — the popcount contract.
+        if writes.shape[1] % 8 and writes.shape[0]:
+            tail = int(packed.bits[:, -1].max())
+            spare = 8 - writes.shape[1] % 8
+            assert tail & ((1 << spare) - 1) == 0
+
+    def test_footprint_is_an_eighth(self):
+        writes = np.ones((8, 4096), dtype=bool)
+        packed = pack_write_masks(writes)
+        assert packed.nbytes * 8 == writes.nbytes
+        assert packed.nbytes <= writes.nbytes / 6
+
+    def test_pack_from_schedules_matches_stack(self):
+        schedules = [Schedule.from_string("rwrw"), Schedule.from_string("wwrr")]
+        packed = pack_write_masks(schedules)
+        np.testing.assert_array_equal(
+            packed.to_bool(), stack_write_masks(schedules)
+        )
+
+    def test_ragged_schedules_raise(self):
+        schedules = [Schedule.from_string("rw"), Schedule.from_string("rwr")]
+        with pytest.raises(InvalidParameterError, match="ragged"):
+            pack_write_masks(schedules)
+
+    def test_empty_inputs(self):
+        assert pack_write_masks([]).shape == (0, 0)
+        empty = pack_write_masks(np.empty((3, 0), dtype=bool))
+        assert empty.shape == (3, 0)
+        assert empty.to_bool().shape == (3, 0)
+        counts, flips = packed_run_counts("sw3", empty)
+        assert counts.shape == (3, 6) and not counts.any()
+        assert not flips.any()
+
+    def test_layout_validators(self):
+        with pytest.raises(InvalidParameterError, match="uint8"):
+            PackedMasks(np.zeros((2, 3), dtype=np.int64), 24)
+        with pytest.raises(InvalidParameterError, match="cannot hold"):
+            PackedMasks(np.zeros((2, 3), dtype=np.uint8), 99)
+        with pytest.raises(InvalidParameterError, match="bool"):
+            PackedMasks.from_bool(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_rows_is_a_view(self):
+        packed = pack_write_masks(np.ones((4, 16), dtype=bool))
+        tile = packed.rows(1, 3)
+        assert tile.batch == 2 and tile.length == 16
+        assert tile.bits.base is packed.bits
+
+    def test_unknown_algorithm_raises(self):
+        packed = pack_write_masks(np.ones((1, 8), dtype=bool))
+        with pytest.raises(UnknownAlgorithmError):
+            packed_run_counts("nope", packed)
+        with pytest.raises(InvalidParameterError, match="PackedMasks"):
+            packed_run_counts("sw3", np.ones((1, 8), dtype=bool))
+
+
+class TestByteIdentity:
+    """{unpacked, packed} x {1, 2, 4 threads} x every family."""
+
+    @pytest.mark.parametrize("algorithm_name", FAMILY_NAMES)
+    @given(texts=schedule_batches())
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_packed_threaded_equals_unpacked_serial(
+        self, algorithm_name, texts
+    ):
+        writes = _writes_from(texts)
+        models = [MODEL] * writes.shape[0]
+        baseline = run_batched_masks(
+            algorithm_name, writes, models, threads=1
+        )
+        packed = pack_write_masks(writes)
+        for threads in THREAD_COUNTS:
+            for results in (
+                run_batched_masks(algorithm_name, writes, models,
+                                  threads=threads),
+                run_batched_masks(algorithm_name, packed, models,
+                                  threads=threads),
+            ):
+                for expected, got in zip(baseline, results):
+                    assert got.total_cost == expected.total_cost
+                    assert got.event_counts == expected.event_counts
+                    assert got.scheme_changes == expected.scheme_changes
+
+    @pytest.mark.parametrize("algorithm_name", FAMILY_NAMES)
+    @given(texts=schedule_batches(max_rows=3, max_length=40),
+           warmup=st.integers(0, 8))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_packed_counts_equal_code_counts(
+        self, algorithm_name, texts, warmup
+    ):
+        writes = _writes_from(texts)
+        codes, copy_after = batched_run_arrays(algorithm_name, writes)
+        counts, flips = packed_run_counts(
+            algorithm_name, pack_write_masks(writes), warmup
+        )
+        np.testing.assert_array_equal(counts, batched_counts(codes, warmup))
+        if writes.shape[1]:
+            expected_flips = (copy_after[:, 1:] != copy_after[:, :-1]).sum(
+                axis=1
+            )
+            np.testing.assert_array_equal(flips, expected_flips)
+
+    @pytest.mark.parametrize("algorithm_name", FAMILY_NAMES)
+    def test_materialized_events_survive_packing(self, algorithm_name):
+        schedules = [Schedule.from_string("rwrrwwrwrrrwr")] * 3
+        packed = pack_write_masks(schedules)
+        results = run_batched_masks(
+            algorithm_name, packed, [MODEL] * 3, stream=False, threads=2
+        )
+        for schedule, got in zip(schedules, results):
+            reference = run(algorithm_name, schedule, MODEL,
+                            backend="reference")
+            assert got.total_cost == reference.total_cost
+            assert got.events == reference.events
+            assert got.event_kinds == reference.event_kinds
+            assert got.schemes == reference.schemes
+
+
+class TestPackedScans:
+    @given(texts=schedule_batches(max_rows=4, max_length=50),
+           warmup=st.integers(0, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_window_scan_matches_unpacked(self, texts, warmup):
+        writes = _writes_from(texts)
+        ks = [1, 3, 5, 9]
+        np.testing.assert_array_equal(
+            scan_window_counts(pack_write_masks(writes), ks, warmup),
+            scan_window_counts(writes, ks, warmup),
+        )
+
+    @given(texts=schedule_batches(max_rows=4, max_length=50),
+           warmup=st.integers(0, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_threshold_scans_match_unpacked(self, texts, warmup):
+        writes = _writes_from(texts)
+        packed = pack_write_masks(writes)
+        ms = [1, 2, 4]
+        for method in ("t1", "t2"):
+            np.testing.assert_array_equal(
+                scan_threshold_counts(method, packed, ms, warmup),
+                scan_threshold_counts(method, writes, ms, warmup),
+            )
+
+    @given(texts=schedule_batches(max_rows=3, max_length=40))
+    @settings(max_examples=10, deadline=None)
+    def test_packed_cumulative_is_the_cumsum(self, texts):
+        writes = _writes_from(texts)
+        np.testing.assert_array_equal(
+            packed_cumulative(pack_write_masks(writes)),
+            np.cumsum(writes, axis=1),
+        )
+
+
+class TestRaggedTiles:
+    """B not divisible by the tile size, N not divisible by 8."""
+
+    @pytest.mark.parametrize("algorithm_name", FAMILY_NAMES)
+    def test_ragged_tiles_are_invisible(self, algorithm_name):
+        rng = np.random.default_rng(17)
+        writes = rng.random((5, 13)) < 0.5
+        models = [MODEL] * 5
+        baseline = run_batched_masks(algorithm_name, writes, models, threads=1)
+        packed = pack_write_masks(writes)
+        for tile_rows in (1, 2, 3, 7):
+            results = run_batched_masks(
+                algorithm_name, packed, models, threads=2,
+                tile_rows=tile_rows,
+            )
+            for expected, got in zip(baseline, results):
+                assert got.total_cost == expected.total_cost
+                assert got.event_counts == expected.event_counts
+                assert got.scheme_changes == expected.scheme_changes
+
+    def test_row_tiles_cover_exactly(self):
+        tiles = _row_tiles(5, 2, 1)
+        assert tiles == [(0, 2), (2, 4), (4, 5)]
+        assert _row_tiles(0, 2, 1) == []
+        # Default tile size splits evenly across the thread count.
+        assert _row_tiles(8, None, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+        with pytest.raises(InvalidParameterError):
+            _row_tiles(5, 0, 1)
+
+
+class TestAccumulatorGuard:
+    def test_dtype_promotes_past_the_safe_length(self):
+        assert accumulator_dtype(0) is np.int32
+        assert accumulator_dtype(packed_module._INT32_SAFE_LENGTH) is np.int32
+        assert (
+            accumulator_dtype(packed_module._INT32_SAFE_LENGTH + 1)
+            is np.int64
+        )
+        assert accumulator_dtype(2**31) is np.int64
+        with pytest.raises(InvalidParameterError):
+            accumulator_dtype(-1)
+
+    def test_promoted_accumulators_keep_byte_identity(self, monkeypatch):
+        # Shrink the guard so ordinary schedules take the int64 path;
+        # every count must come out identical to the int32 tier.
+        rng = np.random.default_rng(23)
+        writes = rng.random((4, 37)) < 0.6
+        expected_codes, _ = batched_run_arrays("sw5", writes)
+        expected_counts, expected_flips = packed_run_counts(
+            "sw5", pack_write_masks(writes)
+        )
+        monkeypatch.setattr(packed_module, "_INT32_SAFE_LENGTH", 4)
+        assert accumulator_dtype(37) is np.int64
+        codes, _ = batched_run_arrays("sw5", writes)
+        np.testing.assert_array_equal(codes, expected_codes)
+        counts, flips = packed_run_counts("sw5", pack_write_masks(writes))
+        np.testing.assert_array_equal(counts, expected_counts)
+        np.testing.assert_array_equal(flips, expected_flips)
+
+
+class TestKernelThreadResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "7")
+        assert kernel_threads(3) == 3
+
+    def test_environment_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "5")
+        assert kernel_threads() == 5
+
+    def test_default_is_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
+        assert kernel_threads() >= 1
+
+    @pytest.mark.parametrize("junk", ["zero", "1.5", "0", "-2"])
+    def test_junk_environment_raises(self, monkeypatch, junk):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", junk)
+        with pytest.raises(InvalidParameterError):
+            kernel_threads()
+
+    def test_empty_environment_means_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "")
+        assert kernel_threads() >= 1
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_bad_explicit_argument_raises(self, bad):
+        with pytest.raises(InvalidParameterError):
+            kernel_threads(bad)
+
+    def test_environment_steers_the_batched_engine(self, monkeypatch):
+        writes = np.tile([True, False, True], (3, 9))
+        baseline = run_batched_masks("sw3", writes, [MODEL] * 3, threads=1)
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "2")
+        results = run_batched_masks(
+            "sw3", pack_write_masks(writes), [MODEL] * 3
+        )
+        for expected, got in zip(baseline, results):
+            assert got.total_cost == expected.total_cost
+            assert got.event_counts == expected.event_counts
+
+
+class TestNumbaBackend:
+    def test_numba_backend_is_registered(self):
+        from repro.engine import available_backends
+
+        assert "numba" in available_backends()
+
+    @pytest.mark.parametrize("algorithm_name", FAMILY_NAMES)
+    def test_numba_backend_matches_reference(self, algorithm_name):
+        # With numba installed this runs the njit kernel; without it the
+        # numpy fallback answers — identical bytes either way.
+        schedule = Schedule.from_string("rwrrwwrwrrrwrw")
+        forced = run(algorithm_name, schedule, MODEL, backend="numba")
+        reference = run(algorithm_name, schedule, MODEL, backend="reference")
+        assert forced.backend_name == "numba"
+        assert forced.total_cost == reference.total_cost
+        assert forced.event_counts == reference.event_counts
+        assert forced.scheme_changes == reference.scheme_changes
+
+    def test_numba_availability_flag_is_boolean(self):
+        assert numba_available() in (True, False)

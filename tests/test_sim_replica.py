@@ -220,6 +220,20 @@ class TestFailoverCampaigns:
         assert fingerprint(result) == baseline("sw3")
         assert result.failovers + result.kills_skipped == 2
 
+    def test_double_failover_releases_committed_tail_on_retry(self):
+        # Regression: with two kills in quick succession (hypothesis
+        # found seed 595), the first successor committed the in-doubt
+        # tail via its promotion snapshot and died before any client
+        # retry released the captured effects.  The second successor
+        # used to mark every committed record as already-served and
+        # suppress the retries as duplicates until the client's retry
+        # budget blew up; it must re-release instead (the MC replay
+        # path makes that idempotent).
+        faults = FaultConfig(primary_kills=2, kill_horizon=8.0, seed=595)
+        result = simulate_protocol("sw3", SCHEDULE, replicas=5, faults=faults)
+        assert fingerprint(result) == baseline("sw3")
+        assert result.failovers == 2
+
     def test_quorum_loss_surfaces_as_peer_unreachable(self):
         config = ReplicaConfig(max_retries=3)
         with pytest.raises(PeerUnreachableError) as excinfo:
